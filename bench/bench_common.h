@@ -1,0 +1,96 @@
+#pragma once
+// Shared plumbing for the figure-reproduction benches: workload loading
+// (with on-disk baseline caching), result tables, and CSV output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/experiment.h"
+#include "core/falvolt.h"
+#include "core/fap.h"
+#include "fault/fault_generator.h"
+
+namespace falvolt::bench {
+
+/// Standard flags shared by every figure bench.
+inline void add_common_flags(common::CliFlags& cli) {
+  cli.add_bool("fast", common::fast_mode(),
+               "shrink datasets/epochs ~2x (also via FALVOLT_FAST=1)");
+  cli.add_int("seed", 7, "workload seed");
+  cli.add_int("repeats", 0, "fault maps per point (0 = bench default)");
+  cli.add_int("array-size", 64,
+              "systolic array dimension N (NxN). The paper uses 256x256 "
+              "with ~128-channel networks (~50% column utilization); our "
+              "CPU-scaled networks are ~16x narrower, so the default "
+              "array is scaled to 64x64 to preserve utilization — see "
+              "EXPERIMENTS.md");
+}
+
+/// The experiment array: paper-equivalent geometry at our network scale.
+inline systolic::ArrayConfig experiment_array(const common::CliFlags& cli) {
+  systolic::ArrayConfig array;
+  array.rows = array.cols = static_cast<int>(cli.get_int("array-size"));
+  return array;
+}
+
+inline core::WorkloadOptions workload_options(const common::CliFlags& cli) {
+  core::WorkloadOptions opts;
+  opts.fast = cli.get_bool("fast");
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  return opts;
+}
+
+/// Banner printed by every bench so logs are self-describing.
+inline void banner(const std::string& name, const std::string& what) {
+  std::printf("=== %s ===\n%s\n\n", name.c_str(), what.c_str());
+}
+
+inline void print_baseline(const core::Workload& w) {
+  std::printf("[%s] baseline accuracy %.2f%% (train %d / test %d, T=%d)\n",
+              core::dataset_name(w.kind), w.baseline_accuracy,
+              w.data.train.size(), w.data.test.size(),
+              w.data.train.time_steps());
+}
+
+/// Restore a workload's network to its trained baseline parameters.
+class BaselineKeeper {
+ public:
+  explicit BaselineKeeper(core::Workload& w)
+      : net_(w.net), snapshot_(w.net.snapshot_params()) {}
+  /// Reset weights AND thresholds to the trained baseline.
+  void restore() {
+    net_.restore_params(snapshot_);
+    for (snn::Plif* p : net_.spiking_layers()) {
+      p->set_train_vth(false);
+    }
+  }
+
+ private:
+  snn::Network& net_;
+  std::vector<tensor::Tensor> snapshot_;
+};
+
+/// CSV file next to the executable's working directory.
+inline std::string csv_path(const std::string& bench_name) {
+  return bench_name + ".csv";
+}
+
+/// First `n` samples of a dataset (vulnerability sweeps evaluate through
+/// the bit-level engine, so a subset keeps runtimes reasonable; samples
+/// are class-round-robin, so any prefix is balanced).
+inline data::Dataset subset(const data::Dataset& ds, int n) {
+  data::Dataset out(ds.name() + "-subset", ds.num_classes(),
+                    ds.time_steps(), ds.channels(), ds.height(), ds.width());
+  const int count = std::min(n, ds.size());
+  for (int i = 0; i < count; ++i) out.add(ds[i]);
+  return out;
+}
+
+}  // namespace falvolt::bench

@@ -1,0 +1,92 @@
+// Fig. 7 — mitigation comparison: FaP vs FaPIT vs FalVolt.
+//
+// Reproduces: accuracy after each mitigation at 10% / 30% / 60% faulty
+// PEs (MSB sa1, 256x256 array) on MNIST, N-MNIST and DVS-Gesture. The
+// paper's claim: FaP collapses as the rate grows, FaPIT recovers
+// partially, and only FalVolt stays at (near-)baseline accuracy up to
+// 60% faults.
+
+#include "bench_common.h"
+
+namespace fb = falvolt::bench;
+using namespace falvolt;
+
+int main(int argc, char** argv) {
+  common::CliFlags cli("fig7_mitigation");
+  fb::add_common_flags(cli);
+  cli.add_int("epochs", 0, "retraining epochs (0 = per-dataset default)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  fb::banner("Fig. 7",
+             "FaP vs FaPIT vs FalVolt accuracy at 10%/30%/60% faulty PEs");
+
+  const bool fast = cli.get_bool("fast");
+  const std::vector<double> rates = {0.10, 0.30, 0.60};
+  common::CsvWriter csv(fb::csv_path("fig7_mitigation"),
+                        {"dataset", "fault_rate_percent", "method",
+                         "best_accuracy", "baseline"});
+
+  for (const auto kind :
+       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+        core::DatasetKind::kDvsGesture}) {
+    core::Workload wl =
+        core::prepare_workload(kind, fb::workload_options(cli));
+    fb::print_baseline(wl);
+    fb::BaselineKeeper keeper(wl);
+    const int epochs =
+        cli.get_int("epochs") > 0
+            ? static_cast<int>(cli.get_int("epochs"))
+            : core::default_retrain_epochs(kind, fast);
+
+    common::TextTable table({"faulty", "FaP", "FaPIT", "FalVolt"});
+    for (const double rate : rates) {
+      common::Rng rng(6000 + static_cast<int>(rate * 100));
+      const systolic::ArrayConfig array = fb::experiment_array(cli);
+      const fault::FaultMap map = fault::fault_map_at_rate(
+          array.rows, array.cols, rate,
+          fault::worst_case_spec(array.format.total_bits()), rng);
+      core::MitigationConfig cfg;
+      cfg.array = array;
+      cfg.retrain_epochs = epochs;
+      // Per-epoch evaluation so we can report the best checkpoint — the
+      // weights a deployment flow would actually keep (retraining SNNs
+      // with surrogate gradients is noisy epoch to epoch).
+      cfg.eval_each_epoch = true;
+
+      keeper.restore();
+      const double fap =
+          core::run_fap(wl.net, map, wl.data.test).final_accuracy;
+      keeper.restore();
+      const double fapit =
+          core::run_fapit(wl.net, map, wl.data.train, wl.data.test, cfg)
+              .best_accuracy;
+      keeper.restore();
+      const double falvolt =
+          core::run_falvolt(wl.net, map, wl.data.train, wl.data.test, cfg)
+              .best_accuracy;
+
+      table.row_labeled(common::TextTable::format(rate * 100, 0) + "%",
+                        {fap, fapit, falvolt}, 1);
+      for (const auto& [method, acc] :
+           std::vector<std::pair<std::string, double>>{
+               {"FaP", fap}, {"FaPIT", fapit}, {"FalVolt", falvolt}}) {
+        csv.row({std::string(core::dataset_name(kind)),
+                 common::CsvWriter::format(rate * 100), method,
+                 common::CsvWriter::format(acc),
+                 common::CsvWriter::format(wl.baseline_accuracy)});
+      }
+      std::printf("  %-15s rate=%2.0f%%  FaP %.1f | FaPIT %.1f | FalVolt "
+                  "%.1f (baseline %.1f)\n",
+                  core::dataset_name(kind), rate * 100, fap, fapit, falvolt,
+                  wl.baseline_accuracy);
+    }
+    std::printf("\nAccuracy [%%] — %s (baseline %.1f%%):\n",
+                core::dataset_name(kind), wl.baseline_accuracy);
+    table.print();
+    std::printf("\n");
+  }
+  std::printf("Reported values are best checkpoints over the retraining run.\nExpected shape (paper): FaP degrades rapidly with rate; "
+              "FaPIT recovers partially; FalVolt reaches (near-)baseline "
+              "even at 60%%.\n");
+  return 0;
+}

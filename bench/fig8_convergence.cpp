@@ -1,0 +1,106 @@
+// Fig. 8 — convergence: accuracy vs retraining epoch, FaPIT vs FalVolt.
+//
+// Reproduces: 30% faulty PEs (MSB sa1, 256x256 array); per-epoch test
+// accuracy of FaPIT (V_th = 1.0) and FalVolt. The paper's claim: FalVolt
+// reaches the baseline-accuracy band in about half the epochs of FaPIT
+// ("2x faster").
+
+#include "bench_common.h"
+
+namespace fb = falvolt::bench;
+using namespace falvolt;
+
+int main(int argc, char** argv) {
+  common::CliFlags cli("fig8_convergence");
+  fb::add_common_flags(cli);
+  cli.add_int("epochs", 0, "retraining epochs (0 = 2x per-dataset default)");
+  cli.add_double("rate", 0.30, "fault rate (paper: 0.30)");
+  cli.add_double("target-drop", 3.0,
+                 "convergence target = baseline - this many points");
+  if (!cli.parse(argc, argv)) return 0;
+
+  fb::banner("Fig. 8",
+             "Accuracy vs retraining epochs at 30% faulty PEs "
+             "(FaPIT vs FalVolt; the 2x-faster claim)");
+
+  const bool fast = cli.get_bool("fast");
+  const double rate = cli.get_double("rate");
+  common::CsvWriter csv(fb::csv_path("fig8_convergence"),
+                        {"dataset", "method", "epoch", "accuracy"});
+
+  common::TextTable summary({"dataset", "FaPIT epochs-to-target",
+                             "FalVolt epochs-to-target", "speedup"});
+
+  for (const auto kind :
+       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+        core::DatasetKind::kDvsGesture}) {
+    core::Workload wl =
+        core::prepare_workload(kind, fb::workload_options(cli));
+    fb::print_baseline(wl);
+    fb::BaselineKeeper keeper(wl);
+    // Long enough horizon that the slower method also converges.
+    const int epochs =
+        cli.get_int("epochs") > 0
+            ? static_cast<int>(cli.get_int("epochs"))
+            : 2 * core::default_retrain_epochs(kind, fast);
+
+    common::Rng rng(7000);
+    const systolic::ArrayConfig array = fb::experiment_array(cli);
+    const fault::FaultMap map = fault::fault_map_at_rate(
+        array.rows, array.cols, rate,
+        fault::worst_case_spec(array.format.total_bits()), rng);
+    core::MitigationConfig cfg;
+    cfg.array = array;
+    cfg.retrain_epochs = epochs;
+    cfg.eval_each_epoch = true;  // the whole point of this figure
+
+    keeper.restore();
+    const core::MitigationResult fapit =
+        core::run_fapit(wl.net, map, wl.data.train, wl.data.test, cfg);
+    keeper.restore();
+    const core::MitigationResult falvolt =
+        core::run_falvolt(wl.net, map, wl.data.train, wl.data.test, cfg);
+
+    common::TextTable curve({"epoch", "FaPIT", "FalVolt"});
+    for (int e = 0; e < epochs; ++e) {
+      curve.row_labeled(std::to_string(e + 1),
+                        {fapit.curve[static_cast<std::size_t>(e)].test_accuracy,
+                         falvolt.curve[static_cast<std::size_t>(e)]
+                             .test_accuracy},
+                        1);
+      csv.row({std::string(core::dataset_name(kind)), "FaPIT",
+               std::to_string(e + 1),
+               common::CsvWriter::format(
+                   fapit.curve[static_cast<std::size_t>(e)].test_accuracy)});
+      csv.row({std::string(core::dataset_name(kind)), "FalVolt",
+               std::to_string(e + 1),
+               common::CsvWriter::format(
+                   falvolt.curve[static_cast<std::size_t>(e)]
+                       .test_accuracy)});
+    }
+    std::printf("\nAccuracy [%%] per retraining epoch — %s:\n",
+                core::dataset_name(kind));
+    curve.print();
+
+    const double target =
+        wl.baseline_accuracy - cli.get_double("target-drop");
+    const int e_fapit = fapit.epochs_to_reach(target);
+    const int e_falvolt = falvolt.epochs_to_reach(target);
+    const std::string speedup =
+        (e_fapit > 0 && e_falvolt > 0)
+            ? common::TextTable::format(
+                  static_cast<double>(e_fapit) / e_falvolt, 2) + "x"
+            : "n/a";
+    summary.row({std::string(core::dataset_name(kind)),
+                 e_fapit > 0 ? std::to_string(e_fapit) : ">horizon",
+                 e_falvolt > 0 ? std::to_string(e_falvolt) : ">horizon",
+                 speedup});
+    std::printf("\n");
+  }
+  std::printf("Epochs to reach (baseline - %.1f) points:\n",
+              cli.get_double("target-drop"));
+  summary.print();
+  std::printf("\nExpected shape (paper): FalVolt converges in about half "
+              "the epochs of FaPIT.\n");
+  return 0;
+}

@@ -1,0 +1,194 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// float GEMM, the fixed-point faulty-GEMM engine (clean / corrupt /
+// bypass), the register-level cycle simulator, PLIF forward/backward,
+// prune-mask construction, fault-map generation, and post-fab test.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "fault/fault_generator.h"
+#include "fault/post_fab_test.h"
+#include "fault/prune_mask.h"
+#include "snn/plif.h"
+#include "systolic/cycle_sim.h"
+#include "systolic/faulty_gemm.h"
+#include "tensor/gemm.h"
+
+namespace {
+
+using namespace falvolt;
+
+tensor::Tensor random_spikes(int m, int k, std::uint64_t seed) {
+  common::Rng rng(seed);
+  tensor::Tensor a({m, k});
+  for (auto& v : a) v = rng.bernoulli(0.3) ? 1.0f : 0.0f;
+  return a;
+}
+
+tensor::Tensor random_weights(int k, int n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  tensor::Tensor w({k, n});
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  return w;
+}
+
+void BM_FloatGemm(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = 72, n = 8;
+  const tensor::Tensor a = random_spikes(m, k, 1);
+  const tensor::Tensor w = random_weights(k, n, 2);
+  tensor::Tensor c({m, n});
+  for (auto _ : state) {
+    tensor::gemm(a.data(), w.data(), c.data(), m, k, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m) * k *
+                          n);
+}
+BENCHMARK(BM_FloatGemm)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SystolicEngineClean(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const int k = 72, n = 8;
+  systolic::ArrayConfig cfg;  // 256x256
+  systolic::SystolicGemmEngine engine(cfg, nullptr);
+  const tensor::Tensor a = random_spikes(m, k, 3);
+  const tensor::Tensor w = random_weights(k, n, 4);
+  tensor::Tensor c({m, n});
+  for (auto _ : state) {
+    engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m) * k *
+                          n);
+}
+BENCHMARK(BM_SystolicEngineClean)->Arg(64)->Arg(256);
+
+void BM_SystolicEngineCorrupt(benchmark::State& state) {
+  const int faults = static_cast<int>(state.range(0));
+  const int m = 256, k = 72, n = 8;
+  systolic::ArrayConfig cfg;
+  common::Rng rng(5);
+  const fault::FaultMap map = fault::random_fault_map(
+      cfg.rows, cfg.cols, faults,
+      fault::worst_case_spec(cfg.format.total_bits()), rng);
+  systolic::SystolicGemmEngine engine(cfg, &map);
+  const tensor::Tensor a = random_spikes(m, k, 6);
+  const tensor::Tensor w = random_weights(k, n, 7);
+  tensor::Tensor c({m, n});
+  for (auto _ : state) {
+    engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_SystolicEngineCorrupt)->Arg(8)->Arg(64)->Arg(4096);
+
+void BM_SystolicEngineBypass(benchmark::State& state) {
+  const int m = 256, k = 72, n = 8;
+  systolic::ArrayConfig cfg;
+  common::Rng rng(8);
+  const fault::FaultMap map = fault::random_fault_map(
+      cfg.rows, cfg.cols, 64,
+      fault::worst_case_spec(cfg.format.total_bits()), rng);
+  systolic::SystolicGemmEngine engine(
+      cfg, &map, systolic::SystolicGemmEngine::FaultHandling::kBypass);
+  const tensor::Tensor a = random_spikes(m, k, 9);
+  const tensor::Tensor w = random_weights(k, n, 10);
+  tensor::Tensor c({m, n});
+  for (auto _ : state) {
+    engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_SystolicEngineBypass);
+
+void BM_CycleSimulator(benchmark::State& state) {
+  const int n_pe = static_cast<int>(state.range(0));
+  systolic::ArrayConfig cfg;
+  cfg.rows = cfg.cols = n_pe;
+  systolic::SystolicArraySim sim(cfg, nullptr);
+  const tensor::Tensor a = random_spikes(16, 2 * n_pe, 11);
+  const tensor::Tensor w = random_weights(2 * n_pe, n_pe, 12);
+  for (auto _ : state) {
+    systolic::CycleStats stats;
+    const tensor::Tensor c = sim.matmul(a, w, &stats);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_CycleSimulator)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PlifForward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  snn::Plif plif("p");
+  common::Rng rng(13);
+  tensor::Tensor x({1, n});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.0, 2.0));
+  for (auto _ : state) {
+    plif.reset_state();
+    for (int t = 0; t < 4; ++t) {
+      benchmark::DoNotOptimize(plif.forward(x, t, snn::Mode::kEval));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n);
+}
+BENCHMARK(BM_PlifForward)->Arg(1024)->Arg(16384);
+
+void BM_PlifTrainStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  snn::PlifConfig pc;
+  pc.train_vth = true;
+  snn::Plif plif("p", pc);
+  common::Rng rng(14);
+  tensor::Tensor x({1, n});
+  tensor::Tensor g({1, n});
+  for (auto& v : x) v = static_cast<float>(rng.uniform(0.0, 2.0));
+  for (auto& v : g) v = static_cast<float>(rng.uniform(-0.1, 0.1));
+  for (auto _ : state) {
+    plif.reset_state();
+    for (int t = 0; t < 4; ++t) {
+      benchmark::DoNotOptimize(plif.forward(x, t, snn::Mode::kTrain));
+    }
+    for (int t = 3; t >= 0; --t) {
+      benchmark::DoNotOptimize(plif.backward(g, t));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * n);
+}
+BENCHMARK(BM_PlifTrainStep)->Arg(1024)->Arg(16384);
+
+void BM_PruneMaskBuild(benchmark::State& state) {
+  common::Rng rng(15);
+  const fault::FaultMap map = fault::random_fault_map(
+      256, 256, static_cast<int>(state.range(0)),
+      fault::worst_case_spec(16), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::build_prune_mask(map, 288, 32));
+  }
+}
+BENCHMARK(BM_PruneMaskBuild)->Arg(64)->Arg(4096)->Arg(39321);
+
+void BM_FaultMapGeneration(benchmark::State& state) {
+  common::Rng rng(16);
+  const fault::FaultSpec spec = fault::worst_case_spec(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::random_fault_map(
+        256, 256, static_cast<int>(state.range(0)), spec, rng));
+  }
+}
+BENCHMARK(BM_FaultMapGeneration)->Arg(8)->Arg(4096);
+
+void BM_PostFabTest(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  common::Rng rng(17);
+  const fault::FabricatedChip chip = fault::fabricate_random_chip(
+      n, n, n / 4, fx::FixedFormat::q8_8(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fault::run_post_fab_test(chip));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 4);
+}
+BENCHMARK(BM_PostFabTest)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+#include "common/cli.h"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace falvolt::common {
+
+CliFlags::CliFlags(std::string program) : program_(std::move(program)) {}
+
+void CliFlags::add_int(const std::string& name, long long def,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kInt, std::to_string(def), help};
+}
+
+void CliFlags::add_double(const std::string& name, double def,
+                          const std::string& help) {
+  std::ostringstream os;
+  os << def;
+  flags_[name] = Flag{Type::kDouble, os.str(), help};
+}
+
+void CliFlags::add_string(const std::string& name, const std::string& def,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kString, def, help};
+}
+
+void CliFlags::add_bool(const std::string& name, bool def,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kBool, def ? "true" : "false", help};
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      throw std::invalid_argument("unknown flag: --" + name + "\n" + usage());
+    }
+    Flag& f = it->second;
+    if (f.type == Type::kBool && !has_value) {
+      f.value = "true";
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    // Validate numeric flags eagerly so errors point at the flag.
+    try {
+      if (f.type == Type::kInt) (void)std::stoll(value);
+      if (f.type == Type::kDouble) (void)std::stod(value);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("flag --" + name +
+                                  " has a malformed value: " + value);
+    }
+    if (f.type == Type::kBool && value != "true" && value != "false") {
+      throw std::invalid_argument("flag --" + name +
+                                  " expects true/false, got: " + value);
+    }
+    f.value = value;
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::find(const std::string& name,
+                                     Type type) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    throw std::invalid_argument("flag not registered: --" + name);
+  }
+  if (it->second.type != type) {
+    throw std::invalid_argument("flag type mismatch for --" + name);
+  }
+  return it->second;
+}
+
+long long CliFlags::get_int(const std::string& name) const {
+  return std::stoll(find(name, Type::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return std::stod(find(name, Type::kDouble).value);
+}
+
+const std::string& CliFlags::get_string(const std::string& name) const {
+  return find(name, Type::kString).value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return find(name, Type::kBool).value == "true";
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name << " (default " << f.value << "): " << f.help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace falvolt::common

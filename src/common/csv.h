@@ -1,0 +1,37 @@
+#pragma once
+// Minimal CSV writer used by the figure benches to persist the series they
+// print, so results can be re-plotted without re-running the experiment.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace falvolt::common {
+
+/// Streams rows to a CSV file. The header is written on construction.
+/// Values are formatted with enough precision to round-trip floats.
+class CsvWriter {
+ public:
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; the column count must match the header.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience overload: numeric row.
+  void row(const std::vector<double>& cells);
+
+  /// Flushes and closes the file (also done by the destructor).
+  void close();
+
+  const std::string& path() const { return path_; }
+
+  /// Format a double compactly but losslessly enough for plotting.
+  static std::string format(double v);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace falvolt::common

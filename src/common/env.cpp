@@ -1,0 +1,25 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+namespace falvolt::common {
+
+bool fast_mode() {
+  const std::string v = env_or("FALVOLT_FAST", "");
+  return v == "1" || v == "true" || v == "yes";
+}
+
+std::string env_or(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  return v ? std::string(v) : def;
+}
+
+long long env_int_or(const std::string& name, long long def) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return def;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? parsed : def;
+}
+
+}  // namespace falvolt::common

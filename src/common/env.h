@@ -1,0 +1,18 @@
+#pragma once
+// Environment-variable knobs shared by benches and tests.
+
+#include <string>
+
+namespace falvolt::common {
+
+/// True when FALVOLT_FAST is set to a truthy value ("1", "true", "yes").
+/// Benches use this to shrink datasets / epochs ~4x for smoke runs.
+bool fast_mode();
+
+/// Read an environment variable with a default.
+std::string env_or(const std::string& name, const std::string& def);
+
+/// Integer environment variable with a default (malformed -> default).
+long long env_int_or(const std::string& name, long long def);
+
+}  // namespace falvolt::common

@@ -1,0 +1,68 @@
+#pragma once
+// Deterministic random number generation for reproducible experiments.
+//
+// Every experiment in this repository is seeded; two runs with the same
+// seed produce bit-identical results. Rng wraps a 64-bit SplitMix/PCG-style
+// generator with the distribution helpers the rest of the library needs
+// (uniform reals, normals, integer ranges, shuffles, and sampling without
+// replacement for fault-map generation).
+
+#include <cstdint>
+#include <vector>
+
+namespace falvolt::common {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64).
+///
+/// Not cryptographically secure; intended for simulation reproducibility.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniform_int(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box-Muller (mean 0, stddev 1).
+  double normal();
+
+  /// Normal with the given mean / stddev.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform_int(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, n). Requires k <= n.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Derive an independent child generator (for per-worker streams).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace falvolt::common

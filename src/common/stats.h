@@ -1,0 +1,43 @@
+#pragma once
+// Small statistics helpers: experiments average accuracy over multiple
+// fault maps (the paper runs 8 iterations per point), so mean / stddev /
+// min / max over a vector of samples is the common reduction.
+
+#include <cstddef>
+#include <vector>
+
+namespace falvolt::common {
+
+/// Summary statistics over a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population standard deviation
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute summary statistics; returns zeros for an empty input.
+Summary summarize(const std::vector<double>& samples);
+
+/// Streaming accumulator (Welford) for when samples are produced one at a
+/// time and storing them all is unnecessary.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace falvolt::common

@@ -1,0 +1,4 @@
+#include "common/timer.h"
+
+// Header-only; this translation unit exists so the build exposes the module
+// symbol uniformly and the header is compiled standalone at least once.

@@ -1,0 +1,27 @@
+#pragma once
+// Wall-clock timing for training/retraining epoch reporting.
+
+#include <chrono>
+
+namespace falvolt::common {
+
+/// Monotonic stopwatch. Starts on construction; `seconds()` reads elapsed
+/// time without stopping; `restart()` resets the origin.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+  void restart() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace falvolt::common

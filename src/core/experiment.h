@@ -1,0 +1,57 @@
+#pragma once
+// Experiment harness shared by the figure benches and examples: builds a
+// dataset + matching paper architecture, trains the baseline model, and
+// caches the trained weights on disk so the whole bench suite pays the
+// baseline-training cost only once per dataset.
+
+#include <string>
+
+#include "data/dataset.h"
+#include "snn/model_zoo.h"
+#include "snn/network.h"
+
+namespace falvolt::core {
+
+/// Which of the paper's three workloads to build.
+enum class DatasetKind { kMnist, kNMnist, kDvsGesture };
+
+const char* dataset_name(DatasetKind kind);
+
+/// A ready-to-experiment workload: data, trained baseline network, and
+/// the baseline accuracy prior to any fault injection.
+struct Workload {
+  DatasetKind kind;
+  data::DatasetSplit data;
+  snn::Network net;
+  double baseline_accuracy = 0.0;
+  int baseline_epochs = 0;
+};
+
+/// Scaling knobs (FALVOLT_FAST shrinks everything ~2-4x).
+struct WorkloadOptions {
+  bool fast = false;
+  std::uint64_t seed = 7;
+  /// Directory for cached baseline weights; empty disables caching.
+  /// Defaults to $FALVOLT_CACHE_DIR, else "falvolt_cache" in the CWD.
+  std::string cache_dir = "__default__";
+  /// Retrain the baseline even if a cache entry exists.
+  bool ignore_cache = false;
+};
+
+/// Build the dataset, construct the paper architecture, and train (or
+/// load) the baseline model.
+Workload prepare_workload(DatasetKind kind, const WorkloadOptions& opts = {});
+
+/// Default number of retraining epochs used by the mitigation figures
+/// for this workload (DVS needs more, as in the paper).
+int default_retrain_epochs(DatasetKind kind, bool fast);
+
+/// Serialize all network parameters to a flat binary file.
+void save_params(snn::Network& net, const std::string& path);
+
+/// Load parameters saved by save_params; throws if the file does not
+/// match the network's parameter inventory. Returns false if the file
+/// does not exist.
+bool load_params(snn::Network& net, const std::string& path);
+
+}  // namespace falvolt::core

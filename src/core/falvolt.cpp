@@ -1,0 +1,37 @@
+#include "core/falvolt.h"
+
+#include <cstdio>
+
+#include "core/retrain.h"
+
+namespace falvolt::core {
+
+MitigationResult run_falvolt(snn::Network& net, const fault::FaultMap& map,
+                             const data::Dataset& train,
+                             const data::Dataset& test,
+                             MitigationConfig cfg) {
+  cfg.optimize_vth = true;
+  return run_fault_aware_retraining(net, map, train, test, cfg, "FalVolt");
+}
+
+MitigationResult run_fapit(snn::Network& net, const fault::FaultMap& map,
+                           const data::Dataset& train,
+                           const data::Dataset& test, MitigationConfig cfg) {
+  cfg.optimize_vth = false;
+  return run_fault_aware_retraining(net, map, train, test, cfg, "FaPIT");
+}
+
+MitigationResult run_fixed_vth_retraining(snn::Network& net,
+                                          const fault::FaultMap& map,
+                                          const data::Dataset& train,
+                                          const data::Dataset& test,
+                                          MitigationConfig cfg,
+                                          float fixed_vth) {
+  cfg.optimize_vth = false;
+  cfg.retrain_vth = fixed_vth;
+  char label[64];
+  std::snprintf(label, sizeof(label), "retrain@vth=%.2f", fixed_vth);
+  return run_fault_aware_retraining(net, map, train, test, cfg, label);
+}
+
+}  // namespace falvolt::core

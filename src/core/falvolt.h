@@ -1,0 +1,42 @@
+#pragma once
+// FalVolt and FaPIT entry points — the paper's proposed mitigation and
+// its strongest conventional baseline.
+//
+// FalVolt (fault-aware threshold voltage optimization in retraining):
+// after bypass-pruning the weights mapped to faulty PEs, the surviving
+// weights are retrained with BPTT while *each layer's threshold voltage
+// is itself learned* through the surrogate-gradient chain rule (paper
+// Eqs. 2-4). Learning V_th makes the retraining far less sensitive to the
+// post-pruning activation statistics, which is what lets it reach the
+// baseline accuracy at up to 60% faulty PEs in about half the epochs of
+// FaPIT (paper Figs. 7-8).
+//
+// FaPIT (fault-aware pruning with retraining) is identical except V_th
+// stays frozen (at 1.0 in the paper's comparison; Fig. 2 sweeps other
+// fixed values to motivate why learning it is necessary).
+
+#include "core/mitigation.h"
+
+namespace falvolt::core {
+
+/// Run FalVolt (Algorithm 1) on `net` in place.
+MitigationResult run_falvolt(snn::Network& net, const fault::FaultMap& map,
+                             const data::Dataset& train,
+                             const data::Dataset& test,
+                             MitigationConfig cfg);
+
+/// Run FaPIT: same pipeline with V_th frozen at `cfg.retrain_vth`.
+MitigationResult run_fapit(snn::Network& net, const fault::FaultMap& map,
+                           const data::Dataset& train,
+                           const data::Dataset& test, MitigationConfig cfg);
+
+/// Fig. 2's building block: retraining with a fixed, manually chosen
+/// V_th. Identical to FaPIT but labeled with the swept value.
+MitigationResult run_fixed_vth_retraining(snn::Network& net,
+                                          const fault::FaultMap& map,
+                                          const data::Dataset& train,
+                                          const data::Dataset& test,
+                                          MitigationConfig cfg,
+                                          float fixed_vth);
+
+}  // namespace falvolt::core

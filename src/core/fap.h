@@ -1,0 +1,15 @@
+#pragma once
+// Fault-aware pruning (FaP): the baseline mitigation. Weights mapped to
+// faulty PEs are set to zero (the software view of the hardware bypass)
+// and the network is evaluated as-is — no retraining. Equivalent to
+// running Algorithm 1 with zero retraining epochs, as the paper notes.
+
+#include "core/mitigation.h"
+
+namespace falvolt::core {
+
+/// Prune `net` in place against `map` and evaluate on `test`.
+MitigationResult run_fap(snn::Network& net, const fault::FaultMap& map,
+                         const data::Dataset& test);
+
+}  // namespace falvolt::core

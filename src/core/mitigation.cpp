@@ -1,0 +1,32 @@
+#include "core/mitigation.h"
+
+namespace falvolt::core {
+
+int MitigationResult::epochs_to_reach(double target) const {
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    if (curve[i].test_accuracy >= target) return static_cast<int>(i) + 1;
+  }
+  return -1;
+}
+
+double evaluate_with_faults(snn::Network& net, const data::Dataset& test,
+                            const systolic::ArrayConfig& array,
+                            const fault::FaultMap& map,
+                            systolic::SystolicGemmEngine::FaultHandling
+                                handling) {
+  systolic::SystolicGemmEngine engine(array, &map, handling);
+  net.set_gemm_engine(&engine);
+  const double acc = snn::evaluate(net, test);
+  net.set_gemm_engine(nullptr);
+  return acc;
+}
+
+std::vector<VthEntry> collect_vth(snn::Network& net) {
+  std::vector<VthEntry> out;
+  for (snn::Plif* p : net.hidden_spiking_layers()) {
+    out.push_back(VthEntry{p->name(), p->vth()});
+  }
+  return out;
+}
+
+}  // namespace falvolt::core

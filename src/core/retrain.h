@@ -1,0 +1,24 @@
+#pragma once
+// Fault-aware retraining (Algorithm 1 of the paper), shared by FaPIT and
+// FalVolt. The two methods differ in a single switch: whether the
+// per-layer threshold voltage is a trainable parameter.
+//
+// Algorithm 1 mapping:
+//   lines 1-2  -> fault::NetworkPruner construction + apply()
+//   line 3     -> threshold initialization (MitigationConfig::retrain_vth)
+//   lines 4-12 -> snn::Trainer BPTT epochs (weights + optionally V_th)
+//   line 13    -> post-epoch re-pruning hook (pruner.apply)
+//   line 15    -> final evaluation
+
+#include "core/mitigation.h"
+
+namespace falvolt::core {
+
+/// Prune + retrain `net` in place. `method_name` labels the result
+/// ("FaPIT", "FalVolt", or a custom tag for the Fig. 2 V_th sweep).
+MitigationResult run_fault_aware_retraining(
+    snn::Network& net, const fault::FaultMap& map,
+    const data::Dataset& train, const data::Dataset& test,
+    const MitigationConfig& cfg, const std::string& method_name);
+
+}  // namespace falvolt::core

@@ -1,0 +1,45 @@
+#include "data/dataset.h"
+
+#include <stdexcept>
+
+namespace falvolt::data {
+
+Dataset::Dataset(std::string name, int num_classes, int time_steps,
+                 int channels, int height, int width)
+    : name_(std::move(name)),
+      num_classes_(num_classes),
+      time_steps_(time_steps),
+      channels_(channels),
+      height_(height),
+      width_(width) {
+  if (num_classes <= 0 || time_steps <= 0 || channels <= 0 || height <= 0 ||
+      width <= 0) {
+    throw std::invalid_argument("Dataset: all geometry must be positive");
+  }
+}
+
+void Dataset::add(Sample sample) {
+  const tensor::Shape expect = {time_steps_, channels_, height_, width_};
+  if (sample.frames.shape() != expect) {
+    throw std::invalid_argument(
+        "Dataset::add: frame shape " + tensor::shape_str(sample.frames.shape()) +
+        " does not match dataset geometry " + tensor::shape_str(expect));
+  }
+  if (sample.label < 0 || sample.label >= num_classes_) {
+    throw std::invalid_argument("Dataset::add: label out of range");
+  }
+  samples_.push_back(std::move(sample));
+}
+
+const Sample& Dataset::operator[](int i) const {
+  if (i < 0 || i >= size()) throw std::out_of_range("Dataset::operator[]");
+  return samples_[static_cast<std::size_t>(i)];
+}
+
+std::vector<int> Dataset::class_histogram() const {
+  std::vector<int> h(static_cast<std::size_t>(num_classes_), 0);
+  for (const auto& s : samples_) ++h[static_cast<std::size_t>(s.label)];
+  return h;
+}
+
+}  // namespace falvolt::data

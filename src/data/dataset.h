@@ -1,0 +1,61 @@
+#pragma once
+// In-memory spiking dataset container.
+//
+// Every dataset in this library is a list of (frames, label) pairs where
+// `frames` is a [T, C, H, W] tensor — the per-time-step input presented to
+// the network. Static images repeat the same frame T times (direct coding
+// through the spike-encoder conv layer, as in the paper); neuromorphic
+// datasets carry genuine temporal structure.
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace falvolt::data {
+
+/// One labeled temporal sample.
+struct Sample {
+  tensor::Tensor frames;  ///< [T, C, H, W]
+  int label = 0;
+};
+
+/// Owning, index-addressable dataset.
+class Dataset {
+ public:
+  Dataset(std::string name, int num_classes, int time_steps, int channels,
+          int height, int width);
+
+  /// Append a sample; its frame shape must match the dataset geometry.
+  void add(Sample sample);
+
+  const std::string& name() const { return name_; }
+  int num_classes() const { return num_classes_; }
+  int time_steps() const { return time_steps_; }
+  int channels() const { return channels_; }
+  int height() const { return height_; }
+  int width() const { return width_; }
+  int size() const { return static_cast<int>(samples_.size()); }
+
+  const Sample& operator[](int i) const;
+
+  /// Count of samples per class (sanity checks / stratification tests).
+  std::vector<int> class_histogram() const;
+
+ private:
+  std::string name_;
+  int num_classes_;
+  int time_steps_;
+  int channels_;
+  int height_;
+  int width_;
+  std::vector<Sample> samples_;
+};
+
+/// A train/test pair produced by the generators.
+struct DatasetSplit {
+  Dataset train;
+  Dataset test;
+};
+
+}  // namespace falvolt::data

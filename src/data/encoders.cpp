@@ -1,0 +1,80 @@
+#include "data/encoders.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+namespace falvolt::data {
+
+namespace {
+void check_image(const tensor::Tensor& image) {
+  if (image.rank() != 3) {
+    throw std::invalid_argument("encoder: image must be [C, H, W]");
+  }
+}
+}  // namespace
+
+tensor::Tensor rate_encode(const tensor::Tensor& image, int time_steps,
+                           common::Rng& rng) {
+  check_image(image);
+  tensor::Tensor out(
+      {time_steps, image.dim(0), image.dim(1), image.dim(2)});
+  const std::size_t plane = image.size();
+  for (int t = 0; t < time_steps; ++t) {
+    float* frame = out.data() + static_cast<std::size_t>(t) * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      const double p = std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
+      frame[i] = rng.bernoulli(p) ? 1.0f : 0.0f;
+    }
+  }
+  return out;
+}
+
+tensor::Tensor latency_encode(const tensor::Tensor& image, int time_steps) {
+  check_image(image);
+  if (time_steps < 1) {
+    throw std::invalid_argument("latency_encode: time_steps must be >= 1");
+  }
+  tensor::Tensor out(
+      {time_steps, image.dim(0), image.dim(1), image.dim(2)});
+  const std::size_t plane = image.size();
+  for (std::size_t i = 0; i < plane; ++i) {
+    const double p = std::clamp(static_cast<double>(image[i]), 0.0, 1.0);
+    if (p <= 0.0) continue;
+    const int t = static_cast<int>(std::lround((1.0 - p) * (time_steps - 1)));
+    out[static_cast<std::size_t>(t) * plane + i] = 1.0f;
+  }
+  return out;
+}
+
+tensor::Tensor direct_encode(const tensor::Tensor& image, int time_steps) {
+  check_image(image);
+  tensor::Tensor out(
+      {time_steps, image.dim(0), image.dim(1), image.dim(2)});
+  const std::size_t plane = image.size();
+  for (int t = 0; t < time_steps; ++t) {
+    std::memcpy(out.data() + static_cast<std::size_t>(t) * plane,
+                image.data(), plane * sizeof(float));
+  }
+  return out;
+}
+
+tensor::Tensor spike_rate(const tensor::Tensor& frames) {
+  if (frames.rank() != 4) {
+    throw std::invalid_argument("spike_rate: frames must be [T, C, H, W]");
+  }
+  const int t_steps = frames.dim(0);
+  tensor::Tensor rate({frames.dim(1), frames.dim(2), frames.dim(3)});
+  const std::size_t plane = rate.size();
+  for (int t = 0; t < t_steps; ++t) {
+    const float* frame = frames.data() + static_cast<std::size_t>(t) * plane;
+    for (std::size_t i = 0; i < plane; ++i) rate[i] += frame[i];
+  }
+  for (std::size_t i = 0; i < plane; ++i) {
+    rate[i] /= static_cast<float>(t_steps);
+  }
+  return rate;
+}
+
+}  // namespace falvolt::data

@@ -1,0 +1,34 @@
+#pragma once
+// Spike encoders for static images.
+//
+// The paper's networks use *direct coding*: the analog image is fed to a
+// spike-encoder conv layer at every time step and the first PLIF layer
+// emits the spikes. That path needs no explicit encoder. Rate (Poisson)
+// and latency encoders are provided for completeness — they are standard
+// SNN input codings, are exercised by the examples, and let users swap the
+// input representation.
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace falvolt::data {
+
+/// Bernoulli/Poisson rate coding: pixel intensity p in [0,1] fires a spike
+/// each step with probability p. Returns [T, C, H, W] binary frames for an
+/// input image of shape [C, H, W].
+tensor::Tensor rate_encode(const tensor::Tensor& image, int time_steps,
+                           common::Rng& rng);
+
+/// Time-to-first-spike (latency) coding: brighter pixels spike earlier.
+/// Pixel with intensity p spikes exactly once at step
+/// round((1-p) * (T-1)); zero pixels never spike.
+tensor::Tensor latency_encode(const tensor::Tensor& image, int time_steps);
+
+/// Direct coding: repeat the analog image at every step (the paper's
+/// scheme; the encoder conv + PLIF layer does the actual spike conversion).
+tensor::Tensor direct_encode(const tensor::Tensor& image, int time_steps);
+
+/// Mean firing rate per pixel of a [T, C, H, W] spike train -> [C, H, W].
+tensor::Tensor spike_rate(const tensor::Tensor& frames);
+
+}  // namespace falvolt::data

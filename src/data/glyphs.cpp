@@ -1,0 +1,115 @@
+#include "data/glyphs.h"
+
+#include <stdexcept>
+
+namespace falvolt::data {
+
+const std::array<GlyphBitmap, 10>& digit_glyphs() {
+  // Hand-drawn 8x8 seven-segment-ish digits. MSB of each byte is column 0.
+  static const std::array<GlyphBitmap, 10> glyphs = {{
+      // 0
+      {0b00111100, 0b01100110, 0b01100110, 0b01101110, 0b01110110, 0b01100110,
+       0b01100110, 0b00111100},
+      // 1
+      {0b00011000, 0b00111000, 0b01111000, 0b00011000, 0b00011000, 0b00011000,
+       0b00011000, 0b01111110},
+      // 2
+      {0b00111100, 0b01100110, 0b00000110, 0b00001100, 0b00011000, 0b00110000,
+       0b01100000, 0b01111110},
+      // 3
+      {0b00111100, 0b01100110, 0b00000110, 0b00011100, 0b00000110, 0b00000110,
+       0b01100110, 0b00111100},
+      // 4
+      {0b00001100, 0b00011100, 0b00111100, 0b01101100, 0b11001100, 0b11111110,
+       0b00001100, 0b00001100},
+      // 5
+      {0b01111110, 0b01100000, 0b01100000, 0b01111100, 0b00000110, 0b00000110,
+       0b01100110, 0b00111100},
+      // 6
+      {0b00111100, 0b01100110, 0b01100000, 0b01111100, 0b01100110, 0b01100110,
+       0b01100110, 0b00111100},
+      // 7
+      {0b01111110, 0b00000110, 0b00001100, 0b00011000, 0b00110000, 0b00110000,
+       0b00110000, 0b00110000},
+      // 8
+      {0b00111100, 0b01100110, 0b01100110, 0b00111100, 0b01100110, 0b01100110,
+       0b01100110, 0b00111100},
+      // 9
+      {0b00111100, 0b01100110, 0b01100110, 0b01100110, 0b00111110, 0b00000110,
+       0b01100110, 0b00111100},
+  }};
+  return glyphs;
+}
+
+namespace {
+
+void check_digit(int digit) {
+  if (digit < 0 || digit > 9) {
+    throw std::invalid_argument("render_glyph: digit must be in [0, 9]");
+  }
+}
+
+bool glyph_pixel(const GlyphBitmap& g, int r, int c) {
+  if (r < 0 || r > 7 || c < 0 || c > 7) return false;
+  return (g[static_cast<std::size_t>(r)] >> (7 - c)) & 1;
+}
+
+}  // namespace
+
+tensor::Tensor render_glyph(int digit, common::Rng& rng,
+                            const GlyphRenderOptions& opts) {
+  check_digit(digit);
+  if (opts.canvas < 8) {
+    throw std::invalid_argument("render_glyph: canvas must be >= 8");
+  }
+  const GlyphBitmap& g = digit_glyphs()[static_cast<std::size_t>(digit)];
+  tensor::Tensor img({opts.canvas, opts.canvas});
+
+  const int base = (opts.canvas - 8) / 2;
+  const int dy = static_cast<int>(rng.uniform_int(-opts.max_shift,
+                                                  opts.max_shift));
+  const int dx = static_cast<int>(rng.uniform_int(-opts.max_shift,
+                                                  opts.max_shift));
+  const bool thicken = rng.bernoulli(opts.thicken_prob);
+  const float intensity =
+      static_cast<float>(rng.uniform(opts.intensity_lo, opts.intensity_hi));
+
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      bool on = glyph_pixel(g, r, c);
+      if (!on && thicken) {
+        on = glyph_pixel(g, r - 1, c) || glyph_pixel(g, r, c - 1);
+      }
+      if (!on) continue;
+      const int y = base + r + dy;
+      const int x = base + c + dx;
+      if (y >= 0 && y < opts.canvas && x >= 0 && x < opts.canvas) {
+        img.at2(y, x) = intensity;
+      }
+    }
+  }
+  // Salt noise.
+  for (int y = 0; y < opts.canvas; ++y) {
+    for (int x = 0; x < opts.canvas; ++x) {
+      if (rng.bernoulli(opts.noise_prob)) {
+        img.at2(y, x) = static_cast<float>(opts.noise_level);
+      }
+    }
+  }
+  return img;
+}
+
+tensor::Tensor render_glyph_clean(int digit, int canvas) {
+  check_digit(digit);
+  const GlyphBitmap& g = digit_glyphs()[static_cast<std::size_t>(digit)];
+  tensor::Tensor img({canvas, canvas});
+  const int base = (canvas - 8) / 2;
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      if (glyph_pixel(g, r, c)) img.at2(base + r, base + c) = 1.0f;
+    }
+  }
+  return img;
+}
+
+}  // namespace falvolt::data

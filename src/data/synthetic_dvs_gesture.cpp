@@ -1,0 +1,162 @@
+#include "data/synthetic_dvs_gesture.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::data {
+
+const std::vector<std::string>& dvs_gesture_class_names() {
+  static const std::vector<std::string> names = {
+      "rotate_cw_slow",  "rotate_ccw_slow", "rotate_cw_fast",
+      "rotate_ccw_fast", "swipe_left",      "swipe_right",
+      "swipe_up",        "swipe_down",      "expand",
+      "contract",        "flicker_other"};
+  return names;
+}
+
+namespace {
+
+// Render the intensity field of a class at normalized time u in [0, 1].
+// Fields are built from a bright "arm" blob whose position encodes the
+// motion pattern.
+tensor::Tensor render_field(int label, double u, int canvas, double phase0,
+                            double jitter_x, double jitter_y,
+                            common::Rng& rng) {
+  tensor::Tensor img({canvas, canvas});
+  const double cx = canvas / 2.0 - 0.5 + jitter_x;
+  const double cy = canvas / 2.0 - 0.5 + jitter_y;
+  const double r_arm = canvas * 0.3;
+
+  auto splat = [&](double x, double y, double sigma, double amp) {
+    const int lo_y = std::max(0, static_cast<int>(y - 3 * sigma));
+    const int hi_y = std::min(canvas - 1, static_cast<int>(y + 3 * sigma));
+    const int lo_x = std::max(0, static_cast<int>(x - 3 * sigma));
+    const int hi_x = std::min(canvas - 1, static_cast<int>(x + 3 * sigma));
+    for (int py = lo_y; py <= hi_y; ++py) {
+      for (int px = lo_x; px <= hi_x; ++px) {
+        const double d2 = (px - x) * (px - x) + (py - y) * (py - y);
+        const double v = amp * std::exp(-d2 / (2 * sigma * sigma));
+        float& cell = img.at2(py, px);
+        cell = static_cast<float>(std::min(1.0, cell + v));
+      }
+    }
+  };
+
+  switch (label) {
+    case 0:    // rotate_cw_slow
+    case 1:    // rotate_ccw_slow
+    case 2:    // rotate_cw_fast
+    case 3: {  // rotate_ccw_fast
+      const double speed = (label >= 2) ? 2.0 : 1.0;
+      const double dir = (label % 2 == 0) ? 1.0 : -1.0;
+      const double angle = phase0 + dir * speed * 2.0 * M_PI * u;
+      // Two diametrically opposed arms, like a rotating hand.
+      for (int arm = 0; arm < 2; ++arm) {
+        const double a = angle + arm * M_PI;
+        splat(cx + r_arm * std::cos(a), cy + r_arm * std::sin(a), 1.8, 1.0);
+        splat(cx + 0.5 * r_arm * std::cos(a), cy + 0.5 * r_arm * std::sin(a),
+              1.4, 0.8);
+      }
+      break;
+    }
+    case 4:    // swipe_left
+    case 5:    // swipe_right
+    case 6:    // swipe_up
+    case 7: {  // swipe_down
+      const double travel = canvas * 0.8;
+      const double offset = (u - 0.5) * travel;
+      double x = cx;
+      double y = cy;
+      if (label == 4) x = cx - offset;
+      if (label == 5) x = cx + offset;
+      if (label == 6) y = cy - offset;
+      if (label == 7) y = cy + offset;
+      // A vertical/horizontal bar sweeping across the canvas.
+      const bool horiz_motion = (label == 4 || label == 5);
+      for (int k = -3; k <= 3; ++k) {
+        if (horiz_motion) {
+          splat(x, y + k * 2.0, 1.5, 0.9);
+        } else {
+          splat(x + k * 2.0, y, 1.5, 0.9);
+        }
+      }
+      break;
+    }
+    case 8:    // expand
+    case 9: {  // contract
+      const double rr = (label == 8 ? u : 1.0 - u) * canvas * 0.42 + 1.5;
+      const int spokes = 10;
+      for (int s = 0; s < spokes; ++s) {
+        const double a = phase0 + 2.0 * M_PI * s / spokes;
+        splat(cx + rr * std::cos(a), cy + rr * std::sin(a), 1.5, 0.9);
+      }
+      break;
+    }
+    case 10: {  // flicker_other: uncorrelated sparkles
+      const int sparkles = 10;
+      for (int s = 0; s < sparkles; ++s) {
+        splat(rng.uniform(2.0, canvas - 2.0), rng.uniform(2.0, canvas - 2.0),
+              1.2, 0.9);
+      }
+      break;
+    }
+    default:
+      throw std::invalid_argument("render_field: label out of range");
+  }
+  return img;
+}
+
+Sample make_sample(int label, const SyntheticDvsGestureConfig& cfg,
+                   common::Rng& rng) {
+  const double phase0 = rng.uniform(0.0, 2.0 * M_PI);
+  const double jx = rng.uniform(-1.5, 1.5);
+  const double jy = rng.uniform(-1.5, 1.5);
+
+  tensor::Tensor frames({cfg.time_steps, 2, cfg.canvas, cfg.canvas});
+  const std::size_t plane =
+      static_cast<std::size_t>(cfg.canvas) * cfg.canvas;
+  tensor::Tensor prev =
+      render_field(label, 0.0, cfg.canvas, phase0, jx, jy, rng);
+  for (int t = 0; t < cfg.time_steps; ++t) {
+    const double u =
+        static_cast<double>(t + 1) / static_cast<double>(cfg.time_steps);
+    tensor::Tensor cur = render_field(label, u, cfg.canvas, phase0, jx, jy,
+                                      rng);
+    float* on = frames.data() + (static_cast<std::size_t>(t) * 2 + 0) * plane;
+    float* off = frames.data() + (static_cast<std::size_t>(t) * 2 + 1) * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      const double diff =
+          static_cast<double>(cur[i]) - static_cast<double>(prev[i]);
+      if (diff > cfg.event_threshold) on[i] = 1.0f;
+      if (diff < -cfg.event_threshold) off[i] = 1.0f;
+    }
+    prev = std::move(cur);
+  }
+  return Sample{std::move(frames), label};
+}
+
+void fill(Dataset& ds, int count, common::Rng& rng,
+          const SyntheticDvsGestureConfig& cfg) {
+  for (int i = 0; i < count; ++i) {
+    ds.add(make_sample(i % 11, cfg, rng));
+  }
+}
+
+}  // namespace
+
+DatasetSplit make_synthetic_dvs_gesture(const SyntheticDvsGestureConfig& cfg) {
+  if (cfg.train_size <= 0 || cfg.test_size <= 0) {
+    throw std::invalid_argument(
+        "make_synthetic_dvs_gesture: sizes must be > 0");
+  }
+  common::Rng rng(cfg.seed);
+  Dataset train("synthetic-dvs-gesture-train", 11, cfg.time_steps, 2,
+                cfg.canvas, cfg.canvas);
+  Dataset test("synthetic-dvs-gesture-test", 11, cfg.time_steps, 2,
+               cfg.canvas, cfg.canvas);
+  fill(train, cfg.train_size, rng, cfg);
+  fill(test, cfg.test_size, rng, cfg);
+  return DatasetSplit{std::move(train), std::move(test)};
+}
+
+}  // namespace falvolt::data

@@ -1,0 +1,34 @@
+#pragma once
+// DVS128-Gesture-like neuromorphic gesture dataset.
+//
+// The real DVS128 Gesture dataset contains 11 hand gestures recorded by an
+// event camera: class identity is carried almost entirely by *motion over
+// time*. This generator synthesizes 11 parametric spatio-temporal motion
+// patterns (two rotation directions at two speeds, four translation
+// directions, expanding / contracting rings, and a random-flicker "other"
+// class) and converts the moving intensity field to 2-channel ON/OFF event
+// frames — the same temporal-integration demand as the real data, which is
+// why it remains the most fault-vulnerable dataset in our experiments,
+// matching the paper.
+
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace falvolt::data {
+
+struct SyntheticDvsGestureConfig {
+  int train_size = 440;   // 11 classes x 40
+  int test_size = 220;    // 11 classes x 20
+  int time_steps = 6;
+  int canvas = 24;
+  double event_threshold = 0.18;
+  std::uint64_t seed = 44;
+};
+
+/// Names of the 11 gesture classes, index-aligned with labels.
+const std::vector<std::string>& dvs_gesture_class_names();
+
+DatasetSplit make_synthetic_dvs_gesture(
+    const SyntheticDvsGestureConfig& cfg = {});
+
+}  // namespace falvolt::data

@@ -1,0 +1,48 @@
+#include "data/synthetic_mnist.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace falvolt::data {
+
+namespace {
+
+Sample make_sample(int digit, int time_steps, int canvas, common::Rng& rng,
+                   const GlyphRenderOptions& render) {
+  GlyphRenderOptions opts = render;
+  opts.canvas = canvas;
+  const tensor::Tensor img = render_glyph(digit, rng, opts);
+  tensor::Tensor frames({time_steps, 1, canvas, canvas});
+  const std::size_t plane = static_cast<std::size_t>(canvas) * canvas;
+  for (int t = 0; t < time_steps; ++t) {
+    std::memcpy(frames.data() + static_cast<std::size_t>(t) * plane,
+                img.data(), plane * sizeof(float));
+  }
+  return Sample{std::move(frames), digit};
+}
+
+void fill(Dataset& ds, int count, common::Rng& rng,
+          const SyntheticMnistConfig& cfg) {
+  for (int i = 0; i < count; ++i) {
+    const int digit = i % 10;  // balanced classes
+    ds.add(make_sample(digit, cfg.time_steps, cfg.canvas, rng, cfg.render));
+  }
+}
+
+}  // namespace
+
+DatasetSplit make_synthetic_mnist(const SyntheticMnistConfig& cfg) {
+  if (cfg.train_size <= 0 || cfg.test_size <= 0) {
+    throw std::invalid_argument("make_synthetic_mnist: sizes must be > 0");
+  }
+  common::Rng rng(cfg.seed);
+  Dataset train("synthetic-mnist-train", 10, cfg.time_steps, 1, cfg.canvas,
+                cfg.canvas);
+  Dataset test("synthetic-mnist-test", 10, cfg.time_steps, 1, cfg.canvas,
+               cfg.canvas);
+  fill(train, cfg.train_size, rng, cfg);
+  fill(test, cfg.test_size, rng, cfg);
+  return DatasetSplit{std::move(train), std::move(test)};
+}
+
+}  // namespace falvolt::data

@@ -1,0 +1,99 @@
+#include "data/synthetic_nmnist.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::data {
+
+namespace {
+
+// Shift an image by (dy, dx), zero-filling exposed borders.
+tensor::Tensor shifted(const tensor::Tensor& img, int dy, int dx) {
+  const int h = img.dim(0);
+  const int w = img.dim(1);
+  tensor::Tensor out({h, w});
+  for (int y = 0; y < h; ++y) {
+    const int sy = y - dy;
+    if (sy < 0 || sy >= h) continue;
+    for (int x = 0; x < w; ++x) {
+      const int sx = x - dx;
+      if (sx < 0 || sx >= w) continue;
+      out.at2(y, x) = img.at2(sy, sx);
+    }
+  }
+  return out;
+}
+
+Sample make_sample(int digit, const SyntheticNMnistConfig& cfg,
+                   common::Rng& rng) {
+  GlyphRenderOptions opts = cfg.render;
+  opts.canvas = cfg.canvas;
+  const tensor::Tensor img = render_glyph(digit, rng, opts);
+
+  // Triangular saccade path: right-down, left, up-right — mirroring the
+  // three saccades of the real sensor rig.
+  const int amp = 1 + static_cast<int>(rng.uniform_int(2));  // 1..2 px
+  tensor::Tensor frames({cfg.time_steps, 2, cfg.canvas, cfg.canvas});
+  tensor::Tensor prev = img;
+  const std::size_t plane =
+      static_cast<std::size_t>(cfg.canvas) * cfg.canvas;
+  for (int t = 0; t < cfg.time_steps; ++t) {
+    const double phase =
+        3.0 * static_cast<double>(t + 1) / static_cast<double>(cfg.time_steps);
+    int dy = 0;
+    int dx = 0;
+    if (phase <= 1.0) {
+      dy = static_cast<int>(std::lround(amp * phase));
+      dx = static_cast<int>(std::lround(amp * phase));
+    } else if (phase <= 2.0) {
+      dy = amp;
+      dx = static_cast<int>(std::lround(amp * (2.0 - phase)));
+    } else {
+      dy = static_cast<int>(std::lround(amp * (3.0 - phase)));
+      dx = static_cast<int>(std::lround(amp * (phase - 2.0)));
+    }
+    tensor::Tensor cur = shifted(img, dy, dx);
+    float* on = frames.data() + (static_cast<std::size_t>(t) * 2 + 0) * plane;
+    float* off = frames.data() + (static_cast<std::size_t>(t) * 2 + 1) * plane;
+    for (std::size_t i = 0; i < plane; ++i) {
+      const double diff =
+          static_cast<double>(cur[i]) - static_cast<double>(prev[i]);
+      if (diff > cfg.event_threshold) on[i] = 1.0f;
+      if (diff < -cfg.event_threshold) off[i] = 1.0f;
+    }
+    // First frame has no history: emit ON events at the glyph itself so the
+    // digit is visible from t=0 (the real sensor also fires on onset).
+    if (t == 0) {
+      for (std::size_t i = 0; i < plane; ++i) {
+        if (cur[i] > cfg.event_threshold) on[i] = 1.0f;
+      }
+    }
+    prev = std::move(cur);
+  }
+  return Sample{std::move(frames), digit};
+}
+
+void fill(Dataset& ds, int count, common::Rng& rng,
+          const SyntheticNMnistConfig& cfg) {
+  for (int i = 0; i < count; ++i) {
+    ds.add(make_sample(i % 10, cfg, rng));
+  }
+}
+
+}  // namespace
+
+DatasetSplit make_synthetic_nmnist(const SyntheticNMnistConfig& cfg) {
+  if (cfg.train_size <= 0 || cfg.test_size <= 0) {
+    throw std::invalid_argument("make_synthetic_nmnist: sizes must be > 0");
+  }
+  common::Rng rng(cfg.seed);
+  Dataset train("synthetic-nmnist-train", 10, cfg.time_steps, 2, cfg.canvas,
+                cfg.canvas);
+  Dataset test("synthetic-nmnist-test", 10, cfg.time_steps, 2, cfg.canvas,
+               cfg.canvas);
+  fill(train, cfg.train_size, rng, cfg);
+  fill(test, cfg.test_size, rng, cfg);
+  return DatasetSplit{std::move(train), std::move(test)};
+}
+
+}  // namespace falvolt::data

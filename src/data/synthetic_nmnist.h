@@ -1,0 +1,29 @@
+#pragma once
+// N-MNIST-like neuromorphic digit dataset.
+//
+// The real N-MNIST records an event camera performing three saccades over
+// a static MNIST digit; events carry ON/OFF polarity. This generator moves
+// the rendered glyph along a triangular 3-saccade path across the time
+// steps and emits 2-channel binary event frames from the signed frame
+// difference — reproducing the defining property (temporally coded events
+// of a static underlying class).
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/glyphs.h"
+
+namespace falvolt::data {
+
+struct SyntheticNMnistConfig {
+  int train_size = 512;
+  int test_size = 256;
+  int time_steps = 5;
+  int canvas = 16;
+  double event_threshold = 0.25;  ///< |diff| above this fires an event
+  GlyphRenderOptions render;
+  std::uint64_t seed = 43;
+};
+
+DatasetSplit make_synthetic_nmnist(const SyntheticNMnistConfig& cfg = {});
+
+}  // namespace falvolt::data

@@ -1,0 +1,70 @@
+#include "fault/fault_generator.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::fault {
+
+FaultMap random_fault_map(int rows, int cols, int num_faulty,
+                          const FaultSpec& spec, common::Rng& rng) {
+  if (num_faulty < 0 || num_faulty > rows * cols) {
+    throw std::invalid_argument("random_fault_map: bad num_faulty");
+  }
+  if (spec.word_bits < 1 || spec.word_bits > 32) {
+    throw std::invalid_argument("random_fault_map: bad word_bits");
+  }
+  if (spec.bit >= spec.word_bits) {
+    throw std::invalid_argument("random_fault_map: bit outside word");
+  }
+  if (spec.bits_per_pe < 1 || spec.bits_per_pe > spec.word_bits) {
+    throw std::invalid_argument("random_fault_map: bad bits_per_pe");
+  }
+  FaultMap map(rows, cols);
+  const auto cells = rng.sample_without_replacement(
+      static_cast<std::size_t>(rows) * cols,
+      static_cast<std::size_t>(num_faulty));
+  for (const std::size_t cell : cells) {
+    fx::StuckBits bits;
+    // Draw distinct bit positions within this PE.
+    std::vector<int> positions;
+    if (spec.bit >= 0 && spec.bits_per_pe == 1) {
+      positions.push_back(spec.bit);
+    } else {
+      const auto drawn = rng.sample_without_replacement(
+          static_cast<std::size_t>(spec.word_bits),
+          static_cast<std::size_t>(spec.bits_per_pe));
+      for (const auto b : drawn) positions.push_back(static_cast<int>(b));
+    }
+    for (const int b : positions) {
+      const fx::StuckType t =
+          spec.random_type
+              ? (rng.bernoulli(0.5) ? fx::StuckType::kStuckAt1
+                                    : fx::StuckType::kStuckAt0)
+              : spec.type;
+      bits.set(b, t);
+    }
+    map.add(static_cast<int>(cell) / cols, static_cast<int>(cell) % cols,
+            bits);
+  }
+  return map;
+}
+
+FaultMap fault_map_at_rate(int rows, int cols, double rate,
+                           const FaultSpec& spec, common::Rng& rng) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("fault_map_at_rate: rate must be in [0, 1]");
+  }
+  const int count =
+      static_cast<int>(std::lround(rate * static_cast<double>(rows) * cols));
+  return random_fault_map(rows, cols, count, spec, rng);
+}
+
+FaultSpec worst_case_spec(int word_bits) {
+  FaultSpec s;
+  s.bit = word_bits - 1;  // sign/MSB
+  s.word_bits = word_bits;
+  s.type = fx::StuckType::kStuckAt1;
+  return s;
+}
+
+}  // namespace falvolt::fault

@@ -1,0 +1,37 @@
+#pragma once
+// Random fault-map generation, mirroring the paper's experimental setup:
+// a chosen number of faulty PEs is drawn uniformly over the grid, each
+// with a stuck-at fault at a chosen (or random) accumulator output bit.
+
+#include "common/rng.h"
+#include "fault/fault_map.h"
+
+namespace falvolt::fault {
+
+/// Parameters of random fault injection.
+struct FaultSpec {
+  /// Bit position of the stuck fault; -1 draws uniformly over the word.
+  int bit = -1;
+  /// Word width used when drawing random bit positions.
+  int word_bits = 16;
+  /// Stuck level; ignored when random_type is true.
+  fx::StuckType type = fx::StuckType::kStuckAt1;
+  /// Draw the stuck level (sa0 vs sa1) per fault with p = 0.5.
+  bool random_type = false;
+  /// Stuck bits injected per faulty PE (paper uses 1).
+  int bits_per_pe = 1;
+};
+
+/// `num_faulty` distinct PEs drawn uniformly from a rows x cols grid.
+FaultMap random_fault_map(int rows, int cols, int num_faulty,
+                          const FaultSpec& spec, common::Rng& rng);
+
+/// Same, with the count given as a fraction of total PEs (paper's "10%,
+/// 30%, 60% of PEs are faulty"). Rounds to the nearest PE count.
+FaultMap fault_map_at_rate(int rows, int cols, double rate,
+                           const FaultSpec& spec, common::Rng& rng);
+
+/// The paper's worst case: stuck-at-1 in the accumulator MSB (sign bit).
+FaultSpec worst_case_spec(int word_bits);
+
+}  // namespace falvolt::fault

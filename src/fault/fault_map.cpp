@@ -1,0 +1,52 @@
+#include "fault/fault_map.h"
+
+#include <stdexcept>
+
+namespace falvolt::fault {
+
+FaultMap::FaultMap(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows <= 0 || cols <= 0) {
+    throw std::invalid_argument("FaultMap: dimensions must be positive");
+  }
+}
+
+void FaultMap::check(int row, int col) const {
+  if (row < 0 || row >= rows_ || col < 0 || col >= cols_) {
+    throw std::out_of_range("FaultMap: PE coordinate out of range");
+  }
+}
+
+void FaultMap::add(int row, int col, const fx::StuckBits& bits) {
+  check(row, col);
+  if (bits.none()) {
+    throw std::invalid_argument("FaultMap::add: empty stuck-bit set");
+  }
+  if ((bits.sa0_mask & bits.sa1_mask) != 0) {
+    throw std::invalid_argument(
+        "FaultMap::add: a bit cannot be stuck at both levels");
+  }
+  fx::StuckBits& cur = faults_[key(row, col)];
+  if ((cur.sa0_mask & bits.sa1_mask) || (cur.sa1_mask & bits.sa0_mask)) {
+    throw std::invalid_argument(
+        "FaultMap::add: conflicting stuck level for an existing fault");
+  }
+  cur.sa0_mask |= bits.sa0_mask;
+  cur.sa1_mask |= bits.sa1_mask;
+}
+
+const fx::StuckBits* FaultMap::at(int row, int col) const {
+  check(row, col);
+  const auto it = faults_.find(key(row, col));
+  return it == faults_.end() ? nullptr : &it->second;
+}
+
+std::vector<PeFault> FaultMap::faults() const {
+  std::vector<PeFault> out;
+  out.reserve(faults_.size());
+  for (const auto& [k, bits] : faults_) {
+    out.push_back(PeFault{k / cols_, k % cols_, bits});
+  }
+  return out;
+}
+
+}  // namespace falvolt::fault

@@ -1,0 +1,59 @@
+#pragma once
+// Fault map of a fabricated systolic-array chip: which PEs have stuck-at
+// faults on their accumulator output bits. In production this map comes
+// from post-fabrication testing of each individual die; FalVolt is run
+// once per chip against its unique map.
+
+#include <unordered_map>
+#include <vector>
+
+#include "fixed/stuck_bits.h"
+
+namespace falvolt::fault {
+
+/// One faulty PE and its stuck bits.
+struct PeFault {
+  int row = 0;
+  int col = 0;
+  fx::StuckBits bits;
+};
+
+/// Sparse map from PE coordinates to stuck bits.
+class FaultMap {
+ public:
+  FaultMap(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int total_pes() const { return rows_ * cols_; }
+
+  /// Add (or merge into) the fault record of PE (row, col).
+  void add(int row, int col, const fx::StuckBits& bits);
+
+  /// Stuck bits of a PE, or nullptr if it is clean.
+  const fx::StuckBits* at(int row, int col) const;
+
+  bool is_faulty(int row, int col) const { return at(row, col) != nullptr; }
+
+  int num_faulty_pes() const { return static_cast<int>(faults_.size()); }
+
+  /// Fraction of faulty PEs in [0, 1].
+  double fault_rate() const {
+    return static_cast<double>(num_faulty_pes()) / total_pes();
+  }
+
+  /// All faults (unspecified order).
+  std::vector<PeFault> faults() const;
+
+  bool empty() const { return faults_.empty(); }
+
+ private:
+  int key(int row, int col) const { return row * cols_ + col; }
+  void check(int row, int col) const;
+
+  int rows_;
+  int cols_;
+  std::unordered_map<int, fx::StuckBits> faults_;
+};
+
+}  // namespace falvolt::fault

@@ -1,0 +1,122 @@
+#include "fault/fault_map_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace falvolt::fault {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& what) {
+  throw std::runtime_error("fault map parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+std::string fault_map_to_text(const FaultMap& map) {
+  std::ostringstream os;
+  os << "falvolt-faultmap v1\n";
+  os << "dims " << map.rows() << " " << map.cols() << "\n";
+  // Sort for a canonical, diff-friendly output.
+  std::vector<PeFault> faults = map.faults();
+  std::sort(faults.begin(), faults.end(),
+            [](const PeFault& a, const PeFault& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  for (const PeFault& f : faults) {
+    os << "pe " << f.row << " " << f.col;
+    for (int bit = 0; bit < 32; ++bit) {
+      const std::uint32_t m = std::uint32_t{1} << bit;
+      if (f.bits.sa0_mask & m) os << " sa0 " << bit;
+      if (f.bits.sa1_mask & m) os << " sa1 " << bit;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+FaultMap fault_map_from_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++lineno;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) parse_error(lineno, "empty input");
+  if (line != "falvolt-faultmap v1") {
+    parse_error(lineno, "bad header: " + line);
+  }
+  if (!next_line()) parse_error(lineno, "missing dims");
+  std::istringstream dims(line);
+  std::string tag;
+  int rows = 0;
+  int cols = 0;
+  if (!(dims >> tag >> rows >> cols) || tag != "dims") {
+    parse_error(lineno, "bad dims line: " + line);
+  }
+  if (rows <= 0 || cols <= 0) parse_error(lineno, "non-positive dims");
+
+  FaultMap map(rows, cols);
+  while (next_line()) {
+    std::istringstream ls(line);
+    std::string pe;
+    int row = 0;
+    int col = 0;
+    if (!(ls >> pe >> row >> col) || pe != "pe") {
+      parse_error(lineno, "bad pe line: " + line);
+    }
+    fx::StuckBits bits;
+    std::string level;
+    int bit = 0;
+    bool any = false;
+    while (ls >> level >> bit) {
+      any = true;
+      try {
+        if (level == "sa0") {
+          bits.set(bit, fx::StuckType::kStuckAt0);
+        } else if (level == "sa1") {
+          bits.set(bit, fx::StuckType::kStuckAt1);
+        } else {
+          parse_error(lineno, "bad stuck level: " + level);
+        }
+      } catch (const std::invalid_argument& e) {
+        parse_error(lineno, e.what());
+      }
+    }
+    if (!ls.eof()) parse_error(lineno, "trailing garbage: " + line);
+    if (!any) parse_error(lineno, "pe line without faults: " + line);
+    try {
+      map.add(row, col, bits);
+    } catch (const std::exception& e) {
+      parse_error(lineno, e.what());
+    }
+  }
+  return map;
+}
+
+void save_fault_map(const FaultMap& map, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_fault_map: cannot open " + path);
+  out << fault_map_to_text(map);
+  if (!out) throw std::runtime_error("save_fault_map: write failed " + path);
+}
+
+FaultMap load_fault_map(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_fault_map: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fault_map_from_text(buf.str());
+}
+
+}  // namespace falvolt::fault

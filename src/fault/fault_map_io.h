@@ -1,0 +1,37 @@
+#pragma once
+// Fault-map persistence.
+//
+// A die's fault map is produced once by post-fabrication testing and then
+// consumed every time the chip is re-calibrated (FalVolt is run per chip,
+// against its unique map). This module serializes maps to a small
+// human-readable text format so test equipment, mitigation jobs, and
+// archives can exchange them:
+//
+//   falvolt-faultmap v1
+//   dims 256 256
+//   pe 17 203 sa1 15
+//   pe 40 12 sa0 3 sa1 7
+//
+// One `pe` line per faulty PE; each fault is a (level, bit) pair.
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/fault_map.h"
+
+namespace falvolt::fault {
+
+/// Serialize to the text format.
+std::string fault_map_to_text(const FaultMap& map);
+
+/// Parse the text format; throws std::runtime_error with a line number on
+/// malformed input.
+FaultMap fault_map_from_text(const std::string& text);
+
+/// Write to a file (throws on I/O failure).
+void save_fault_map(const FaultMap& map, const std::string& path);
+
+/// Read from a file (throws on I/O failure or malformed content).
+FaultMap load_fault_map(const std::string& path);
+
+}  // namespace falvolt::fault

@@ -1,0 +1,60 @@
+#pragma once
+// Post-fabrication testing: recovering a chip's fault map.
+//
+// The paper assumes "fault locations are determined through
+// post-fabrication tests on a systolicSNN chip". This module models that
+// step: a FabricatedChip hides a ground-truth fault map behind a
+// scan-chain read/write interface (standard design-for-test: every PE
+// accumulator register is on a scan chain), and PostFabTest recovers the
+// full map by writing test patterns and reading back the corrupted values.
+//
+// Three patterns suffice for single-stuck-at coverage on a register:
+// all-zeros (any bit reading 1 is sa1), all-ones (any bit reading 0 is
+// sa0), and a checkerboard pair to confirm (exercised by tests).
+
+#include "common/rng.h"
+#include "fault/fault_map.h"
+#include "fixed/fixed_format.h"
+
+namespace falvolt::fault {
+
+/// A manufactured chip with a hidden defect map. Test equipment can write
+/// a bit pattern into any PE's accumulator register through the scan
+/// chain and read back what the register actually holds.
+class FabricatedChip {
+ public:
+  FabricatedChip(FaultMap defects, fx::FixedFormat format);
+
+  int rows() const { return defects_.rows(); }
+  int cols() const { return defects_.cols(); }
+  const fx::FixedFormat& format() const { return format_; }
+
+  /// Scan-chain access: write `pattern` into PE (row, col)'s accumulator
+  /// and read it back; stuck bits override the written value.
+  std::uint32_t scan_readback(int row, int col, std::uint32_t pattern) const;
+
+  /// Ground truth (for test assertions only — production code must use
+  /// PostFabTest to recover the map).
+  const FaultMap& ground_truth() const { return defects_; }
+
+ private:
+  FaultMap defects_;
+  fx::FixedFormat format_;
+};
+
+/// Result of testing one chip.
+struct TestOutcome {
+  FaultMap recovered;
+  int patterns_applied = 0;
+  int scan_operations = 0;
+};
+
+/// Recover the fault map of a chip via scan-chain patterns.
+TestOutcome run_post_fab_test(const FabricatedChip& chip);
+
+/// Convenience: manufacture a chip with random defects and test it.
+FabricatedChip fabricate_random_chip(int rows, int cols, int num_faulty,
+                                     const fx::FixedFormat& format,
+                                     common::Rng& rng);
+
+}  // namespace falvolt::fault

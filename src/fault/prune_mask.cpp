@@ -1,0 +1,76 @@
+#include "fault/prune_mask.h"
+
+#include <stdexcept>
+
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::fault {
+
+tensor::Tensor build_prune_mask(const FaultMap& map, int k, int m) {
+  if (k <= 0 || m <= 0) {
+    throw std::invalid_argument("build_prune_mask: bad dimensions");
+  }
+  tensor::Tensor mask({k, m}, 1.0f);
+  if (map.empty()) return mask;
+  for (int kk = 0; kk < k; ++kk) {
+    const int pe_row = kk % map.rows();
+    for (int mm = 0; mm < m; ++mm) {
+      if (map.is_faulty(pe_row, mm % map.cols())) {
+        mask.at2(kk, mm) = 0.0f;
+      }
+    }
+  }
+  return mask;
+}
+
+std::size_t count_pruned(const tensor::Tensor& mask) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i] == 0.0f) ++n;
+  }
+  return n;
+}
+
+NetworkPruner::NetworkPruner(snn::Network& net, const FaultMap& map) {
+  for (snn::MatmulLayer* layer : net.matmul_layers()) {
+    tensor::Tensor mask =
+        build_prune_mask(map, layer->gemm_k(), layer->gemm_m());
+    LayerPruneReport r;
+    r.layer = layer->matmul_name();
+    r.total_weights = mask.size();
+    r.pruned_weights = count_pruned(mask);
+    report_.push_back(std::move(r));
+    masks_.push_back(std::move(mask));
+  }
+}
+
+void NetworkPruner::apply(snn::Network& net) const {
+  const auto layers = net.matmul_layers();
+  if (layers.size() != masks_.size()) {
+    throw std::logic_error("NetworkPruner::apply: network layout changed");
+  }
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    tensor::mul_inplace(layers[i]->weight_param().value, masks_[i]);
+  }
+}
+
+bool NetworkPruner::is_pruned(snn::Network& net, float tol) const {
+  const auto layers = net.matmul_layers();
+  if (layers.size() != masks_.size()) return false;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const tensor::Tensor& w = layers[i]->weight_param().value;
+    const tensor::Tensor& m = masks_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      if (m[j] == 0.0f && std::abs(w[j]) > tol) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t NetworkPruner::total_pruned() const {
+  std::size_t n = 0;
+  for (const auto& r : report_) n += r.pruned_weights;
+  return n;
+}
+
+}  // namespace falvolt::fault

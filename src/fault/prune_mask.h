@@ -1,0 +1,59 @@
+#pragma once
+// Fault-aware prune masks (Algorithm 1, lines 1-2).
+//
+// Weight element (k, m) of a layer's [K x M] GEMM matrix executes on
+// PE(k mod rows, m mod cols). Bypassing one faulty PE therefore prunes
+// every weight that folds onto it — ceil(K/rows) * ceil(M/cols) weights
+// per layer — which is exactly the array-reuse effect that makes small
+// arrays more fault-sensitive (paper Fig. 5c).
+
+#include <string>
+#include <vector>
+
+#include "fault/fault_map.h"
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace falvolt::fault {
+
+/// Binary keep-mask (1 = keep, 0 = pruned) for a [K x M] weight matrix.
+tensor::Tensor build_prune_mask(const FaultMap& map, int k, int m);
+
+/// How many weights a mask prunes.
+std::size_t count_pruned(const tensor::Tensor& mask);
+
+/// Per-layer pruning statistics.
+struct LayerPruneReport {
+  std::string layer;
+  std::size_t total_weights = 0;
+  std::size_t pruned_weights = 0;
+  double pruned_fraction() const {
+    return total_weights
+               ? static_cast<double>(pruned_weights) / total_weights
+               : 0.0;
+  }
+};
+
+/// Prune masks for every matmul layer of a network, in network order.
+class NetworkPruner {
+ public:
+  NetworkPruner(snn::Network& net, const FaultMap& map);
+
+  /// Zero all pruned weights (idempotent). Call once up front and after
+  /// every retraining epoch (Algorithm 1 line 13).
+  void apply(snn::Network& net) const;
+
+  /// Verify no pruned weight is nonzero (tests / invariant checks).
+  bool is_pruned(snn::Network& net, float tol = 0.0f) const;
+
+  const std::vector<LayerPruneReport>& report() const { return report_; }
+
+  /// Total pruned weights across all layers.
+  std::size_t total_pruned() const;
+
+ private:
+  std::vector<tensor::Tensor> masks_;  // aligned with net.matmul_layers()
+  std::vector<LayerPruneReport> report_;
+};
+
+}  // namespace falvolt::fault

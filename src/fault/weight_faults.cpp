@@ -1,0 +1,66 @@
+#include "fault/weight_faults.h"
+
+#include <stdexcept>
+
+namespace falvolt::fault {
+
+std::size_t inject_weight_bit_flips(tensor::Tensor& weights,
+                                    const WeightBitFlipSpec& spec,
+                                    common::Rng& rng) {
+  if (spec.flip_probability < 0.0 || spec.flip_probability > 1.0) {
+    throw std::invalid_argument(
+        "inject_weight_bit_flips: probability must be in [0, 1]");
+  }
+  if (spec.bit >= spec.format.total_bits()) {
+    throw std::invalid_argument(
+        "inject_weight_bit_flips: bit outside the storage word");
+  }
+  std::size_t flipped = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (!rng.bernoulli(spec.flip_probability)) continue;
+    const int bit =
+        spec.bit >= 0
+            ? spec.bit
+            : static_cast<int>(rng.uniform_int(
+                  static_cast<std::uint64_t>(spec.format.total_bits())));
+    std::uint32_t word = spec.format.to_bits(
+        spec.format.quantize(weights[i]));
+    word ^= std::uint32_t{1} << bit;
+    weights[i] = static_cast<float>(
+        spec.format.dequantize(spec.format.sign_extend(word)));
+    ++flipped;
+  }
+  return flipped;
+}
+
+std::size_t inject_network_weight_faults(snn::Network& net,
+                                         const WeightBitFlipSpec& spec,
+                                         common::Rng& rng) {
+  std::size_t flipped = 0;
+  for (snn::MatmulLayer* layer : net.matmul_layers()) {
+    flipped += inject_weight_bit_flips(layer->weight_param().value, spec,
+                                       rng);
+  }
+  return flipped;
+}
+
+std::size_t inject_dead_synapses(snn::Network& net, double death_probability,
+                                 common::Rng& rng) {
+  if (death_probability < 0.0 || death_probability > 1.0) {
+    throw std::invalid_argument(
+        "inject_dead_synapses: probability must be in [0, 1]");
+  }
+  std::size_t killed = 0;
+  for (snn::MatmulLayer* layer : net.matmul_layers()) {
+    tensor::Tensor& w = layer->weight_param().value;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (w[i] != 0.0f && rng.bernoulli(death_probability)) {
+        w[i] = 0.0f;
+        ++killed;
+      }
+    }
+  }
+  return killed;
+}
+
+}  // namespace falvolt::fault

@@ -1,0 +1,55 @@
+#pragma once
+// Secondary fault models from the paper's related-work axis.
+//
+// The paper's contribution targets *permanent stuck-at faults in the PE
+// datapath*; prior SNN-reliability work instead studied (a) bit flips in
+// the weight memories (Spyrou et al. DATE'22, Putra et al. ICCAD'21) and
+// (b) large-scale dead-synapse failures (Schuman et al., Vatajelu et
+// al.). This module provides both models so users can compare fault
+// classes under one roof (the vulnerability_report example does exactly
+// that).
+//
+// Weight bit flips operate on the *stored quantized representation*: the
+// float weight is quantized to the accelerator's fixed-point format, one
+// or more bits of the stored word are flipped, and the corrupted word is
+// dequantized back into the float model. Dead synapses simply zero
+// weights (equivalent to stuck-at-0 of a whole synapse).
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "fixed/fixed_format.h"
+#include "snn/network.h"
+#include "tensor/tensor.h"
+
+namespace falvolt::fault {
+
+/// Parameters of a weight-memory bit-flip injection.
+struct WeightBitFlipSpec {
+  /// Storage format of the weight memory.
+  fx::FixedFormat format = fx::FixedFormat::q8_8();
+  /// Per-weight probability that one bit of its stored word flips.
+  double flip_probability = 1e-3;
+  /// Which bit flips; -1 draws uniformly over the word per fault.
+  int bit = -1;
+};
+
+/// Flip bits in a float weight tensor through its quantized
+/// representation. Returns the number of corrupted weights.
+std::size_t inject_weight_bit_flips(tensor::Tensor& weights,
+                                    const WeightBitFlipSpec& spec,
+                                    common::Rng& rng);
+
+/// Apply bit flips to every matmul layer of a network. Returns the total
+/// number of corrupted weights.
+std::size_t inject_network_weight_faults(snn::Network& net,
+                                         const WeightBitFlipSpec& spec,
+                                         common::Rng& rng);
+
+/// Dead-synapse model: each weight of every matmul layer dies (is forced
+/// to zero) independently with probability `death_probability`. Returns
+/// the number of killed synapses.
+std::size_t inject_dead_synapses(snn::Network& net, double death_probability,
+                                 common::Rng& rng);
+
+}  // namespace falvolt::fault

@@ -1,0 +1,31 @@
+#include "fixed/fixed_ops.h"
+
+#include <cmath>
+
+namespace falvolt::fx {
+
+std::vector<std::int32_t> quantize_buffer(const float* data, std::size_t n,
+                                          const FixedFormat& fmt) {
+  std::vector<std::int32_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = fmt.quantize(data[i]);
+  return out;
+}
+
+void dequantize_buffer(const std::int32_t* raw, std::size_t n,
+                       const FixedFormat& fmt, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(fmt.dequantize(raw[i]));
+  }
+}
+
+double max_quantization_error(const float* data, std::size_t n,
+                              const FixedFormat& fmt) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double back = fmt.dequantize(fmt.quantize(data[i]));
+    worst = std::max(worst, std::fabs(back - static_cast<double>(data[i])));
+  }
+  return worst;
+}
+
+}  // namespace falvolt::fx

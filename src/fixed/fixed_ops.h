@@ -1,0 +1,26 @@
+#pragma once
+// Bulk fixed-point conversions between float tensors/buffers and raw
+// fixed-point vectors, used when staging weights and activations into the
+// systolic-array simulators.
+
+#include <cstdint>
+#include <vector>
+
+#include "fixed/fixed_format.h"
+
+namespace falvolt::fx {
+
+/// Quantize a float buffer into raw fixed-point values.
+std::vector<std::int32_t> quantize_buffer(const float* data, std::size_t n,
+                                          const FixedFormat& fmt);
+
+/// Dequantize raw fixed-point values into a float buffer (out must hold n).
+void dequantize_buffer(const std::int32_t* raw, std::size_t n,
+                       const FixedFormat& fmt, float* out);
+
+/// Worst-case absolute quantization error for a buffer (reported by tests
+/// and the cost model; equals <= 0.5 LSB unless saturation occurred).
+double max_quantization_error(const float* data, std::size_t n,
+                              const FixedFormat& fmt);
+
+}  // namespace falvolt::fx

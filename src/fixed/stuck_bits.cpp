@@ -1,0 +1,76 @@
+#include "fixed/stuck_bits.h"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace falvolt::fx {
+
+namespace {
+void check_bit(int bit) {
+  if (bit < 0 || bit > 31) {
+    throw std::invalid_argument("StuckBits: bit must be in [0, 31]");
+  }
+}
+}  // namespace
+
+void StuckBits::set(int bit, StuckType type) {
+  check_bit(bit);
+  const std::uint32_t m = std::uint32_t{1} << bit;
+  if (type == StuckType::kStuckAt0) {
+    if (sa1_mask & m) {
+      throw std::invalid_argument("StuckBits: bit already stuck at 1");
+    }
+    sa0_mask |= m;
+  } else {
+    if (sa0_mask & m) {
+      throw std::invalid_argument("StuckBits: bit already stuck at 0");
+    }
+    sa1_mask |= m;
+  }
+}
+
+void StuckBits::clear(int bit) {
+  check_bit(bit);
+  const std::uint32_t m = ~(std::uint32_t{1} << bit);
+  sa0_mask &= m;
+  sa1_mask &= m;
+}
+
+bool StuckBits::is_stuck(int bit) const {
+  check_bit(bit);
+  const std::uint32_t m = std::uint32_t{1} << bit;
+  return ((sa0_mask | sa1_mask) & m) != 0;
+}
+
+int StuckBits::count() const {
+  return std::popcount(sa0_mask) + std::popcount(sa1_mask);
+}
+
+std::int32_t StuckBits::apply(std::int32_t raw, const FixedFormat& fmt) const {
+  if (none()) return raw;
+  std::uint32_t bits = fmt.to_bits(raw);
+  bits &= ~sa0_mask;
+  bits |= (sa1_mask & fmt.to_bits(-1));  // only bits that exist in the word
+  return fmt.sign_extend(bits);
+}
+
+std::string StuckBits::to_string() const {
+  if (none()) return "none";
+  std::ostringstream os;
+  bool first = true;
+  for (int b = 31; b >= 0; --b) {
+    const std::uint32_t m = std::uint32_t{1} << b;
+    if (sa1_mask & m) {
+      os << (first ? "" : ",") << "sa1@" << b;
+      first = false;
+    }
+    if (sa0_mask & m) {
+      os << (first ? "" : ",") << "sa0@" << b;
+      first = false;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace falvolt::fx

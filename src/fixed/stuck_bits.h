@@ -1,0 +1,58 @@
+#pragma once
+// Stuck-at fault application on fixed-point words.
+//
+// A stuck-at-0 (sa0) fault forces an output bit of the PE accumulator to
+// read 0 regardless of the computed value; stuck-at-1 (sa1) forces it to 1.
+// Faults are permanent: they corrupt the accumulator output after *every*
+// accumulation step, which is what makes them so much more damaging than
+// transient upsets.
+
+#include <cstdint>
+#include <string>
+
+#include "fixed/fixed_format.h"
+
+namespace falvolt::fx {
+
+/// Type of a single stuck-at fault.
+enum class StuckType : std::uint8_t { kStuckAt0 = 0, kStuckAt1 = 1 };
+
+/// The set of stuck bits of one PE's accumulator output.
+///
+/// Encoded as two masks over the word's bit positions: `sa0_mask` bits are
+/// forced to 0, `sa1_mask` bits are forced to 1. A bit present in both
+/// masks is invalid (a physical node cannot be stuck at both levels).
+struct StuckBits {
+  std::uint32_t sa0_mask = 0;
+  std::uint32_t sa1_mask = 0;
+
+  /// No faults at all?
+  bool none() const { return sa0_mask == 0 && sa1_mask == 0; }
+
+  /// Add a single stuck bit. Throws if `bit` is already stuck at the
+  /// opposite level or out of range for a 32-bit word.
+  void set(int bit, StuckType type);
+
+  /// Remove any fault on `bit`.
+  void clear(int bit);
+
+  /// Is `bit` stuck (at either level)?
+  bool is_stuck(int bit) const;
+
+  /// Number of stuck bits.
+  int count() const;
+
+  /// Apply the stuck bits to a raw fixed-point value: force the masked
+  /// bits, then sign-extend back to canonical raw form. Masks outside the
+  /// format's word are ignored (they model nodes that don't exist).
+  std::int32_t apply(std::int32_t raw, const FixedFormat& fmt) const;
+
+  /// Human-readable, e.g. "sa1@15,sa0@3".
+  std::string to_string() const;
+
+  bool operator==(const StuckBits& o) const {
+    return sa0_mask == o.sa0_mask && sa1_mask == o.sa1_mask;
+  }
+};
+
+}  // namespace falvolt::fx

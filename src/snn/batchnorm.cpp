@@ -1,0 +1,165 @@
+#include "snn/batchnorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::snn {
+
+BatchNorm2d::BatchNorm2d(std::string name, int channels, float momentum,
+                         float eps)
+    : Layer(std::move(name)),
+      channels_(channels),
+      momentum_(momentum),
+      eps_(eps) {
+  if (channels <= 0) {
+    throw std::invalid_argument("BatchNorm2d: channels must be positive");
+  }
+  gamma_ = Param(Layer::name() + ".gamma", tensor::Tensor({channels}, 1.0f));
+  beta_ = Param(Layer::name() + ".beta", tensor::Tensor({channels}));
+  running_mean_ =
+      Param(Layer::name() + ".running_mean", tensor::Tensor({channels}));
+  running_mean_.trainable = false;
+  running_var_ =
+      Param(Layer::name() + ".running_var", tensor::Tensor({channels}, 1.0f));
+  running_var_.trainable = false;
+}
+
+void BatchNorm2d::reset_state() { cache_.clear(); }
+
+tensor::Tensor BatchNorm2d::forward(const tensor::Tensor& x, int t,
+                                    Mode mode) {
+  if (x.rank() != 4 || x.dim(1) != channels_) {
+    throw std::invalid_argument("BatchNorm2d: expected [N, " +
+                                std::to_string(channels_) + ", H, W]");
+  }
+  const int n = x.dim(0);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  const std::size_t plane = static_cast<std::size_t>(h) * w;
+  const std::size_t per_c = static_cast<std::size_t>(n) * plane;
+
+  tensor::Tensor out(x.shape());
+  StepCache sc;
+  sc.n = n;
+  sc.h = h;
+  sc.w = w;
+  if (mode == Mode::kTrain) {
+    sc.x_hat = tensor::Tensor(x.shape());
+    sc.inv_std.resize(static_cast<std::size_t>(channels_));
+  }
+
+  for (int c = 0; c < channels_; ++c) {
+    double mean;
+    double var;
+    if (mode == Mode::kTrain) {
+      double sum = 0.0;
+      double sq = 0.0;
+      for (int s = 0; s < n; ++s) {
+        const float* p =
+            x.data() + (static_cast<std::size_t>(s) * channels_ + c) * plane;
+        for (std::size_t i = 0; i < plane; ++i) {
+          sum += p[i];
+          sq += static_cast<double>(p[i]) * p[i];
+        }
+      }
+      mean = sum / static_cast<double>(per_c);
+      var = sq / static_cast<double>(per_c) - mean * mean;
+      if (var < 0.0) var = 0.0;
+      running_mean_.value[static_cast<std::size_t>(c)] =
+          (1.0f - momentum_) *
+              running_mean_.value[static_cast<std::size_t>(c)] +
+          momentum_ * static_cast<float>(mean);
+      running_var_.value[static_cast<std::size_t>(c)] =
+          (1.0f - momentum_) *
+              running_var_.value[static_cast<std::size_t>(c)] +
+          momentum_ * static_cast<float>(var);
+    } else {
+      mean = running_mean_.value[static_cast<std::size_t>(c)];
+      var = running_var_.value[static_cast<std::size_t>(c)];
+    }
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float b = beta_.value[static_cast<std::size_t>(c)];
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off =
+          (static_cast<std::size_t>(s) * channels_ + c) * plane;
+      const float* p = x.data() + off;
+      float* o = out.data() + off;
+      float* xh = mode == Mode::kTrain ? sc.x_hat.data() + off : nullptr;
+      for (std::size_t i = 0; i < plane; ++i) {
+        const float norm = (p[i] - static_cast<float>(mean)) * inv_std;
+        if (xh) xh[i] = norm;
+        o[i] = g * norm + b;
+      }
+    }
+    if (mode == Mode::kTrain) {
+      sc.inv_std[static_cast<std::size_t>(c)] = inv_std;
+    }
+  }
+
+  if (mode == Mode::kTrain) {
+    if (static_cast<int>(cache_.size()) != t) {
+      throw std::logic_error("BatchNorm2d::forward: cache out of sync");
+    }
+    cache_.push_back(std::move(sc));
+  }
+  return out;
+}
+
+tensor::Tensor BatchNorm2d::backward(const tensor::Tensor& grad_out, int t) {
+  if (t < 0 || t >= static_cast<int>(cache_.size())) {
+    throw std::logic_error("BatchNorm2d::backward: no cache for step");
+  }
+  const StepCache& sc = cache_[static_cast<std::size_t>(t)];
+  const int n = sc.n;
+  const std::size_t plane = static_cast<std::size_t>(sc.h) * sc.w;
+  const std::size_t per_c = static_cast<std::size_t>(n) * plane;
+  if (grad_out.shape() != sc.x_hat.shape()) {
+    throw std::invalid_argument("BatchNorm2d::backward: shape mismatch");
+  }
+
+  tensor::Tensor grad_in(grad_out.shape());
+  for (int c = 0; c < channels_; ++c) {
+    const float g = gamma_.value[static_cast<std::size_t>(c)];
+    const float inv_std = sc.inv_std[static_cast<std::size_t>(c)];
+    // Reductions: sum(dy), sum(dy * x_hat).
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off =
+          (static_cast<std::size_t>(s) * channels_ + c) * plane;
+      const float* dy = grad_out.data() + off;
+      const float* xh = sc.x_hat.data() + off;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    if (gamma_.trainable) {
+      gamma_.grad[static_cast<std::size_t>(c)] +=
+          static_cast<float>(sum_dy_xhat);
+    }
+    if (beta_.trainable) {
+      beta_.grad[static_cast<std::size_t>(c)] += static_cast<float>(sum_dy);
+    }
+    const float mean_dy = static_cast<float>(sum_dy / per_c);
+    const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / per_c);
+    for (int s = 0; s < n; ++s) {
+      const std::size_t off =
+          (static_cast<std::size_t>(s) * channels_ + c) * plane;
+      const float* dy = grad_out.data() + off;
+      const float* xh = sc.x_hat.data() + off;
+      float* dx = grad_in.data() + off;
+      for (std::size_t i = 0; i < plane; ++i) {
+        dx[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Param*> BatchNorm2d::params() {
+  return {&gamma_, &beta_, &running_mean_, &running_var_};
+}
+
+}  // namespace falvolt::snn

@@ -1,0 +1,58 @@
+#pragma once
+// 2D convolution layer, lowered to GEMM via im2col.
+//
+// The GEMM weight matrix is [K x M] with K = Cin*kh*kw and M = Cout; this
+// is exactly the matrix that gets laid onto the systolic array, so the
+// fault/prune machinery addresses conv weights through `MatmulLayer`.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "snn/layer.h"
+#include "tensor/im2col.h"
+
+namespace falvolt::snn {
+
+/// Convolution over [N, Cin, H, W] inputs producing [N, Cout, OH, OW].
+class Conv2d final : public Layer, public MatmulLayer {
+ public:
+  /// Stride-1 convolution with explicit padding (pad = kernel/2 keeps the
+  /// spatial size for odd kernels).
+  Conv2d(std::string name, int in_channels, int out_channels, int kernel,
+         int pad, common::Rng& init_rng, bool bias = true);
+
+  tensor::Tensor forward(const tensor::Tensor& x, int t, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out, int t) override;
+  void reset_state() override;
+  std::vector<Param*> params() override;
+
+  // MatmulLayer
+  Param& weight_param() override { return weight_; }
+  int gemm_k() const override { return in_channels_ * kernel_ * kernel_; }
+  int gemm_m() const override { return out_channels_; }
+  void set_gemm_engine(GemmEngine* engine) override { engine_ = engine; }
+  const std::string& matmul_name() const override { return Layer::name(); }
+
+  int in_channels() const { return in_channels_; }
+  int out_channels() const { return out_channels_; }
+  int kernel() const { return kernel_; }
+
+ private:
+  void bind_geometry(const tensor::Tensor& x);
+
+  int in_channels_;
+  int out_channels_;
+  int kernel_;
+  int pad_;
+  bool has_bias_;
+  Param weight_;  // [K x Cout]
+  Param bias_;    // [Cout]
+  tensor::ConvGeometry geometry_;
+  bool geometry_bound_ = false;
+  GemmEngine* engine_ = nullptr;  // non-owning; nullptr -> float engine
+  // Per-time-step caches of the im2col matrices: [N * out_pixels, K].
+  std::vector<tensor::Tensor> cols_hist_;
+  int batch_ = 0;
+};
+
+}  // namespace falvolt::snn

@@ -1,0 +1,28 @@
+#pragma once
+// Dropout with a mask shared across all time steps of a sequence — the
+// standard choice for BPTT-trained SNNs (re-drawing the mask per step
+// would decorrelate the temporal credit assignment).
+
+#include "common/rng.h"
+#include "snn/layer.h"
+
+namespace falvolt::snn {
+
+class Dropout final : public Layer {
+ public:
+  Dropout(std::string name, float p, std::uint64_t seed);
+
+  tensor::Tensor forward(const tensor::Tensor& x, int t, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out, int t) override;
+  void reset_state() override;
+
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  common::Rng rng_;
+  tensor::Tensor mask_;  // drawn lazily at t == 0 of each sequence
+  bool train_mode_ = false;
+};
+
+}  // namespace falvolt::snn

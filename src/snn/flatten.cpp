@@ -1,0 +1,27 @@
+#include "snn/flatten.h"
+
+#include <stdexcept>
+
+namespace falvolt::snn {
+
+tensor::Tensor Flatten::forward(const tensor::Tensor& x, int t, Mode mode) {
+  (void)t;
+  (void)mode;
+  if (x.rank() != 4) {
+    throw std::invalid_argument("Flatten: expected [N, C, H, W]");
+  }
+  in_shape_ = x.shape();
+  const int n = x.dim(0);
+  const int f = x.dim(1) * x.dim(2) * x.dim(3);
+  return x.reshaped({n, f});
+}
+
+tensor::Tensor Flatten::backward(const tensor::Tensor& grad_out, int t) {
+  (void)t;
+  if (in_shape_.empty()) {
+    throw std::logic_error("Flatten::backward before forward");
+  }
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace falvolt::snn

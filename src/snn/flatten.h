@@ -1,0 +1,21 @@
+#pragma once
+// Flattens [N, C, H, W] to [N, C*H*W] between the conv stack and the
+// fully connected head.
+
+#include "snn/layer.h"
+
+namespace falvolt::snn {
+
+class Flatten final : public Layer {
+ public:
+  explicit Flatten(std::string name) : Layer(std::move(name)) {}
+
+  tensor::Tensor forward(const tensor::Tensor& x, int t, Mode mode) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_out, int t) override;
+  void reset_state() override { in_shape_.clear(); }
+
+ private:
+  tensor::Shape in_shape_;
+};
+
+}  // namespace falvolt::snn

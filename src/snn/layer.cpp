@@ -1,0 +1,18 @@
+#include "snn/layer.h"
+
+#include "tensor/gemm.h"
+
+namespace falvolt::snn {
+
+void FloatGemmEngine::run(const float* a, const float* w, float* c, int m,
+                          int k, int n, const std::string& layer_tag) {
+  (void)layer_tag;
+  tensor::gemm(a, w, c, m, k, n);
+}
+
+FloatGemmEngine& FloatGemmEngine::instance() {
+  static FloatGemmEngine engine;
+  return engine;
+}
+
+}  // namespace falvolt::snn

@@ -1,0 +1,37 @@
+#include "snn/loss.h"
+
+#include <stdexcept>
+
+namespace falvolt::snn {
+
+LossResult rate_mse_loss(const tensor::Tensor& rate,
+                         const std::vector<int>& labels) {
+  if (rate.rank() != 2) {
+    throw std::invalid_argument("rate_mse_loss: rate must be [N, classes]");
+  }
+  const int n = rate.dim(0);
+  const int c = rate.dim(1);
+  if (static_cast<int>(labels.size()) != n) {
+    throw std::invalid_argument("rate_mse_loss: label count mismatch");
+  }
+  LossResult res;
+  res.grad_rate = tensor::Tensor(rate.shape());
+  const double inv = 1.0 / (static_cast<double>(n) * c);
+  for (int s = 0; s < n; ++s) {
+    const int label = labels[static_cast<std::size_t>(s)];
+    if (label < 0 || label >= c) {
+      throw std::invalid_argument("rate_mse_loss: label out of range");
+    }
+    for (int j = 0; j < c; ++j) {
+      const float target = j == label ? 1.0f : 0.0f;
+      const float diff =
+          rate[static_cast<std::size_t>(s) * c + j] - target;
+      res.loss += static_cast<double>(diff) * diff * inv;
+      res.grad_rate[static_cast<std::size_t>(s) * c + j] =
+          static_cast<float>(2.0 * diff * inv);
+    }
+  }
+  return res;
+}
+
+}  // namespace falvolt::snn

@@ -1,0 +1,26 @@
+#pragma once
+// Firing-rate MSE loss.
+//
+// The paper trains with "cross entropy loss defined by the mean square
+// error" — i.e. the SpikingJelly-style MSE between the output layer's mean
+// firing rate over the T time steps and the one-hot label. The per-step
+// backward gradient is the rate gradient divided by T (each step
+// contributes equally to the mean).
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace falvolt::snn {
+
+struct LossResult {
+  double loss = 0.0;
+  tensor::Tensor grad_rate;  ///< dL/d(rate), shape [N, classes]
+};
+
+/// MSE between `rate` [N, classes] and one-hot labels, averaged over all
+/// elements. Throws if a label is out of range.
+LossResult rate_mse_loss(const tensor::Tensor& rate,
+                         const std::vector<int>& labels);
+
+}  // namespace falvolt::snn

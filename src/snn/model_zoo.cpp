@@ -1,0 +1,120 @@
+#include "snn/model_zoo.h"
+
+#include <stdexcept>
+
+#include "snn/batchnorm.h"
+#include "snn/conv2d.h"
+#include "snn/dropout.h"
+#include "snn/flatten.h"
+#include "snn/linear.h"
+#include "snn/plif.h"
+#include "snn/pooling.h"
+
+namespace falvolt::snn {
+
+namespace {
+
+// Spiking networks need hotter fully-connected initializations than ANNs:
+// FC inputs are sparse low-rate spike averages, and with Kaiming-sized
+// weights the pre-activations land below the triangle surrogate's support
+// (|v/V_th - 1| < 1), so no gradient ever reaches the head. A ~3x gain
+// puts the initial membrane potentials inside the surrogate window.
+constexpr float kFcInitGain = 3.0f;
+
+void scale_weights(Linear& fc, float gain) {
+  for (auto& w : fc.weight_param().value) w *= gain;
+}
+
+PlifConfig plif_config(const ZooConfig& cfg) {
+  PlifConfig pc;
+  pc.initial_tau = cfg.initial_tau;
+  pc.initial_vth = cfg.initial_vth;
+  pc.surrogate = cfg.surrogate;
+  pc.train_tau = true;
+  pc.train_vth = false;  // FalVolt flips this during retraining only
+  return pc;
+}
+
+}  // namespace
+
+Network make_digit_classifier(const std::string& name, int in_channels,
+                              int canvas, int num_classes,
+                              const ZooConfig& cfg) {
+  if (canvas % 4 != 0) {
+    throw std::invalid_argument(
+        "make_digit_classifier: canvas must be divisible by 4");
+  }
+  common::Rng init(cfg.seed);
+  const PlifConfig pc = plif_config(cfg);
+  Network net(name);
+
+  // Spike encoder: analog frames in, spikes out.
+  net.emplace<Conv2d>("SEncConv", in_channels, cfg.channels, 3, 1, init);
+  net.emplace<Plif>("SEncPLIF", pc);
+
+  // Conv block 1.
+  net.emplace<Conv2d>("Conv1", cfg.channels, cfg.channels, 3, 1, init);
+  net.emplace<BatchNorm2d>("BN1", cfg.channels);
+  net.emplace<Plif>("PLIF1", pc);
+  net.emplace<AvgPool2d>("Pool1");
+
+  // Conv block 2.
+  net.emplace<Conv2d>("Conv2", cfg.channels, cfg.channels, 3, 1, init);
+  net.emplace<BatchNorm2d>("BN2", cfg.channels);
+  net.emplace<Plif>("PLIF2", pc);
+  net.emplace<AvgPool2d>("Pool2");
+
+  net.emplace<Flatten>("Flatten");
+  const int feat = cfg.channels * (canvas / 4) * (canvas / 4);
+  net.emplace<Dropout>("DO1", cfg.dropout, init.next_u64());
+  scale_weights(net.emplace<Linear>("FC1", feat, cfg.fc_hidden, init),
+                kFcInitGain);
+  net.emplace<Plif>("PLIF_FC1", pc);
+  net.emplace<Dropout>("DO2", cfg.dropout, init.next_u64());
+  scale_weights(net.emplace<Linear>("FC2", cfg.fc_hidden, num_classes, init),
+                kFcInitGain);
+  net.emplace<Plif>("PLIF_FC2", pc);
+  return net;
+}
+
+Network make_gesture_classifier(const std::string& name, int in_channels,
+                                int canvas, int num_classes,
+                                const ZooConfig& cfg) {
+  if (canvas % 8 != 0) {
+    throw std::invalid_argument(
+        "make_gesture_classifier: canvas must be divisible by 8");
+  }
+  common::Rng init(cfg.seed);
+  const PlifConfig pc = plif_config(cfg);
+  Network net(name);
+
+  net.emplace<Conv2d>("SEncConv", in_channels, cfg.channels, 3, 1, init);
+  net.emplace<Plif>("SEncPLIF", pc);
+
+  int spatial = canvas;
+  for (int b = 1; b <= 5; ++b) {
+    const std::string suffix = std::to_string(b);
+    net.emplace<Conv2d>("Conv" + suffix, cfg.channels, cfg.channels, 3, 1,
+                        init);
+    net.emplace<BatchNorm2d>("BN" + suffix, cfg.channels);
+    net.emplace<Plif>("PLIF" + suffix, pc);
+    if (b <= 3) {  // three pools: canvas -> canvas/8
+      net.emplace<AvgPool2d>("Pool" + suffix);
+      spatial /= 2;
+    }
+  }
+
+  net.emplace<Flatten>("Flatten");
+  const int feat = cfg.channels * spatial * spatial;
+  net.emplace<Dropout>("DO1", cfg.dropout, init.next_u64());
+  scale_weights(net.emplace<Linear>("FC1", feat, cfg.fc_hidden, init),
+                kFcInitGain);
+  net.emplace<Plif>("PLIF_FC1", pc);
+  net.emplace<Dropout>("DO2", cfg.dropout, init.next_u64());
+  scale_weights(net.emplace<Linear>("FC2", cfg.fc_hidden, num_classes, init),
+                kFcInitGain);
+  net.emplace<Plif>("PLIF_FC2", pc);
+  return net;
+}
+
+}  // namespace falvolt::snn

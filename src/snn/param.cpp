@@ -1,0 +1,3 @@
+#include "snn/param.h"
+
+// Param is header-only; this TU compiles the header standalone.

@@ -1,0 +1,26 @@
+#pragma once
+// Trainable parameter: a value tensor and its gradient accumulator.
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace falvolt::snn {
+
+/// A named trainable tensor. Gradients are accumulated by layer backward
+/// passes across time steps and samples, then consumed by an Optimizer.
+struct Param {
+  std::string name;
+  tensor::Tensor value;
+  tensor::Tensor grad;
+  bool trainable = true;
+
+  Param() = default;
+  Param(std::string n, tensor::Tensor v)
+      : name(std::move(n)), value(std::move(v)), grad(value.shape()) {}
+
+  void zero_grad() { grad.zero(); }
+  std::size_t size() const { return value.size(); }
+};
+
+}  // namespace falvolt::snn

@@ -1,0 +1,92 @@
+#include "snn/pooling.h"
+
+#include <stdexcept>
+
+namespace falvolt::snn {
+
+AvgPool2d::AvgPool2d(std::string name, int window)
+    : Layer(std::move(name)), window_(window) {
+  if (window <= 0) throw std::invalid_argument("AvgPool2d: window must be > 0");
+}
+
+void AvgPool2d::reset_state() { in_shape_.clear(); }
+
+tensor::Tensor AvgPool2d::forward(const tensor::Tensor& x, int t, Mode mode) {
+  (void)t;
+  (void)mode;
+  if (x.rank() != 4) {
+    throw std::invalid_argument("AvgPool2d: expected [N, C, H, W]");
+  }
+  const int n = x.dim(0);
+  const int c = x.dim(1);
+  const int h = x.dim(2);
+  const int w = x.dim(3);
+  if (h % window_ != 0 || w % window_ != 0) {
+    throw std::invalid_argument("AvgPool2d: H and W must be divisible by window");
+  }
+  in_shape_ = x.shape();
+  const int oh = h / window_;
+  const int ow = w / window_;
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  tensor::Tensor out({n, c, oh, ow});
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* in_plane =
+          x.data() + (static_cast<std::size_t>(s) * c + ch) *
+                         static_cast<std::size_t>(h) * w;
+      float* out_plane =
+          out.data() + (static_cast<std::size_t>(s) * c + ch) *
+                           static_cast<std::size_t>(oh) * ow;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (int ky = 0; ky < window_; ++ky) {
+            const float* row =
+                in_plane + static_cast<std::size_t>(oy * window_ + ky) * w +
+                ox * window_;
+            for (int kx = 0; kx < window_; ++kx) acc += row[kx];
+          }
+          out_plane[static_cast<std::size_t>(oy) * ow + ox] = acc * inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+tensor::Tensor AvgPool2d::backward(const tensor::Tensor& grad_out, int t) {
+  (void)t;
+  if (in_shape_.empty()) {
+    throw std::logic_error("AvgPool2d::backward before forward");
+  }
+  const int n = in_shape_[0];
+  const int c = in_shape_[1];
+  const int h = in_shape_[2];
+  const int w = in_shape_[3];
+  const int oh = h / window_;
+  const int ow = w / window_;
+  const float inv = 1.0f / static_cast<float>(window_ * window_);
+  tensor::Tensor grad_in(in_shape_);
+  for (int s = 0; s < n; ++s) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* g =
+          grad_out.data() + (static_cast<std::size_t>(s) * c + ch) *
+                                static_cast<std::size_t>(oh) * ow;
+      float* gi = grad_in.data() + (static_cast<std::size_t>(s) * c + ch) *
+                                       static_cast<std::size_t>(h) * w;
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          const float v = g[static_cast<std::size_t>(oy) * ow + ox] * inv;
+          for (int ky = 0; ky < window_; ++ky) {
+            float* row = gi + static_cast<std::size_t>(oy * window_ + ky) * w +
+                         ox * window_;
+            for (int kx = 0; kx < window_; ++kx) row[kx] += v;
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace falvolt::snn

@@ -1,0 +1,39 @@
+#include "snn/surrogate.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::snn {
+
+float Surrogate::grad(float z) const {
+  switch (kind) {
+    case SurrogateKind::kTriangle: {
+      const float t = 1.0f - std::fabs(z);
+      return t > 0.0f ? gamma * t : 0.0f;
+    }
+    case SurrogateKind::kSigmoid: {
+      // d/dz sigmoid(gamma*z) = gamma * s * (1 - s)
+      const float s = 1.0f / (1.0f + std::exp(-gamma * z));
+      return gamma * s * (1.0f - s);
+    }
+    case SurrogateKind::kRectangle:
+      return std::fabs(z) < 0.5f ? gamma : 0.0f;
+  }
+  return 0.0f;
+}
+
+std::string Surrogate::to_string() const {
+  const char* k = kind == SurrogateKind::kTriangle   ? "triangle"
+                  : kind == SurrogateKind::kSigmoid ? "sigmoid"
+                                                    : "rectangle";
+  return std::string(k) + "(gamma=" + std::to_string(gamma) + ")";
+}
+
+SurrogateKind parse_surrogate(const std::string& name) {
+  if (name == "triangle") return SurrogateKind::kTriangle;
+  if (name == "sigmoid") return SurrogateKind::kSigmoid;
+  if (name == "rectangle") return SurrogateKind::kRectangle;
+  throw std::invalid_argument("unknown surrogate: " + name);
+}
+
+}  // namespace falvolt::snn

@@ -1,0 +1,32 @@
+#pragma once
+// Surrogate gradients for the non-differentiable spike function.
+//
+// The paper (Eq. 2) uses the triangle surrogate
+//     dS/dz = gamma * max(0, 1 - |z|),   z = v / V_th - 1,
+// i.e. the gradient is largest at the threshold and fades linearly. The
+// sigmoid and rectangular surrogates are provided for the ablation bench.
+
+#include <string>
+
+namespace falvolt::snn {
+
+/// Which surrogate approximates dS/dz in the backward pass.
+enum class SurrogateKind { kTriangle, kSigmoid, kRectangle };
+
+/// Parameters of a surrogate gradient.
+struct Surrogate {
+  SurrogateKind kind = SurrogateKind::kTriangle;
+  /// Peak height for triangle (paper's gamma), slope for sigmoid, height
+  /// for rectangle.
+  float gamma = 1.0f;
+
+  /// dS/dz evaluated at z (z > 0 means the neuron fired).
+  float grad(float z) const;
+
+  std::string to_string() const;
+};
+
+/// Parse "triangle" / "sigmoid" / "rectangle" (throws otherwise).
+SurrogateKind parse_surrogate(const std::string& name);
+
+}  // namespace falvolt::snn

@@ -1,0 +1,74 @@
+#pragma once
+// BPTT training loop and evaluation for spiking networks.
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "snn/network.h"
+#include "snn/optimizer.h"
+
+namespace falvolt::snn {
+
+/// Per-epoch telemetry.
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double test_accuracy = 0.0;  ///< percent; NaN if eval disabled
+  double seconds = 0.0;
+};
+
+/// Training configuration.
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 32;
+  std::uint64_t shuffle_seed = 1;
+  bool eval_each_epoch = true;
+  /// Called after each optimizer epoch, before evaluation. FalVolt uses
+  /// this to re-zero the weights mapped to faulty PEs (Algorithm 1 line 13).
+  std::function<void(Network&)> post_epoch;
+  /// Observation hook (convergence curves).
+  std::function<void(const EpochStats&)> on_epoch;
+};
+
+/// Runs BPTT epochs over a training set.
+class Trainer {
+ public:
+  Trainer(Network& net, Optimizer& opt, const data::Dataset& train,
+          const data::Dataset* test, TrainConfig cfg);
+
+  /// Train for cfg.epochs; returns per-epoch stats.
+  std::vector<EpochStats> run();
+
+  /// One epoch (shuffled mini-batches); returns the mean batch loss.
+  double run_epoch();
+
+ private:
+  Network& net_;
+  Optimizer& opt_;
+  const data::Dataset& train_;
+  const data::Dataset* test_;
+  TrainConfig cfg_;
+  common::Rng shuffle_rng_;
+  int epoch_index_ = 0;
+};
+
+/// Assemble per-time-step batch inputs: element t is [N, C, H, W] holding
+/// frame t of each selected sample.
+std::vector<tensor::Tensor> make_batch(const data::Dataset& ds,
+                                       const std::vector<int>& indices);
+
+/// Labels of the selected samples.
+std::vector<int> batch_labels(const data::Dataset& ds,
+                              const std::vector<int>& indices);
+
+/// Forward a batch through the net in eval mode; returns the mean firing
+/// rate of the output layer, shape [N, classes].
+tensor::Tensor infer_rates(Network& net, const data::Dataset& ds,
+                           const std::vector<int>& indices);
+
+/// Top-1 accuracy (percent) of the network on a dataset.
+double evaluate(Network& net, const data::Dataset& ds, int batch_size = 64);
+
+}  // namespace falvolt::snn

@@ -1,0 +1,67 @@
+#include "systolic/cost_model.h"
+
+#include <stdexcept>
+
+namespace falvolt::systolic {
+
+AreaReport estimate_area(const ArrayConfig& array,
+                         const CostModelConfig& cfg) {
+  AreaReport r;
+  r.pe_area_um2 =
+      cfg.adder_area_um2 + cfg.accumulator_area_um2 + cfg.control_area_um2;
+  r.pe_area_bypass_um2 = r.pe_area_um2 * (1.0 + cfg.bypass_mux_fraction);
+  const double pes = static_cast<double>(array.total_pes());
+  r.array_area_mm2 = r.pe_area_um2 * pes * 1e-6;
+  r.array_area_bypass_mm2 = r.pe_area_bypass_um2 * pes * 1e-6;
+  r.bypass_overhead_fraction =
+      r.array_area_bypass_mm2 / r.array_area_mm2 - 1.0;
+  r.ann_mac_array_area_mm2 =
+      (r.pe_area_um2 + cfg.multiplier_area_um2) * pes * 1e-6;
+  return r;
+}
+
+GemmCost estimate_gemm(const ArrayConfig& array, int m, int k, int n,
+                       double spike_density, const CostModelConfig& cfg) {
+  if (m <= 0 || k <= 0 || n <= 0) {
+    throw std::invalid_argument("estimate_gemm: dimensions must be positive");
+  }
+  if (spike_density < 0.0 || spike_density > 1.0) {
+    throw std::invalid_argument("estimate_gemm: bad spike density");
+  }
+  GemmCost c;
+  const int k_tiles = (padded_k(k, array) + array.rows - 1) / array.rows;
+  for (int n0 = 0; n0 < n; n0 += array.cols) {
+    const int width = std::min(array.cols, n - n0);
+    for (int kt = 0; kt < k_tiles; ++kt) {
+      c.cycles += static_cast<std::uint64_t>(m) + array.rows + width - 1;
+      ++c.tiles;
+    }
+  }
+  c.latency_us = static_cast<double>(c.cycles) / (cfg.clock_ghz * 1e3);
+  const double adds =
+      spike_density * static_cast<double>(m) * k * n;
+  const double hops =
+      static_cast<double>(c.cycles) * array.rows * array.cols * 0.5;
+  c.energy_nj = (adds * cfg.energy_per_add_pj + hops * cfg.energy_per_hop_pj) *
+                1e-3;
+  const double busy = static_cast<double>(m) * k * std::min(n, array.cols);
+  const double capacity = static_cast<double>(c.cycles) *
+                          array.rows * std::min(n, array.cols);
+  c.utilization = capacity > 0.0 ? busy / capacity : 0.0;
+  if (c.utilization > 1.0) c.utilization = 1.0;
+  return c;
+}
+
+GemmCost estimate_reexecution(const GemmCost& base, int redundancy) {
+  if (redundancy < 1) {
+    throw std::invalid_argument("estimate_reexecution: redundancy >= 1");
+  }
+  GemmCost c = base;
+  c.cycles *= static_cast<std::uint64_t>(redundancy);
+  c.tiles *= static_cast<std::uint64_t>(redundancy);
+  c.latency_us *= redundancy;
+  c.energy_nj *= redundancy;
+  return c;
+}
+
+}  // namespace falvolt::systolic

@@ -1,0 +1,64 @@
+#pragma once
+// First-order area / energy / latency model of the systolicSNN.
+//
+// The paper's hardware claims that this model captures: (a) an SNN PE is
+// an adder-subtractor + accumulator (no multiplier), so it is much
+// cheaper than an ANN MAC PE; (b) the Fig. 3b bypass circuitry costs
+// about 8% extra PE area; (c) a weight-stationary GEMM of M vectors over
+// a [K x N] matrix takes (M + rows + width - 1) cycles per tile.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "systolic/mapping.h"
+
+namespace falvolt::systolic {
+
+/// Technology/unit-cost assumptions (defaults are representative 28nm-ish
+/// numbers; only ratios matter for the reported comparisons).
+struct CostModelConfig {
+  double adder_area_um2 = 120.0;       ///< fixed-point adder-subtractor
+  double accumulator_area_um2 = 80.0;  ///< psum register
+  double control_area_um2 = 40.0;      ///< counter + ctrl per PE
+  double multiplier_area_um2 = 620.0;  ///< what an ANN MAC would add
+  double bypass_mux_fraction = 0.08;   ///< paper: "only 8% area overhead"
+  double energy_per_add_pj = 0.03;
+  double energy_per_mult_pj = 0.20;
+  double energy_per_hop_pj = 0.01;     ///< register-to-register transfer
+  double clock_ghz = 1.0;
+};
+
+/// Cost of one GEMM ([M x K] spikes times [K x N] weights) on the array.
+struct GemmCost {
+  std::uint64_t cycles = 0;
+  std::uint64_t tiles = 0;
+  double latency_us = 0.0;
+  double energy_nj = 0.0;       ///< with the given spike density
+  double utilization = 0.0;     ///< busy PEs / total PEs
+};
+
+/// Whole-array area in um^2, with and without bypass circuitry.
+struct AreaReport {
+  double pe_area_um2 = 0.0;          ///< one PE, no bypass
+  double pe_area_bypass_um2 = 0.0;   ///< one PE with bypass mux
+  double array_area_mm2 = 0.0;
+  double array_area_bypass_mm2 = 0.0;
+  double bypass_overhead_fraction = 0.0;
+  double ann_mac_array_area_mm2 = 0.0;  ///< same grid built from MAC PEs
+};
+
+AreaReport estimate_area(const ArrayConfig& array,
+                         const CostModelConfig& cfg = {});
+
+/// Analytical GEMM cost; `spike_density` is the fraction of nonzero
+/// spikes in A (drives adder activations).
+GemmCost estimate_gemm(const ArrayConfig& array, int m, int k, int n,
+                       double spike_density,
+                       const CostModelConfig& cfg = {});
+
+/// Latency/energy penalty of re-executing every inference R times
+/// (the redundant-execution alternative the paper argues against).
+GemmCost estimate_reexecution(const GemmCost& base, int redundancy);
+
+}  // namespace falvolt::systolic

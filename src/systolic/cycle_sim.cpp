@@ -1,0 +1,148 @@
+#include "systolic/cycle_sim.h"
+
+#include <stdexcept>
+
+namespace falvolt::systolic {
+
+SystolicArraySim::SystolicArraySim(const ArrayConfig& cfg,
+                                   const fault::FaultMap* map,
+                                   bool bypass_faulty)
+    : cfg_(cfg),
+      map_(map),
+      bypass_faulty_(bypass_faulty),
+      pes_(static_cast<std::size_t>(cfg.rows) * cfg.cols) {
+  if (map_ && (map_->rows() != cfg.rows || map_->cols() != cfg.cols)) {
+    throw std::invalid_argument(
+        "SystolicArraySim: fault map does not match array dimensions");
+  }
+  if (map_) {
+    for (const auto& f : map_->faults()) {
+      ProcessingElement& pe =
+          pes_[static_cast<std::size_t>(f.row) * cfg_.cols + f.col];
+      pe.set_stuck_bits(f.bits);
+      pe.set_bypassed(bypass_faulty_);
+    }
+  }
+}
+
+void SystolicArraySim::run_tile(const tensor::Tensor& a,
+                                const tensor::Tensor& w, int k0, int n0,
+                                int width, std::vector<std::int32_t>& psums_in,
+                                CycleStats& stats) {
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int rows = cfg_.rows;
+  const fx::FixedFormat& fmt = cfg_.format;
+
+  // Load weights of this tile (zero for logical rows beyond K).
+  for (int r = 0; r < rows; ++r) {
+    const int kk = k0 + r;
+    for (int c = 0; c < width; ++c) {
+      ProcessingElement& pe =
+          pes_[static_cast<std::size_t>(r) * cfg_.cols + c];
+      pe.load_weight(kk < k ? fmt.quantize(w.at2(kk, n0 + c)) : 0);
+    }
+  }
+
+  // Register state: spikes move right, psums move down.
+  std::vector<std::uint8_t> a_reg(static_cast<std::size_t>(rows) * width, 0);
+  std::vector<std::int32_t> p_reg(static_cast<std::size_t>(rows) * width, 0);
+  std::vector<std::uint8_t> a_next(a_reg.size());
+  std::vector<std::int32_t> p_next(p_reg.size());
+
+  // Vector i's spike for row r enters at cycle i + r; its psum for column
+  // c exits the bottom row at the end of cycle i + (rows - 1) + c.
+  const int total_cycles = m + rows + width - 1;
+  std::vector<std::int32_t> psums_out(
+      static_cast<std::size_t>(m) * width, 0);
+
+  for (int t = 0; t < total_cycles; ++t) {
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < width; ++c) {
+        const std::size_t idx = static_cast<std::size_t>(r) * width + c;
+        // Spike arriving from the left (edge input is skewed by r).
+        std::uint8_t spike = 0;
+        if (c == 0) {
+          const int i = t - r;
+          if (i >= 0 && i < m) {
+            const float av = a.at2(i, k0 + r < k ? k0 + r : 0);
+            const float raw = (k0 + r < k) ? av : 0.0f;
+            if (raw != 0.0f && raw != 1.0f) {
+              throw std::invalid_argument(
+                  "SystolicArraySim: inputs must be binary spikes");
+            }
+            spike = raw == 1.0f ? 1 : 0;
+          }
+        } else {
+          spike = a_reg[idx - 1];
+        }
+        // Psum arriving from above; row 0 takes the previous K-tile's
+        // psum for this column, skewed by c.
+        std::int32_t psum_in = 0;
+        if (r == 0) {
+          const int i = t - c;
+          if (i >= 0 && i < m) {
+            psum_in = psums_in[static_cast<std::size_t>(i) * width + c];
+          }
+        } else {
+          psum_in = p_reg[idx - static_cast<std::size_t>(width)];
+        }
+        const ProcessingElement& pe =
+            pes_[static_cast<std::size_t>(r) * cfg_.cols + c];
+        p_next[idx] = pe.step(spike == 1, psum_in, fmt);
+        a_next[idx] = spike;
+        if (spike && !pe.bypassed()) ++stats.accumulates;
+      }
+    }
+    a_reg.swap(a_next);
+    p_reg.swap(p_next);
+    ++stats.cycles;
+    // Collect bottom-row outputs: vector i's column c psum is in the
+    // bottom register at the end of cycle i + rows - 1 + c.
+    for (int c = 0; c < width; ++c) {
+      const int i = t - (rows - 1) - c;
+      if (i >= 0 && i < m) {
+        psums_out[static_cast<std::size_t>(i) * width + c] =
+            p_reg[static_cast<std::size_t>(rows - 1) * width + c];
+      }
+    }
+  }
+  psums_in.swap(psums_out);
+  ++stats.tiles;
+}
+
+tensor::Tensor SystolicArraySim::matmul(const tensor::Tensor& a,
+                                        const tensor::Tensor& w,
+                                        CycleStats* stats) {
+  if (a.rank() != 2 || w.rank() != 2 || a.dim(1) != w.dim(0)) {
+    throw std::invalid_argument("SystolicArraySim::matmul: bad shapes");
+  }
+  const int m = a.dim(0);
+  const int k = a.dim(1);
+  const int n = w.dim(1);
+  CycleStats local;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 1.0f) ++local.spikes_in;
+  }
+
+  tensor::Tensor c({m, n});
+  const int k_tiles = (padded_k(k, cfg_) + cfg_.rows - 1) / cfg_.rows;
+  for (int n0 = 0; n0 < n; n0 += cfg_.cols) {
+    const int width = std::min(cfg_.cols, n - n0);
+    std::vector<std::int32_t> psums(
+        static_cast<std::size_t>(m) * width, 0);
+    for (int kt = 0; kt < k_tiles; ++kt) {
+      run_tile(a, w, kt * cfg_.rows, n0, width, psums, local);
+    }
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < width; ++j) {
+        c.at2(i, n0 + j) = static_cast<float>(cfg_.format.dequantize(
+            psums[static_cast<std::size_t>(i) * width + j]));
+      }
+    }
+  }
+  if (stats) *stats = local;
+  return c;
+}
+
+}  // namespace falvolt::systolic

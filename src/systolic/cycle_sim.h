@@ -1,0 +1,65 @@
+#pragma once
+// Register-level, cycle-accurate weight-stationary systolic array
+// simulator.
+//
+// Dataflow (paper Fig. 1): weights are pre-stored, binary spikes enter at
+// the left edge (input row r is skewed by r cycles) and travel right one
+// PE per cycle; partial sums travel down one PE per cycle, each PE
+// accumulating its weight when the passing spike is 1 and corrupting the
+// psum with its stuck bits. GEMMs larger than the array are tiled over
+// both K (psums re-enter the top, skewed) and N.
+//
+// This simulator exists as the ground truth for the fast functional
+// engine (they are tested bit-identical) and to report cycle counts for
+// the cost model. It is O(cycles * rows * cols), so use it with small
+// arrays; the figure benches use the functional engine.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_map.h"
+#include "systolic/mapping.h"
+#include "systolic/pe.h"
+#include "tensor/tensor.h"
+
+namespace falvolt::systolic {
+
+/// Telemetry from a cycle-level run.
+struct CycleStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t tiles = 0;
+  std::uint64_t spikes_in = 0;       ///< nonzero spikes fed to the array
+  std::uint64_t accumulates = 0;     ///< adder activations
+};
+
+class SystolicArraySim {
+ public:
+  /// `map` may be nullptr (golden chip). `bypass_faulty` engages the
+  /// Fig. 3b mux on every faulty PE.
+  SystolicArraySim(const ArrayConfig& cfg, const fault::FaultMap* map,
+                   bool bypass_faulty = false);
+
+  /// C = A * W with A [M x K] strictly binary (0/1 spikes) and W [K x N]
+  /// float (quantized internally). Returns float C; `stats` (optional)
+  /// receives cycle telemetry.
+  tensor::Tensor matmul(const tensor::Tensor& a, const tensor::Tensor& w,
+                        CycleStats* stats = nullptr);
+
+  const ArrayConfig& config() const { return cfg_; }
+
+ private:
+  /// Simulate one (K-tile, N-tile) pass: weights for logical rows
+  /// [k0, k0+rows) and columns [n0, n0+width) are loaded; `psums_in` holds
+  /// the raw psum per (input vector, local column) entering from the
+  /// previous K-tile and is replaced with this tile's outputs.
+  void run_tile(const tensor::Tensor& a, const tensor::Tensor& w, int k0,
+                int n0, int width, std::vector<std::int32_t>& psums_in,
+                CycleStats& stats);
+
+  ArrayConfig cfg_;
+  const fault::FaultMap* map_;
+  bool bypass_faulty_;
+  std::vector<ProcessingElement> pes_;  // rows x cols, row-major
+};
+
+}  // namespace falvolt::systolic

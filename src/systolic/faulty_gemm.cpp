@@ -1,0 +1,107 @@
+#include "systolic/faulty_gemm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::systolic {
+
+SystolicGemmEngine::SystolicGemmEngine(const ArrayConfig& cfg,
+                                       const fault::FaultMap* map,
+                                       FaultHandling handling)
+    : cfg_(cfg), map_(map), handling_(handling) {
+  if (map_ && (map_->rows() != cfg.rows || map_->cols() != cfg.cols)) {
+    throw std::invalid_argument(
+        "SystolicGemmEngine: fault map does not match array dimensions");
+  }
+}
+
+void SystolicGemmEngine::clear_plans() { plans_.clear(); }
+
+const SystolicGemmEngine::LayerPlan& SystolicGemmEngine::plan_for(
+    const std::string& tag, const float* w, int k, int n) {
+  auto it = plans_.find(tag);
+  if (it != plans_.end() && it->second.weight_ptr == w &&
+      it->second.k == k && it->second.n == n) {
+    return it->second;
+  }
+  LayerPlan plan;
+  plan.k = k;
+  plan.n = n;
+  plan.padded_k = padded_k(k, cfg_);
+  plan.weight_ptr = w;
+  plan.qweights.resize(static_cast<std::size_t>(k) * n);
+  for (int kk = 0; kk < k; ++kk) {
+    for (int j = 0; j < n; ++j) {
+      const bool bypassed =
+          handling_ == FaultHandling::kBypass && map_ &&
+          map_->is_faulty(kk % cfg_.rows, j % cfg_.cols);
+      plan.qweights[static_cast<std::size_t>(kk) * n + j] =
+          bypassed ? 0
+                   : cfg_.format.quantize(
+                         w[static_cast<std::size_t>(kk) * n + j]);
+    }
+  }
+  plan.column_events.assign(static_cast<std::size_t>(n), {});
+  if (map_ && handling_ == FaultHandling::kCorrupt) {
+    for (int j = 0; j < n; ++j) {
+      auto& events = plan.column_events[static_cast<std::size_t>(j)];
+      const int pe_col = j % cfg_.cols;
+      for (int pos = 0; pos < plan.padded_k; ++pos) {
+        const fx::StuckBits* bits = map_->at(pos % cfg_.rows, pe_col);
+        if (bits) events.push_back(FaultEvent{pos, *bits});
+      }
+    }
+  }
+  auto [ins, _] = plans_.insert_or_assign(tag, std::move(plan));
+  return ins->second;
+}
+
+void SystolicGemmEngine::run(const float* a, const float* w, float* c, int m,
+                             int k, int n, const std::string& layer_tag) {
+  const LayerPlan& plan = plan_for(layer_tag, w, k, n);
+  const fx::FixedFormat& fmt = cfg_.format;
+
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const auto& events = plan.column_events[static_cast<std::size_t>(j)];
+      std::int32_t acc = 0;
+
+      // Accumulate weights over positions [lo, hi) of the traversal.
+      const auto accumulate_segment = [&](int lo, int hi) {
+        const int stop = std::min(hi, plan.k);  // padding rows hold w == 0
+        for (int kk = lo; kk < stop; ++kk) {
+          const float av = arow[kk];
+          if (av == 0.0f) continue;
+          std::int32_t contrib =
+              plan.qweights[static_cast<std::size_t>(kk) * n + j];
+          if (av != 1.0f) {
+            // Real-valued activation (spike-encoder input): fixed multiply.
+            contrib = fmt.mul(contrib, fmt.quantize(av));
+          }
+          acc = fmt.add(acc, contrib);
+          ++steps_;
+        }
+      };
+
+      if (events.empty()) {
+        accumulate_segment(0, plan.padded_k);
+      } else {
+        int cursor = 0;
+        for (const FaultEvent& ev : events) {
+          // All accumulation strictly before the faulty position, then the
+          // faulty PE's own accumulate step, then its corruption.
+          accumulate_segment(cursor, ev.pos);
+          accumulate_segment(ev.pos, ev.pos + 1);
+          acc = ev.bits.apply(acc, fmt);
+          cursor = ev.pos + 1;
+        }
+        accumulate_segment(cursor, plan.padded_k);
+      }
+      crow[j] = static_cast<float>(fmt.dequantize(acc));
+    }
+  }
+}
+
+}  // namespace falvolt::systolic

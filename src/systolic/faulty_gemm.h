@@ -1,0 +1,74 @@
+#pragma once
+// Functional (bit-accurate, order-accurate) model of GEMM on the faulty
+// systolic array.
+//
+// For one output element C[i][j], the partial sum traverses the PE column
+// j mod cols once per K-tile, visiting logical positions kk = 0 ..
+// padded_k-1 in order; at each position the PE accumulates (spike-gated
+// add of the pre-stored weight) and its stuck accumulator bits corrupt
+// the outgoing value. This engine reproduces that traversal exactly —
+// including corruption by idle padding rows and saturation per step — and
+// is tested bit-identical against the register-level cycle simulator.
+//
+// Fault handling modes:
+//   kCorrupt — stuck bits corrupt the psum (the unmitigated chip);
+//   kBypass  — faulty PEs are bypassed by the Fig. 3b mux: their weight
+//              contribution is dropped and no corruption occurs (the
+//              hardware side of FaP/FalVolt).
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_map.h"
+#include "snn/layer.h"
+#include "systolic/mapping.h"
+
+namespace falvolt::systolic {
+
+class SystolicGemmEngine final : public snn::GemmEngine {
+ public:
+  enum class FaultHandling { kCorrupt, kBypass };
+
+  /// `map` may be nullptr (a golden chip: quantization effects only).
+  /// The map, when given, must match the array dimensions.
+  SystolicGemmEngine(const ArrayConfig& cfg, const fault::FaultMap* map,
+                     FaultHandling handling = FaultHandling::kCorrupt);
+
+  void run(const float* a, const float* w, float* c, int m, int k, int n,
+           const std::string& layer_tag) override;
+
+  /// Drop cached per-layer quantized weights (call after weights change).
+  void clear_plans();
+
+  const ArrayConfig& config() const { return cfg_; }
+  FaultHandling handling() const { return handling_; }
+
+  /// Total accumulate steps executed since construction (bench telemetry).
+  std::uint64_t accumulate_steps() const { return steps_; }
+
+ private:
+  struct FaultEvent {
+    int pos = 0;  // traversal position in [0, padded_k)
+    fx::StuckBits bits;
+  };
+  struct LayerPlan {
+    std::vector<std::int32_t> qweights;  // [k x n], bypassed weights zeroed
+    std::vector<std::vector<FaultEvent>> column_events;  // per output col j
+    int k = 0;
+    int n = 0;
+    int padded_k = 0;
+    const float* weight_ptr = nullptr;  // identity of the source weights
+  };
+
+  const LayerPlan& plan_for(const std::string& tag, const float* w, int k,
+                            int n);
+
+  ArrayConfig cfg_;
+  const fault::FaultMap* map_;
+  FaultHandling handling_;
+  std::unordered_map<std::string, LayerPlan> plans_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace falvolt::systolic

@@ -1,0 +1,39 @@
+#include "systolic/mapping.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace falvolt::systolic {
+
+std::string ArrayConfig::to_string() const {
+  std::ostringstream os;
+  os << rows << "x" << cols << " " << format.to_string();
+  return os.str();
+}
+
+PeCoord pe_for_weight(int k, int m, const ArrayConfig& cfg) {
+  if (k < 0 || m < 0) {
+    throw std::invalid_argument("pe_for_weight: negative index");
+  }
+  return PeCoord{k % cfg.rows, m % cfg.cols};
+}
+
+int weights_on_pe(int k_dim, int m_dim, PeCoord pe, const ArrayConfig& cfg) {
+  if (pe.row < 0 || pe.row >= cfg.rows || pe.col < 0 || pe.col >= cfg.cols) {
+    throw std::invalid_argument("weights_on_pe: PE out of range");
+  }
+  // Count of k in [0, k_dim) with k % rows == pe.row, times same for m.
+  const auto fold_count = [](int extent, int residue, int modulus) {
+    if (residue >= extent) return 0;
+    return (extent - residue - 1) / modulus + 1;
+  };
+  return fold_count(k_dim, pe.row, cfg.rows) *
+         fold_count(m_dim, pe.col, cfg.cols);
+}
+
+int padded_k(int k_dim, const ArrayConfig& cfg) {
+  if (k_dim <= 0) throw std::invalid_argument("padded_k: k_dim must be > 0");
+  return ((k_dim + cfg.rows - 1) / cfg.rows) * cfg.rows;
+}
+
+}  // namespace falvolt::systolic

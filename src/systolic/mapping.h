@@ -1,0 +1,42 @@
+#pragma once
+// Weight-stationary mapping of GEMM operands onto the PE grid.
+
+#include <string>
+
+#include "fixed/fixed_format.h"
+
+namespace falvolt::systolic {
+
+/// Static configuration of the accelerator array.
+struct ArrayConfig {
+  int rows = 256;
+  int cols = 256;
+  fx::FixedFormat format = fx::FixedFormat::q8_8();
+
+  int total_pes() const { return rows * cols; }
+  std::string to_string() const;
+};
+
+/// Physical PE coordinate.
+struct PeCoord {
+  int row = 0;
+  int col = 0;
+  bool operator==(const PeCoord& o) const {
+    return row == o.row && col == o.col;
+  }
+};
+
+/// PE executing weight element (k, m) of a [K x M] GEMM: the array is
+/// folded over both dimensions, so (k, m) -> (k mod rows, m mod cols).
+PeCoord pe_for_weight(int k, int m, const ArrayConfig& cfg);
+
+/// Number of weight elements of a [K x M] layer that fold onto PE `pe`
+/// (the blast radius of bypassing that PE for this layer).
+int weights_on_pe(int k_dim, int m_dim, PeCoord pe, const ArrayConfig& cfg);
+
+/// Padded K extent: the psum traverses whole columns, so a GEMM with
+/// K <= rows still passes through all `rows` PEs (idle rows hold zero
+/// weights but their stuck accumulator bits still corrupt the psum).
+int padded_k(int k_dim, const ArrayConfig& cfg);
+
+}  // namespace falvolt::systolic

@@ -1,0 +1,4 @@
+#include "systolic/pe.h"
+
+// ProcessingElement is header-only (hot path, inlined); this TU compiles
+// the header standalone.

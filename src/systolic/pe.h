@@ -1,0 +1,60 @@
+#pragma once
+// Behavioural model of one processing element (paper Fig. 3).
+//
+// A systolicSNN PE has no multiplier: a 1-bit input spike gates the
+// accumulation of the pre-stored fixed-point weight into the column
+// partial sum through an adder-subtractor (the subtract path handles
+// negative weights). A permanently faulty PE corrupts its accumulator
+// output every cycle; the bypass mux (Fig. 3b) instead forwards the
+// incoming partial sum untouched, at the cost of dropping this PE's
+// contribution.
+
+#include <cstdint>
+
+#include "fixed/fixed_format.h"
+#include "fixed/stuck_bits.h"
+
+namespace falvolt::systolic {
+
+/// One weight-stationary PE.
+class ProcessingElement {
+ public:
+  ProcessingElement() = default;
+
+  /// Pre-store the weight (raw fixed-point).
+  void load_weight(std::int32_t raw) { weight_ = raw; }
+  std::int32_t weight() const { return weight_; }
+
+  /// Attach the manufacturing defect of this PE (none by default).
+  void set_stuck_bits(const fx::StuckBits& bits) { stuck_ = bits; }
+  const fx::StuckBits& stuck_bits() const { return stuck_; }
+  bool faulty() const { return !stuck_.none(); }
+
+  /// Engage the hardware bypass mux: the PE forwards psum_in unchanged.
+  void set_bypassed(bool bypassed) { bypassed_ = bypassed; }
+  bool bypassed() const { return bypassed_; }
+
+  /// One accumulate step: psum_out = corrupt(psum_in + spike * weight).
+  /// The stuck bits apply to the accumulator *output*, i.e. also when the
+  /// spike is 0 and the psum merely passes through the accumulator.
+  std::int32_t step(bool spike, std::int32_t psum_in,
+                    const fx::FixedFormat& fmt) const {
+    if (bypassed_) return psum_in;
+    std::int32_t acc = spike ? fmt.add(psum_in, weight_) : psum_in;
+    if (!stuck_.none()) acc = stuck_.apply(acc, fmt);
+    return acc;
+  }
+
+  /// Spike bookkeeping for the inference-phase counter in Fig. 3a.
+  void count_spike(bool spike) { spike_count_ += spike ? 1 : 0; }
+  std::uint64_t spike_count() const { return spike_count_; }
+  void reset_spike_count() { spike_count_ = 0; }
+
+ private:
+  std::int32_t weight_ = 0;
+  fx::StuckBits stuck_;
+  bool bypassed_ = false;
+  std::uint64_t spike_count_ = 0;
+};
+
+}  // namespace falvolt::systolic

@@ -1,0 +1,28 @@
+#pragma once
+// Float GEMM kernels. Conv and FC layers lower to
+//   C[M x N] = A[M x K] * B[K x N]  (+ accumulate variants)
+// via im2col, so one well-ordered kernel serves the whole library.
+
+#include <cstddef>
+
+#include "tensor/tensor.h"
+
+namespace falvolt::tensor {
+
+/// C = A * B. A is MxK, B is KxN, C is MxN; all row-major raw pointers.
+/// `accumulate` adds into C instead of overwriting it.
+void gemm(const float* a, const float* b, float* c, int m, int k, int n,
+          bool accumulate = false);
+
+/// C = A^T * B where A is KxM (so A^T is MxK). Used for weight gradients.
+void gemm_at_b(const float* a, const float* b, float* c, int k, int m, int n,
+               bool accumulate = false);
+
+/// C = A * B^T where B is NxK (so B^T is KxN). Used for input gradients.
+void gemm_a_bt(const float* a, const float* b, float* c, int m, int k, int n,
+               bool accumulate = false);
+
+/// Tensor convenience wrapper: returns A(MxK) * B(KxN).
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+}  // namespace falvolt::tensor

@@ -1,0 +1,60 @@
+#include "tensor/im2col.h"
+
+#include <cstring>
+
+namespace falvolt::tensor {
+
+void im2col(const float* input, const ConvGeometry& g, float* out) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int patch = g.patch_size();
+  std::memset(out, 0,
+              sizeof(float) * static_cast<std::size_t>(oh) * ow * patch);
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      float* row = out + (static_cast<std::size_t>(oy) * ow + ox) * patch;
+      int col = 0;
+      for (int c = 0; c < g.in_channels; ++c) {
+        const float* plane =
+            input + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+        for (int ky = 0; ky < g.kernel_h; ++ky) {
+          const int iy = oy * g.stride + ky - g.pad;
+          for (int kx = 0; kx < g.kernel_w; ++kx, ++col) {
+            const int ix = ox * g.stride + kx - g.pad;
+            if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+              row[col] = plane[static_cast<std::size_t>(iy) * g.in_w + ix];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, const ConvGeometry& g, float* grad_input) {
+  const int oh = g.out_h();
+  const int ow = g.out_w();
+  const int patch = g.patch_size();
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      const float* row =
+          cols + (static_cast<std::size_t>(oy) * ow + ox) * patch;
+      int col = 0;
+      for (int c = 0; c < g.in_channels; ++c) {
+        float* plane =
+            grad_input + static_cast<std::size_t>(c) * g.in_h * g.in_w;
+        for (int ky = 0; ky < g.kernel_h; ++ky) {
+          const int iy = oy * g.stride + ky - g.pad;
+          for (int kx = 0; kx < g.kernel_w; ++kx, ++col) {
+            const int ix = ox * g.stride + kx - g.pad;
+            if (iy >= 0 && iy < g.in_h && ix >= 0 && ix < g.in_w) {
+              plane[static_cast<std::size_t>(iy) * g.in_w + ix] += row[col];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace falvolt::tensor

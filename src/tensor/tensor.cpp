@@ -1,0 +1,101 @@
+#include "tensor/tensor.h"
+
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace falvolt::tensor {
+
+std::size_t numel(const Shape& shape) {
+  std::size_t n = 1;
+  for (const int d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= static_cast<std::size_t>(d);
+  }
+  return n;
+}
+
+std::string shape_str(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)), data_(numel(shape_)) {}
+
+Tensor::Tensor(Shape shape, float fill)
+    : shape_(std::move(shape)), data_(numel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::initializer_list<float> values)
+    : shape_(std::move(shape)), data_(values) {
+  if (data_.size() != numel(shape_)) {
+    throw std::invalid_argument("Tensor: initializer size != shape numel");
+  }
+}
+
+int Tensor::dim(int i) const {
+  if (i < 0 || i >= rank()) throw std::out_of_range("Tensor::dim");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at(std::size_t i) {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+  if (i >= data_.size()) throw std::out_of_range("Tensor::at");
+  return data_[i];
+}
+
+float& Tensor::at2(int r, int c) {
+  if (rank() != 2) throw std::logic_error("Tensor::at2 on non-2D tensor");
+  if (r < 0 || r >= shape_[0] || c < 0 || c >= shape_[1]) {
+    throw std::out_of_range("Tensor::at2");
+  }
+  return data_[static_cast<std::size_t>(r) * shape_[1] + c];
+}
+
+float Tensor::at2(int r, int c) const {
+  return const_cast<Tensor*>(this)->at2(r, c);
+}
+
+float& Tensor::at4(int n, int c, int h, int w) {
+  if (rank() != 4) throw std::logic_error("Tensor::at4 on non-4D tensor");
+  if (n < 0 || n >= shape_[0] || c < 0 || c >= shape_[1] || h < 0 ||
+      h >= shape_[2] || w < 0 || w >= shape_[3]) {
+    throw std::out_of_range("Tensor::at4");
+  }
+  const std::size_t idx =
+      ((static_cast<std::size_t>(n) * shape_[1] + c) * shape_[2] + h) *
+          shape_[3] +
+      w;
+  return data_[idx];
+}
+
+float Tensor::at4(int n, int c, int h, int w) const {
+  return const_cast<Tensor*>(this)->at4(n, c, h, w);
+}
+
+Tensor Tensor::reshaped(Shape new_shape) const {
+  if (numel(new_shape) != data_.size()) {
+    throw std::invalid_argument("Tensor::reshaped: element count mismatch " +
+                                shape_str(shape_) + " -> " +
+                                shape_str(new_shape));
+  }
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+}  // namespace falvolt::tensor

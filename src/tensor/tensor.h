@@ -1,0 +1,85 @@
+#pragma once
+// Dense float32 ND tensor, row-major, value-semantic.
+//
+// This is the numeric substrate for the SNN library. It is deliberately
+// small: shapes up to rank 4 (batch, channel, height, width), contiguous
+// storage, no broadcasting machinery — the layers that need broadcast-like
+// behaviour (batch norm, bias add) implement it explicitly in loops.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace falvolt::tensor {
+
+/// Shape of a tensor: a short vector of non-negative dimensions.
+using Shape = std::vector<int>;
+
+/// Number of elements of a shape (product of dims; empty shape -> 1 scalar).
+std::size_t numel(const Shape& shape);
+
+/// Render "[2, 3, 4]".
+std::string shape_str(const Shape& shape);
+
+/// Dense float tensor with value semantics (copy copies the data).
+class Tensor {
+ public:
+  /// Empty tensor (rank 0, one element? no: zero elements, null shape).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// Tensor filled with `fill`.
+  Tensor(Shape shape, float fill);
+
+  /// Tensor initialized from a flat list (size must match the shape).
+  Tensor(Shape shape, std::initializer_list<float> values);
+
+  static Tensor zeros(Shape shape) { return Tensor(std::move(shape)); }
+  static Tensor full(Shape shape, float v) { return Tensor(std::move(shape), v); }
+
+  const Shape& shape() const { return shape_; }
+  int dim(int i) const;
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Bounds-checked element access (debug-friendly paths, tests).
+  float& at(std::size_t i);
+  float at(std::size_t i) const;
+
+  /// 2D indexed access: tensor must be rank 2.
+  float& at2(int r, int c);
+  float at2(int r, int c) const;
+
+  /// 4D indexed access: tensor must be rank 4 (N, C, H, W).
+  float& at4(int n, int c, int h, int w);
+  float at4(int n, int c, int h, int w) const;
+
+  /// Reinterpret the data with a new shape of equal element count.
+  Tensor reshaped(Shape new_shape) const;
+
+  /// Fill in place.
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Iterators over the flat data.
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace falvolt::tensor

@@ -1,0 +1,132 @@
+#include "tensor/tensor_ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace falvolt::tensor {
+
+namespace {
+void check_same_shape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                shape_str(a.shape()) + " vs " +
+                                shape_str(b.shape()));
+  }
+}
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "sub");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul");
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor out(a.shape());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "add_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  check_same_shape(a, b, "axpy_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+void mul_inplace(Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "mul_inplace");
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= b[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] *= s;
+}
+
+double sum(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i];
+  return acc;
+}
+
+double mean(const Tensor& a) {
+  return a.size() ? sum(a) / static_cast<double>(a.size()) : 0.0;
+}
+
+float max_value(const Tensor& a) {
+  if (a.empty()) throw std::invalid_argument("max_value: empty tensor");
+  float best = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) best = std::max(best, a[i]);
+  return best;
+}
+
+std::size_t argmax(const Tensor& a) {
+  if (a.empty()) throw std::invalid_argument("argmax: empty tensor");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    if (a[i] > a[best]) best = i;
+  }
+  return best;
+}
+
+std::vector<int> argmax_rows(const Tensor& a) {
+  if (a.rank() != 2) throw std::invalid_argument("argmax_rows: need 2D");
+  const int rows = a.dim(0);
+  const int cols = a.dim(1);
+  if (cols == 0) throw std::invalid_argument("argmax_rows: zero columns");
+  std::vector<int> out(static_cast<std::size_t>(rows));
+  for (int r = 0; r < rows; ++r) {
+    const float* p = a.data() + static_cast<std::size_t>(r) * cols;
+    int best = 0;
+    for (int c = 1; c < cols; ++c) {
+      if (p[c] > p[best]) best = c;
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+std::size_t count_nonzero(const Tensor& a, float tol) {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i]) > tol) ++n;
+  }
+  return n;
+}
+
+double max_abs_diff(const Tensor& a, const Tensor& b) {
+  check_same_shape(a, b, "max_abs_diff");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(static_cast<double>(a[i]) - b[i]));
+  }
+  return worst;
+}
+
+double l2_norm(const Tensor& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += static_cast<double>(a[i]) * a[i];
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace falvolt::tensor

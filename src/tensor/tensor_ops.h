@@ -1,0 +1,46 @@
+#pragma once
+// Elementwise and reduction operations on Tensor.
+
+#include "tensor/tensor.h"
+
+namespace falvolt::tensor {
+
+/// a + b elementwise (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+/// a - b elementwise.
+Tensor sub(const Tensor& a, const Tensor& b);
+/// a * b elementwise (Hadamard).
+Tensor mul(const Tensor& a, const Tensor& b);
+/// a * s.
+Tensor scale(const Tensor& a, float s);
+
+/// In-place a += b.
+void add_inplace(Tensor& a, const Tensor& b);
+/// In-place a += s * b (axpy).
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+/// In-place a *= b elementwise (used to apply prune masks).
+void mul_inplace(Tensor& a, const Tensor& b);
+/// In-place a *= s.
+void scale_inplace(Tensor& a, float s);
+
+/// Sum of all elements.
+double sum(const Tensor& a);
+/// Mean of all elements (0 for empty).
+double mean(const Tensor& a);
+/// Max element (throws on empty).
+float max_value(const Tensor& a);
+/// Index of the max element (throws on empty).
+std::size_t argmax(const Tensor& a);
+/// Argmax over the last dimension for each row of a 2D tensor.
+std::vector<int> argmax_rows(const Tensor& a);
+
+/// Count of nonzero elements.
+std::size_t count_nonzero(const Tensor& a, float tol = 0.0f);
+
+/// Max |a - b| (shapes must match).
+double max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// L2 norm of all elements.
+double l2_norm(const Tensor& a);
+
+}  // namespace falvolt::tensor

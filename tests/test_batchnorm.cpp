@@ -1,0 +1,129 @@
+#include "snn/batchnorm.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace falvolt::snn {
+namespace {
+
+using falvolt::testutil::analytic_grads;
+using falvolt::testutil::numeric_grad;
+using falvolt::testutil::random_tensor;
+
+TEST(BatchNorm, NormalizesPerChannelInTraining) {
+  common::Rng rng(1);
+  BatchNorm2d bn("bn", 3);
+  bn.reset_state();
+  tensor::Tensor x = random_tensor({4, 3, 5, 5}, rng, -2.0, 5.0);
+  const tensor::Tensor y = bn.forward(x, 0, Mode::kTrain);
+  // Per channel: mean ~0, var ~1.
+  const std::size_t plane = 25;
+  for (int c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    for (int n = 0; n < 4; ++n) {
+      const float* p = y.data() + (static_cast<std::size_t>(n) * 3 + c) * plane;
+      for (std::size_t i = 0; i < plane; ++i) {
+        sum += p[i];
+        sq += static_cast<double>(p[i]) * p[i];
+      }
+    }
+    const double mean = sum / 100.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(sq / 100.0 - mean * mean, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, GammaBetaAffectOutput) {
+  common::Rng rng(2);
+  BatchNorm2d bn("bn", 1);
+  bn.params()[0]->value[0] = 2.0f;  // gamma
+  bn.params()[1]->value[0] = 5.0f;  // beta
+  bn.reset_state();
+  tensor::Tensor x = random_tensor({4, 1, 3, 3}, rng);
+  const tensor::Tensor y = bn.forward(x, 0, Mode::kTrain);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) sum += y[i];
+  EXPECT_NEAR(sum / y.size(), 5.0, 1e-4);  // beta shifts the mean
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  common::Rng rng(3);
+  BatchNorm2d bn("bn", 2);
+  // Train on several batches to populate running stats.
+  for (int t = 0; t < 1; ++t) {
+    for (int rep = 0; rep < 50; ++rep) {
+      bn.reset_state();
+      tensor::Tensor x = random_tensor({8, 2, 4, 4}, rng, 2.0, 4.0);
+      bn.forward(x, 0, Mode::kTrain);
+    }
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0, 0.1);
+  // Eval: an input equal to the running mean maps near beta = 0.
+  bn.reset_state();
+  tensor::Tensor x({1, 2, 4, 4}, 3.0f);
+  const tensor::Tensor y = bn.forward(x, 0, Mode::kEval);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], 0.0f, 0.3f);
+  }
+}
+
+TEST(BatchNorm, StatsNotUpdatedInEval) {
+  common::Rng rng(4);
+  BatchNorm2d bn("bn", 1);
+  const float mean_before = bn.running_mean()[0];
+  bn.reset_state();
+  tensor::Tensor x = random_tensor({4, 1, 4, 4}, rng, 10.0, 12.0);
+  bn.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(bn.running_mean()[0], mean_before);
+}
+
+TEST(BatchNorm, RunningStatsExposedAsNonTrainableParams) {
+  BatchNorm2d bn("bn", 2);
+  const auto params = bn.params();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_TRUE(params[0]->trainable);   // gamma
+  EXPECT_TRUE(params[1]->trainable);   // beta
+  EXPECT_FALSE(params[2]->trainable);  // running_mean
+  EXPECT_FALSE(params[3]->trainable);  // running_var
+}
+
+TEST(BatchNorm, GradientsMatchFiniteDifference) {
+  common::Rng rng(5);
+  BatchNorm2d bn("bn", 2);
+  const int T = 2;
+  std::vector<tensor::Tensor> xs, ys;
+  for (int t = 0; t < T; ++t) {
+    xs.push_back(random_tensor({3, 2, 3, 3}, rng));
+    ys.push_back(random_tensor({3, 2, 3, 3}, rng));
+  }
+  const auto grads = analytic_grads(bn, xs, ys);
+  // Input gradient spot checks. Note: batch statistics depend on the
+  // perturbed element, which the analytic backward fully accounts for.
+  for (int t = 0; t < T; ++t) {
+    for (const std::size_t i : {0u, 9u, 26u}) {
+      const double num = numeric_grad(bn, xs, ys, &xs[t][i], 1e-3);
+      EXPECT_NEAR(grads[t][i], num, 5e-2 * std::max(1.0, std::abs(num)));
+    }
+  }
+  // Gamma / beta gradients.
+  for (int pi = 0; pi < 2; ++pi) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      Param* p = bn.params()[static_cast<std::size_t>(pi)];
+      const float saved_grad = p->grad[c];
+      const double num = numeric_grad(bn, xs, ys, &p->value[c], 1e-3);
+      EXPECT_NEAR(saved_grad, num, 5e-2 * std::max(1.0, std::abs(num)));
+    }
+  }
+}
+
+TEST(BatchNorm, WrongChannelCountThrows) {
+  BatchNorm2d bn("bn", 3);
+  bn.reset_state();
+  EXPECT_THROW(bn.forward(tensor::Tensor({1, 2, 4, 4}), 0, Mode::kTrain),
+               std::invalid_argument);
+  EXPECT_THROW(BatchNorm2d("bad", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::snn

@@ -1,0 +1,104 @@
+#include "common/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace falvolt::common {
+namespace {
+
+CliFlags make_flags() {
+  CliFlags cli("prog");
+  cli.add_int("epochs", 8, "epochs");
+  cli.add_double("lr", 1e-3, "learning rate");
+  cli.add_string("dataset", "mnist", "dataset name");
+  cli.add_bool("fast", false, "fast mode");
+  return cli;
+}
+
+TEST(Cli, Defaults) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog"};
+  EXPECT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("epochs"), 8);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 1e-3);
+  EXPECT_EQ(cli.get_string("dataset"), "mnist");
+  EXPECT_FALSE(cli.get_bool("fast"));
+}
+
+TEST(Cli, SpaceSeparatedValues) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--epochs", "12", "--lr", "0.01"};
+  EXPECT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("epochs"), 12);
+  EXPECT_DOUBLE_EQ(cli.get_double("lr"), 0.01);
+}
+
+TEST(Cli, EqualsForm) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--dataset=dvs", "--epochs=3"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_string("dataset"), "dvs");
+  EXPECT_EQ(cli.get_int("epochs"), 3);
+}
+
+TEST(Cli, BoolSwitchWithoutValue) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--fast"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get_bool("fast"));
+}
+
+TEST(Cli, BoolExplicitValue) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--fast=false"};
+  EXPECT_TRUE(cli.parse(2, argv));
+  EXPECT_FALSE(cli.get_bool("fast"));
+}
+
+TEST(Cli, UnknownFlagThrows) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--epochs", "abc"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
+TEST(Cli, MissingValueThrows) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--epochs"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, PositionalArgumentThrows) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, HelpReturnsFalse) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, TypeMismatchOnGetThrows) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog"};
+  cli.parse(1, argv);
+  EXPECT_THROW(cli.get_int("dataset"), std::invalid_argument);
+  EXPECT_THROW(cli.get_bool("lr"), std::invalid_argument);
+  EXPECT_THROW(cli.get_int("not-registered"), std::invalid_argument);
+}
+
+TEST(Cli, UsageListsFlags) {
+  CliFlags cli = make_flags();
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--epochs"), std::string::npos);
+  EXPECT_NE(u.find("--fast"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace falvolt::common

@@ -1,0 +1,154 @@
+#include "snn/conv2d.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace falvolt::snn {
+namespace {
+
+using falvolt::testutil::analytic_grads;
+using falvolt::testutil::numeric_grad;
+using falvolt::testutil::random_tensor;
+
+TEST(Conv2d, OutputShapeSamePadding) {
+  common::Rng rng(1);
+  Conv2d conv("c", 2, 4, 3, 1, rng);
+  conv.reset_state();
+  tensor::Tensor x = random_tensor({3, 2, 8, 8}, rng);
+  const tensor::Tensor y = conv.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{3, 4, 8, 8}));
+}
+
+TEST(Conv2d, GemmDimensionsExposed) {
+  common::Rng rng(2);
+  Conv2d conv("c", 2, 4, 3, 1, rng);
+  EXPECT_EQ(conv.gemm_k(), 18);  // 2 * 3 * 3
+  EXPECT_EQ(conv.gemm_m(), 4);
+  EXPECT_EQ(conv.weight_param().value.shape(), (tensor::Shape{18, 4}));
+}
+
+TEST(Conv2d, KnownConvolutionResult) {
+  common::Rng rng(3);
+  Conv2d conv("c", 1, 1, 3, 1, rng, /*bias=*/false);
+  // Identity kernel: only the center tap is 1.
+  conv.weight_param().value.zero();
+  conv.weight_param().value.at2(4, 0) = 1.0f;
+  conv.reset_state();
+  tensor::Tensor x = random_tensor({1, 1, 5, 5}, rng);
+  const tensor::Tensor y = conv.forward(x, 0, Mode::kEval);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(Conv2d, BiasAdds) {
+  common::Rng rng(4);
+  Conv2d conv("c", 1, 2, 1, 0, rng);
+  conv.weight_param().value.zero();
+  auto params = conv.params();
+  ASSERT_EQ(params.size(), 2u);
+  params[1]->value[0] = 1.5f;
+  params[1]->value[1] = -0.5f;
+  conv.reset_state();
+  tensor::Tensor x({1, 1, 2, 2});
+  const tensor::Tensor y = conv.forward(x, 0, Mode::kEval);
+  EXPECT_FLOAT_EQ(y.at4(0, 0, 0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at4(0, 1, 1, 1), -0.5f);
+}
+
+TEST(Conv2d, InputValidation) {
+  common::Rng rng(5);
+  Conv2d conv("c", 2, 4, 3, 1, rng);
+  conv.reset_state();
+  tensor::Tensor wrong_channels({1, 3, 8, 8});
+  EXPECT_THROW(conv.forward(wrong_channels, 0, Mode::kEval),
+               std::invalid_argument);
+  EXPECT_THROW(Conv2d("bad", 0, 1, 3, 1, rng), std::invalid_argument);
+}
+
+TEST(Conv2d, WeightGradientMatchesFiniteDifference) {
+  common::Rng rng(6);
+  Conv2d conv("c", 2, 3, 3, 1, rng);
+  const int T = 2;
+  std::vector<tensor::Tensor> xs, ys;
+  for (int t = 0; t < T; ++t) {
+    xs.push_back(random_tensor({2, 2, 5, 5}, rng));
+    ys.push_back(random_tensor({2, 3, 5, 5}, rng));
+  }
+  analytic_grads(conv, xs, ys);
+  Param& w = conv.weight_param();
+  // Spot check a handful of weights.
+  for (const std::size_t i :
+       {std::size_t{0}, std::size_t{7}, std::size_t{23}, std::size_t{50},
+        w.value.size() - 1}) {
+    const double num = numeric_grad(conv, xs, ys, &w.value[i], 1e-3);
+    EXPECT_NEAR(w.grad[i], num, 2e-2 * std::max(1.0, std::abs(num))) << i;
+  }
+}
+
+TEST(Conv2d, InputGradientMatchesFiniteDifference) {
+  common::Rng rng(7);
+  Conv2d conv("c", 1, 2, 3, 1, rng);
+  const int T = 2;
+  std::vector<tensor::Tensor> xs, ys;
+  for (int t = 0; t < T; ++t) {
+    xs.push_back(random_tensor({1, 1, 4, 4}, rng));
+    ys.push_back(random_tensor({1, 2, 4, 4}, rng));
+  }
+  const auto grads = analytic_grads(conv, xs, ys);
+  for (int t = 0; t < T; ++t) {
+    for (const std::size_t i : {0u, 5u, 15u}) {
+      const double num = numeric_grad(conv, xs, ys, &xs[t][i], 1e-3);
+      EXPECT_NEAR(grads[t][i], num, 2e-2 * std::max(1.0, std::abs(num)));
+    }
+  }
+}
+
+TEST(Conv2d, BiasGradientIsSumOfOutputGrad) {
+  common::Rng rng(8);
+  Conv2d conv("c", 1, 1, 1, 0, rng);
+  std::vector<tensor::Tensor> xs{random_tensor({1, 1, 3, 3}, rng)};
+  std::vector<tensor::Tensor> ys{tensor::Tensor({1, 1, 3, 3}, 1.0f)};
+  analytic_grads(conv, xs, ys);
+  EXPECT_FLOAT_EQ(conv.params()[1]->grad[0], 9.0f);
+}
+
+TEST(Conv2d, GemmEngineIsPluggable) {
+  // A counting engine proves the layer routes its GEMM through the hook.
+  class CountingEngine final : public GemmEngine {
+   public:
+    void run(const float* a, const float* w, float* c, int m, int k, int n,
+             const std::string& tag) override {
+      FloatGemmEngine::instance().run(a, w, c, m, k, n, tag);
+      ++calls;
+      last_tag = tag;
+    }
+    int calls = 0;
+    std::string last_tag;
+  };
+  common::Rng rng(9);
+  Conv2d conv("my_conv", 1, 2, 3, 1, rng);
+  CountingEngine engine;
+  conv.set_gemm_engine(&engine);
+  conv.reset_state();
+  tensor::Tensor x = random_tensor({1, 1, 4, 4}, rng);
+  const tensor::Tensor with_engine = conv.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(engine.calls, 1);
+  EXPECT_EQ(engine.last_tag, "my_conv");
+  conv.set_gemm_engine(nullptr);
+  conv.reset_state();
+  const tensor::Tensor without = conv.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(tensor::max_abs_diff(with_engine, without), 0.0);
+}
+
+TEST(Conv2d, SpatialSizeChangeMidSequenceThrows) {
+  common::Rng rng(10);
+  Conv2d conv("c", 1, 1, 3, 1, rng);
+  conv.reset_state();
+  conv.forward(tensor::Tensor({1, 1, 4, 4}), 0, Mode::kTrain);
+  EXPECT_THROW(conv.forward(tensor::Tensor({1, 1, 6, 6}), 1, Mode::kTrain),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::snn

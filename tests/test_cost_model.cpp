@@ -1,0 +1,85 @@
+#include "systolic/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "systolic/cycle_sim.h"
+#include "tensor/tensor.h"
+
+namespace falvolt::systolic {
+namespace {
+
+TEST(CostModel, BypassOverheadMatchesPaperClaim) {
+  ArrayConfig cfg;
+  const AreaReport r = estimate_area(cfg);
+  EXPECT_NEAR(r.bypass_overhead_fraction, 0.08, 1e-9);
+}
+
+TEST(CostModel, SnnPeSmallerThanAnnMacArray) {
+  ArrayConfig cfg;
+  const AreaReport r = estimate_area(cfg);
+  EXPECT_LT(r.array_area_mm2, r.ann_mac_array_area_mm2);
+  // The adder-only PE should be several times cheaper.
+  EXPECT_GT(r.ann_mac_array_area_mm2 / r.array_area_mm2, 2.0);
+}
+
+TEST(CostModel, AreaScalesWithArraySize) {
+  ArrayConfig small;
+  small.rows = small.cols = 16;
+  ArrayConfig big;
+  big.rows = big.cols = 256;
+  const double ratio = estimate_area(big).array_area_mm2 /
+                       estimate_area(small).array_area_mm2;
+  EXPECT_NEAR(ratio, 256.0, 1e-6);
+}
+
+TEST(CostModel, GemmCyclesMatchCycleSimulator) {
+  ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  const int m = 9, k = 11, n = 6;
+  const GemmCost cost = estimate_gemm(cfg, m, k, n, 0.5);
+
+  common::Rng rng(1);
+  tensor::Tensor a({m, k});
+  for (auto& v : a) v = rng.bernoulli(0.5) ? 1.0f : 0.0f;
+  tensor::Tensor w({k, n});
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  SystolicArraySim sim(cfg, nullptr);
+  CycleStats stats;
+  sim.matmul(a, w, &stats);
+  EXPECT_EQ(cost.cycles, stats.cycles);
+  EXPECT_EQ(cost.tiles, stats.tiles);
+}
+
+TEST(CostModel, EnergyGrowsWithSpikeDensity) {
+  ArrayConfig cfg;
+  const GemmCost sparse = estimate_gemm(cfg, 64, 128, 32, 0.1);
+  const GemmCost dense = estimate_gemm(cfg, 64, 128, 32, 0.9);
+  EXPECT_GT(dense.energy_nj, sparse.energy_nj);
+  EXPECT_EQ(dense.cycles, sparse.cycles);  // latency is density-agnostic
+}
+
+TEST(CostModel, UtilizationBounded) {
+  ArrayConfig cfg;
+  const GemmCost c = estimate_gemm(cfg, 64, 100, 16, 0.5);
+  EXPECT_GE(c.utilization, 0.0);
+  EXPECT_LE(c.utilization, 1.0);
+}
+
+TEST(CostModel, ReexecutionScalesLinearly) {
+  ArrayConfig cfg;
+  const GemmCost base = estimate_gemm(cfg, 64, 128, 32, 0.5);
+  const GemmCost triple = estimate_reexecution(base, 3);
+  EXPECT_EQ(triple.cycles, base.cycles * 3);
+  EXPECT_DOUBLE_EQ(triple.energy_nj, base.energy_nj * 3);
+  EXPECT_THROW(estimate_reexecution(base, 0), std::invalid_argument);
+}
+
+TEST(CostModel, Validation) {
+  ArrayConfig cfg;
+  EXPECT_THROW(estimate_gemm(cfg, 0, 1, 1, 0.5), std::invalid_argument);
+  EXPECT_THROW(estimate_gemm(cfg, 1, 1, 1, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::systolic

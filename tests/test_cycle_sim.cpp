@@ -1,0 +1,164 @@
+#include "systolic/cycle_sim.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fault/fault_generator.h"
+#include "systolic/faulty_gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace falvolt::systolic {
+namespace {
+
+using falvolt::testutil::random_tensor;
+
+ArrayConfig array(int n) {
+  ArrayConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  return cfg;
+}
+
+tensor::Tensor random_spikes(int m, int k, common::Rng& rng, double p = 0.5) {
+  tensor::Tensor a({m, k});
+  for (auto& v : a) v = rng.bernoulli(p) ? 1.0f : 0.0f;
+  return a;
+}
+
+TEST(CycleSim, GoldenMatchesQuantizedGemm) {
+  common::Rng rng(1);
+  SystolicArraySim sim(array(4), nullptr);
+  const int m = 5, k = 4, n = 4;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+  CycleStats stats;
+  const tensor::Tensor c = sim.matmul(a, w, &stats);
+  SystolicGemmEngine func(array(4), nullptr);
+  tensor::Tensor ref({m, n});
+  func.run(a.data(), w.data(), ref.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c, ref), 0.0);
+  EXPECT_GT(stats.cycles, 0u);
+  EXPECT_EQ(stats.tiles, 1u);
+}
+
+TEST(CycleSim, TiledKMatchesFunctional) {
+  common::Rng rng(2);
+  const int m = 6, k = 19, n = 3;  // K spans 5 tiles of a 4-row array
+  SystolicArraySim sim(array(4), nullptr);
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.4, 0.4);
+  const tensor::Tensor c = sim.matmul(a, w);
+  SystolicGemmEngine func(array(4), nullptr);
+  tensor::Tensor ref({m, n});
+  func.run(a.data(), w.data(), ref.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c, ref), 0.0);
+}
+
+TEST(CycleSim, TiledNMatchesFunctional) {
+  common::Rng rng(3);
+  const int m = 4, k = 6, n = 11;  // N spans 3 column tiles
+  SystolicArraySim sim(array(4), nullptr);
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.4, 0.4);
+  const tensor::Tensor c = sim.matmul(a, w);
+  SystolicGemmEngine func(array(4), nullptr);
+  tensor::Tensor ref({m, n});
+  func.run(a.data(), w.data(), ref.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c, ref), 0.0);
+}
+
+// The core fidelity claim: the register-level simulator and the fast
+// functional engine are BIT-IDENTICAL under faults, across fault types,
+// bit positions and fault counts.
+class FaultEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FaultEquivalence, CycleSimBitIdenticalToFunctional) {
+  const auto [bit, num_faults, seed] = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(seed));
+  const ArrayConfig cfg = array(4);
+  fault::FaultSpec spec;
+  spec.bit = bit;
+  spec.word_bits = 16;
+  spec.random_type = (seed % 2 == 0);
+  const fault::FaultMap map =
+      fault::random_fault_map(4, 4, num_faults, spec, rng);
+
+  const int m = 5, k = 10, n = 6;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+
+  SystolicArraySim sim(cfg, &map);
+  const tensor::Tensor c_cycle = sim.matmul(a, w);
+  SystolicGemmEngine func(cfg, &map);
+  tensor::Tensor c_func({m, n});
+  func.run(a.data(), w.data(), c_func.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c_cycle, c_func), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FaultEquivalence,
+    ::testing::Combine(::testing::Values(0, 3, 8, 14, 15),
+                       ::testing::Values(1, 3, 8),
+                       ::testing::Values(1, 2)));
+
+TEST(CycleSim, BypassMatchesFunctionalBypass) {
+  common::Rng rng(5);
+  const ArrayConfig cfg = array(4);
+  const fault::FaultMap map =
+      fault::random_fault_map(4, 4, 4, fault::worst_case_spec(16), rng);
+  const int m = 4, k = 9, n = 5;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+  SystolicArraySim sim(cfg, &map, /*bypass_faulty=*/true);
+  const tensor::Tensor c_cycle = sim.matmul(a, w);
+  SystolicGemmEngine func(cfg, &map,
+                          SystolicGemmEngine::FaultHandling::kBypass);
+  tensor::Tensor c_func({m, n});
+  func.run(a.data(), w.data(), c_func.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c_cycle, c_func), 0.0);
+}
+
+TEST(CycleSim, CycleCountMatchesAnalyticalFormula) {
+  common::Rng rng(6);
+  const int m = 7, k = 4, n = 4;
+  SystolicArraySim sim(array(4), nullptr);
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng);
+  CycleStats stats;
+  sim.matmul(a, w, &stats);
+  // One tile: m + rows + width - 1 cycles.
+  EXPECT_EQ(stats.cycles, static_cast<std::uint64_t>(m + 4 + 4 - 1));
+}
+
+TEST(CycleSim, SpikesCountedCorrectly) {
+  SystolicArraySim sim(array(2), nullptr);
+  tensor::Tensor a({2, 2}, {1, 0, 1, 1});
+  tensor::Tensor w({2, 2}, 0.5f);
+  CycleStats stats;
+  sim.matmul(a, w, &stats);
+  EXPECT_EQ(stats.spikes_in, 3u);
+}
+
+TEST(CycleSim, NonBinaryInputThrows) {
+  SystolicArraySim sim(array(2), nullptr);
+  tensor::Tensor a({1, 2}, {0.5f, 1.0f});
+  tensor::Tensor w({2, 1}, 1.0f);
+  EXPECT_THROW(sim.matmul(a, w), std::invalid_argument);
+}
+
+TEST(CycleSim, ShapeMismatchThrows) {
+  SystolicArraySim sim(array(2), nullptr);
+  tensor::Tensor a({1, 3});
+  tensor::Tensor w({2, 1});
+  EXPECT_THROW(sim.matmul(a, w), std::invalid_argument);
+}
+
+TEST(CycleSim, MismatchedFaultMapThrows) {
+  fault::FaultMap map(8, 8);
+  EXPECT_THROW(SystolicArraySim(array(4), &map), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::systolic

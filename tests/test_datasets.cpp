@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic_dvs_gesture.h"
+#include "data/synthetic_mnist.h"
+#include "data/synthetic_nmnist.h"
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::data {
+namespace {
+
+TEST(Dataset, GeometryValidation) {
+  EXPECT_THROW(Dataset("x", 0, 1, 1, 1, 1), std::invalid_argument);
+  Dataset ds("x", 2, 3, 1, 4, 4);
+  Sample s;
+  s.frames = tensor::Tensor({3, 1, 4, 4});
+  s.label = 1;
+  EXPECT_NO_THROW(ds.add(s));
+  s.frames = tensor::Tensor({2, 1, 4, 4});
+  EXPECT_THROW(ds.add(s), std::invalid_argument);
+  s.frames = tensor::Tensor({3, 1, 4, 4});
+  s.label = 2;
+  EXPECT_THROW(ds.add(s), std::invalid_argument);
+}
+
+TEST(Dataset, IndexingAndHistogram) {
+  Dataset ds("x", 2, 1, 1, 2, 2);
+  for (int i = 0; i < 5; ++i) {
+    Sample s;
+    s.frames = tensor::Tensor({1, 1, 2, 2});
+    s.label = i % 2;
+    ds.add(std::move(s));
+  }
+  EXPECT_EQ(ds.size(), 5);
+  EXPECT_EQ(ds[4].label, 0);
+  EXPECT_THROW(ds[5], std::out_of_range);
+  const auto h = ds.class_histogram();
+  EXPECT_EQ(h[0], 3);
+  EXPECT_EQ(h[1], 2);
+}
+
+TEST(SyntheticMnist, GeometryAndBalance) {
+  SyntheticMnistConfig cfg;
+  cfg.train_size = 40;
+  cfg.test_size = 20;
+  const DatasetSplit split = make_synthetic_mnist(cfg);
+  EXPECT_EQ(split.train.size(), 40);
+  EXPECT_EQ(split.test.size(), 20);
+  EXPECT_EQ(split.train.num_classes(), 10);
+  EXPECT_EQ(split.train.channels(), 1);
+  EXPECT_EQ(split.train.time_steps(), cfg.time_steps);
+  for (const int c : split.train.class_histogram()) EXPECT_EQ(c, 4);
+}
+
+TEST(SyntheticMnist, StaticFramesRepeatAcrossTime) {
+  SyntheticMnistConfig cfg;
+  cfg.train_size = 10;
+  cfg.test_size = 10;
+  const DatasetSplit split = make_synthetic_mnist(cfg);
+  const Sample& s = split.train[3];
+  const std::size_t plane = 16 * 16;
+  for (int t = 1; t < cfg.time_steps; ++t) {
+    for (std::size_t i = 0; i < plane; ++i) {
+      EXPECT_EQ(s.frames[i],
+                s.frames[static_cast<std::size_t>(t) * plane + i]);
+    }
+  }
+}
+
+TEST(SyntheticMnist, DeterministicForSeed) {
+  SyntheticMnistConfig cfg;
+  cfg.train_size = 10;
+  cfg.test_size = 10;
+  const DatasetSplit a = make_synthetic_mnist(cfg);
+  const DatasetSplit b = make_synthetic_mnist(cfg);
+  EXPECT_EQ(tensor::max_abs_diff(a.train[0].frames, b.train[0].frames), 0.0);
+  cfg.seed = 99;
+  const DatasetSplit c = make_synthetic_mnist(cfg);
+  EXPECT_GT(tensor::max_abs_diff(a.train[0].frames, c.train[0].frames), 0.0);
+}
+
+TEST(SyntheticNMnist, EventsAreBinaryTwoChannel) {
+  SyntheticNMnistConfig cfg;
+  cfg.train_size = 20;
+  cfg.test_size = 10;
+  const DatasetSplit split = make_synthetic_nmnist(cfg);
+  EXPECT_EQ(split.train.channels(), 2);
+  const Sample& s = split.train[0];
+  for (std::size_t i = 0; i < s.frames.size(); ++i) {
+    EXPECT_TRUE(s.frames[i] == 0.0f || s.frames[i] == 1.0f);
+  }
+}
+
+TEST(SyntheticNMnist, HasTemporalStructure) {
+  SyntheticNMnistConfig cfg;
+  cfg.train_size = 20;
+  cfg.test_size = 10;
+  const DatasetSplit split = make_synthetic_nmnist(cfg);
+  // Frames must not all be identical (motion produces changing events).
+  const Sample& s = split.train[0];
+  const std::size_t frame = s.frames.size() / cfg.time_steps;
+  bool any_diff = false;
+  for (int t = 1; t < cfg.time_steps && !any_diff; ++t) {
+    for (std::size_t i = 0; i < frame; ++i) {
+      if (s.frames[i] !=
+          s.frames[static_cast<std::size_t>(t) * frame + i]) {
+        any_diff = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(any_diff);
+  // And the first frame must be non-empty (onset events).
+  double on = 0.0;
+  for (std::size_t i = 0; i < frame; ++i) on += s.frames[i];
+  EXPECT_GT(on, 0.0);
+}
+
+TEST(SyntheticDvsGesture, ElevenBalancedClasses) {
+  SyntheticDvsGestureConfig cfg;
+  cfg.train_size = 44;
+  cfg.test_size = 22;
+  const DatasetSplit split = make_synthetic_dvs_gesture(cfg);
+  EXPECT_EQ(split.train.num_classes(), 11);
+  EXPECT_EQ(dvs_gesture_class_names().size(), 11u);
+  for (const int c : split.train.class_histogram()) EXPECT_EQ(c, 4);
+}
+
+TEST(SyntheticDvsGesture, EventsBinaryAndMoving) {
+  SyntheticDvsGestureConfig cfg;
+  cfg.train_size = 22;
+  cfg.test_size = 11;
+  const DatasetSplit split = make_synthetic_dvs_gesture(cfg);
+  int samples_with_events = 0;
+  for (int i = 0; i < split.train.size(); ++i) {
+    const Sample& s = split.train[i];
+    double events = 0.0;
+    for (std::size_t j = 0; j < s.frames.size(); ++j) {
+      EXPECT_TRUE(s.frames[j] == 0.0f || s.frames[j] == 1.0f);
+      events += s.frames[j];
+    }
+    if (events > 0) ++samples_with_events;
+  }
+  EXPECT_EQ(samples_with_events, split.train.size());
+}
+
+TEST(SyntheticDvsGesture, DeterministicForSeed) {
+  SyntheticDvsGestureConfig cfg;
+  cfg.train_size = 11;
+  cfg.test_size = 11;
+  const DatasetSplit a = make_synthetic_dvs_gesture(cfg);
+  const DatasetSplit b = make_synthetic_dvs_gesture(cfg);
+  for (int i = 0; i < a.train.size(); ++i) {
+    ASSERT_EQ(
+        tensor::max_abs_diff(a.train[i].frames, b.train[i].frames), 0.0);
+  }
+}
+
+TEST(SyntheticDatasets, InvalidSizesThrow) {
+  SyntheticMnistConfig m;
+  m.train_size = 0;
+  EXPECT_THROW(make_synthetic_mnist(m), std::invalid_argument);
+  SyntheticNMnistConfig n;
+  n.test_size = 0;
+  EXPECT_THROW(make_synthetic_nmnist(n), std::invalid_argument);
+  SyntheticDvsGestureConfig d;
+  d.train_size = -1;
+  EXPECT_THROW(make_synthetic_dvs_gesture(d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::data

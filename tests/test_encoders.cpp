@@ -1,0 +1,107 @@
+#include "data/encoders.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::data {
+namespace {
+
+tensor::Tensor gradient_image() {
+  tensor::Tensor img({1, 4, 4});
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    img[i] = static_cast<float>(i) / 15.0f;
+  }
+  return img;
+}
+
+TEST(RateEncode, OutputBinaryAndShape) {
+  common::Rng rng(1);
+  const tensor::Tensor frames = rate_encode(gradient_image(), 8, rng);
+  EXPECT_EQ(frames.shape(), (tensor::Shape{8, 1, 4, 4}));
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_TRUE(frames[i] == 0.0f || frames[i] == 1.0f);
+  }
+}
+
+TEST(RateEncode, FiringRateTracksIntensity) {
+  common::Rng rng(2);
+  tensor::Tensor img({1, 1, 2});
+  img[0] = 0.1f;
+  img[1] = 0.9f;
+  const int T = 2000;
+  const tensor::Tensor frames = rate_encode(img, T, rng);
+  const tensor::Tensor rate = spike_rate(frames);
+  EXPECT_NEAR(rate[0], 0.1f, 0.03f);
+  EXPECT_NEAR(rate[1], 0.9f, 0.03f);
+}
+
+TEST(RateEncode, ZeroAndOnePixelsAreDeterministic) {
+  common::Rng rng(3);
+  tensor::Tensor img({1, 1, 2});
+  img[0] = 0.0f;
+  img[1] = 1.0f;
+  const tensor::Tensor frames = rate_encode(img, 50, rng);
+  const tensor::Tensor rate = spike_rate(frames);
+  EXPECT_EQ(rate[0], 0.0f);
+  EXPECT_EQ(rate[1], 1.0f);
+}
+
+TEST(LatencyEncode, BrighterSpikesEarlier) {
+  tensor::Tensor img({1, 1, 3});
+  img[0] = 1.0f;   // earliest
+  img[1] = 0.5f;   // middle
+  img[2] = 0.05f;  // late
+  const int T = 11;
+  const tensor::Tensor frames = latency_encode(img, T);
+  // Each nonzero pixel spikes exactly once.
+  EXPECT_EQ(tensor::count_nonzero(frames), 3u);
+  int first_t = -1, mid_t = -1, late_t = -1;
+  for (int t = 0; t < T; ++t) {
+    const std::size_t off = static_cast<std::size_t>(t) * 3;
+    if (frames[off + 0] == 1.0f) first_t = t;
+    if (frames[off + 1] == 1.0f) mid_t = t;
+    if (frames[off + 2] == 1.0f) late_t = t;
+  }
+  EXPECT_EQ(first_t, 0);
+  EXPECT_LT(first_t, mid_t);
+  EXPECT_LT(mid_t, late_t);
+}
+
+TEST(LatencyEncode, ZeroPixelNeverSpikes) {
+  tensor::Tensor img({1, 1, 1});
+  const tensor::Tensor frames = latency_encode(img, 5);
+  EXPECT_EQ(tensor::count_nonzero(frames), 0u);
+}
+
+TEST(DirectEncode, RepeatsImage) {
+  const tensor::Tensor img = gradient_image();
+  const tensor::Tensor frames = direct_encode(img, 3);
+  for (int t = 0; t < 3; ++t) {
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      EXPECT_EQ(frames[static_cast<std::size_t>(t) * img.size() + i],
+                img[i]);
+    }
+  }
+}
+
+TEST(SpikeRate, AveragesOverTime) {
+  tensor::Tensor frames({2, 1, 1, 1});
+  frames[0] = 1.0f;
+  frames[1] = 0.0f;
+  const tensor::Tensor rate = spike_rate(frames);
+  EXPECT_FLOAT_EQ(rate[0], 0.5f);
+}
+
+TEST(Encoders, InvalidShapesThrow) {
+  common::Rng rng(4);
+  tensor::Tensor bad({4, 4});
+  EXPECT_THROW(rate_encode(bad, 4, rng), std::invalid_argument);
+  EXPECT_THROW(latency_encode(bad, 4), std::invalid_argument);
+  EXPECT_THROW(direct_encode(bad, 4), std::invalid_argument);
+  EXPECT_THROW(spike_rate(bad), std::invalid_argument);
+  EXPECT_THROW(latency_encode(gradient_image(), 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::data

@@ -1,0 +1,108 @@
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "snn/model_zoo.h"
+#include "snn/trainer.h"
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::core {
+namespace {
+
+TEST(Experiment, DatasetNames) {
+  EXPECT_STREQ(dataset_name(DatasetKind::kMnist), "MNIST");
+  EXPECT_STREQ(dataset_name(DatasetKind::kNMnist), "N-MNIST");
+  EXPECT_STREQ(dataset_name(DatasetKind::kDvsGesture), "DVS128-Gesture");
+}
+
+TEST(Experiment, DefaultRetrainEpochsOrdering) {
+  // DVS needs more epochs than the digit tasks (as in the paper), and
+  // fast mode shrinks everything.
+  EXPECT_GT(default_retrain_epochs(DatasetKind::kDvsGesture, false),
+            default_retrain_epochs(DatasetKind::kMnist, false) - 1);
+  EXPECT_LT(default_retrain_epochs(DatasetKind::kMnist, true),
+            default_retrain_epochs(DatasetKind::kMnist, false));
+}
+
+TEST(Experiment, SaveLoadRoundTrip) {
+  snn::ZooConfig zc;
+  zc.channels = 4;
+  zc.fc_hidden = 16;
+  snn::Network a = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  const std::string path =
+      ::testing::TempDir() + "falvolt_params_roundtrip.bin";
+  save_params(a, path);
+
+  snn::Network b = snn::make_digit_classifier("d", 1, 16, 10,
+                                              [&] {
+                                                snn::ZooConfig z = zc;
+                                                z.seed = 999;  // different init
+                                                return z;
+                                              }());
+  ASSERT_TRUE(load_params(b, path));
+  const auto pa = a.params();
+  const auto pb = b.params();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(tensor::max_abs_diff(pa[i]->value, pb[i]->value), 0.0);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, LoadMissingFileReturnsFalse) {
+  snn::ZooConfig zc;
+  zc.channels = 4;
+  snn::Network net = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  EXPECT_FALSE(load_params(net, "/nonexistent/params.bin"));
+}
+
+TEST(Experiment, LoadRejectsMismatchedArchitecture) {
+  snn::ZooConfig zc;
+  zc.channels = 4;
+  zc.fc_hidden = 16;
+  snn::Network a = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  const std::string path = ::testing::TempDir() + "falvolt_params_bad.bin";
+  save_params(a, path);
+  zc.channels = 8;  // different inventory
+  snn::Network b = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  EXPECT_THROW(load_params(b, path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, PrepareWorkloadTrainsAndCaches) {
+  const std::string cache =
+      ::testing::TempDir() + "falvolt_workload_cache";
+  std::filesystem::remove_all(cache);
+  WorkloadOptions opts;
+  opts.fast = true;
+  opts.cache_dir = cache;
+
+  const Workload w1 = prepare_workload(DatasetKind::kMnist, opts);
+  EXPECT_EQ(w1.data.train.num_classes(), 10);
+  EXPECT_GT(w1.baseline_accuracy, 50.0);  // trained well above chance
+
+  // Second call must hit the cache and reproduce the exact accuracy.
+  const Workload w2 = prepare_workload(DatasetKind::kMnist, opts);
+  EXPECT_DOUBLE_EQ(w1.baseline_accuracy, w2.baseline_accuracy);
+  std::filesystem::remove_all(cache);
+}
+
+TEST(Experiment, WorkloadGeometryPerDataset) {
+  const std::string cache =
+      ::testing::TempDir() + "falvolt_workload_cache_geom";
+  std::filesystem::remove_all(cache);
+  WorkloadOptions opts;
+  opts.fast = true;
+  opts.cache_dir = cache;
+  Workload nm = prepare_workload(DatasetKind::kNMnist, opts);
+  EXPECT_EQ(nm.data.train.channels(), 2);
+  EXPECT_EQ(nm.net.hidden_spiking_layers().size(), 4u);
+  Workload dvs = prepare_workload(DatasetKind::kDvsGesture, opts);
+  EXPECT_EQ(dvs.data.train.num_classes(), 11);
+  EXPECT_EQ(dvs.net.hidden_spiking_layers().size(), 7u);
+  std::filesystem::remove_all(cache);
+}
+
+}  // namespace
+}  // namespace falvolt::core

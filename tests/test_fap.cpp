@@ -1,0 +1,125 @@
+#include "core/fap.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.h"
+#include "fault/fault_generator.h"
+#include "snn/model_zoo.h"
+#include "snn/optimizer.h"
+#include "snn/trainer.h"
+
+namespace falvolt::core {
+namespace {
+
+struct Fixture {
+  Fixture() {
+    data::SyntheticMnistConfig dc;
+    dc.train_size = 160;
+    dc.test_size = 80;
+    dc.time_steps = 4;
+    split = data::make_synthetic_mnist(dc);
+    snn::ZooConfig zc;
+    zc.channels = 8;
+    zc.fc_hidden = 32;
+    net = snn::make_digit_classifier("d", 1, 16, 10, zc);
+    snn::Adam opt(2e-2);
+    snn::TrainConfig tc;
+    tc.epochs = 12;
+    tc.batch_size = 16;
+    tc.eval_each_epoch = false;
+    snn::Trainer trainer(net, opt, split.train, &split.test, tc);
+    trainer.run();
+    baseline = snn::evaluate(net, split.test);
+  }
+  data::DatasetSplit split{data::Dataset("a", 1, 1, 1, 1, 1),
+                           data::Dataset("b", 1, 1, 1, 1, 1)};
+  snn::Network net;
+  double baseline = 0.0;
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+TEST(Fap, ZeroFaultsKeepsAccuracy) {
+  Fixture& f = fixture();
+  snn::Network net = snn::make_digit_classifier("d", 1, 16, 10,
+                                                [] {
+                                                  snn::ZooConfig z;
+                                                  z.channels = 8;
+                                                  z.fc_hidden = 32;
+                                                  return z;
+                                                }());
+  net.restore_params(f.net.snapshot_params());
+  fault::FaultMap clean(16, 16);
+  const MitigationResult r = run_fap(net, clean, f.split.test);
+  EXPECT_EQ(r.method, "FaP");
+  EXPECT_DOUBLE_EQ(r.final_accuracy, f.baseline);
+  for (const auto& rep : r.prune_report) {
+    EXPECT_EQ(rep.pruned_weights, 0u);
+  }
+}
+
+TEST(Fap, HighFaultRateDegradesAccuracy) {
+  Fixture& f = fixture();
+  snn::Network net = snn::make_digit_classifier("d", 1, 16, 10,
+                                                [] {
+                                                  snn::ZooConfig z;
+                                                  z.channels = 8;
+                                                  z.fc_hidden = 32;
+                                                  return z;
+                                                }());
+  net.restore_params(f.net.snapshot_params());
+  common::Rng rng(1);
+  const fault::FaultMap map = fault::fault_map_at_rate(
+      16, 16, 0.6, fault::worst_case_spec(16), rng);
+  const MitigationResult r = run_fap(net, map, f.split.test);
+  EXPECT_LT(r.final_accuracy, f.baseline - 5.0);
+  // FaP never retrains: pruned == final, curve empty.
+  EXPECT_DOUBLE_EQ(r.pruned_accuracy, r.final_accuracy);
+  EXPECT_TRUE(r.curve.empty());
+}
+
+TEST(Fap, PruneReportNonEmpty) {
+  Fixture& f = fixture();
+  snn::Network net = snn::make_digit_classifier("d", 1, 16, 10,
+                                                [] {
+                                                  snn::ZooConfig z;
+                                                  z.channels = 8;
+                                                  z.fc_hidden = 32;
+                                                  return z;
+                                                }());
+  net.restore_params(f.net.snapshot_params());
+  common::Rng rng(2);
+  const fault::FaultMap map = fault::fault_map_at_rate(
+      16, 16, 0.3, fault::worst_case_spec(16), rng);
+  const MitigationResult r = run_fap(net, map, f.split.test);
+  ASSERT_EQ(r.prune_report.size(), 5u);  // 5 matmul layers
+  std::size_t total = 0;
+  for (const auto& rep : r.prune_report) total += rep.pruned_weights;
+  EXPECT_GT(total, 0u);
+  // ~30% of PEs faulty -> roughly 30% of weights pruned in large layers.
+  EXPECT_NEAR(r.prune_report[1].pruned_fraction(), 0.3, 0.15);
+}
+
+TEST(Fap, VthReportedAtTrainingDefault) {
+  Fixture& f = fixture();
+  snn::Network net = snn::make_digit_classifier("d", 1, 16, 10,
+                                                [] {
+                                                  snn::ZooConfig z;
+                                                  z.channels = 8;
+                                                  z.fc_hidden = 32;
+                                                  return z;
+                                                }());
+  net.restore_params(f.net.snapshot_params());
+  fault::FaultMap clean(16, 16);
+  const MitigationResult r = run_fap(net, clean, f.split.test);
+  ASSERT_EQ(r.vth_per_layer.size(), 4u);
+  for (const auto& v : r.vth_per_layer) {
+    EXPECT_FLOAT_EQ(v.vth, 1.0f);
+  }
+}
+
+}  // namespace
+}  // namespace falvolt::core

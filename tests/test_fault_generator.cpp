@@ -1,0 +1,123 @@
+#include "fault/fault_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace falvolt::fault {
+namespace {
+
+TEST(FaultGenerator, ExactCount) {
+  common::Rng rng(1);
+  FaultSpec spec;
+  const FaultMap m = random_fault_map(16, 16, 12, spec, rng);
+  EXPECT_EQ(m.num_faulty_pes(), 12);
+}
+
+TEST(FaultGenerator, FixedBitPosition) {
+  common::Rng rng(2);
+  FaultSpec spec;
+  spec.bit = 15;
+  spec.type = fx::StuckType::kStuckAt1;
+  const FaultMap m = random_fault_map(8, 8, 10, spec, rng);
+  for (const auto& f : m.faults()) {
+    EXPECT_EQ(f.bits.sa1_mask, 1u << 15);
+    EXPECT_EQ(f.bits.sa0_mask, 0u);
+  }
+}
+
+TEST(FaultGenerator, RandomBitStaysInWord) {
+  common::Rng rng(3);
+  FaultSpec spec;
+  spec.bit = -1;
+  spec.word_bits = 16;
+  const FaultMap m = random_fault_map(16, 16, 60, spec, rng);
+  for (const auto& f : m.faults()) {
+    EXPECT_EQ((f.bits.sa0_mask | f.bits.sa1_mask) >> 16, 0u);
+  }
+}
+
+TEST(FaultGenerator, RandomTypeProducesBothLevels) {
+  common::Rng rng(4);
+  FaultSpec spec;
+  spec.random_type = true;
+  const FaultMap m = random_fault_map(32, 32, 200, spec, rng);
+  int sa0 = 0, sa1 = 0;
+  for (const auto& f : m.faults()) {
+    if (f.bits.sa0_mask) ++sa0;
+    if (f.bits.sa1_mask) ++sa1;
+  }
+  EXPECT_GT(sa0, 20);
+  EXPECT_GT(sa1, 20);
+}
+
+TEST(FaultGenerator, MultipleBitsPerPe) {
+  common::Rng rng(5);
+  FaultSpec spec;
+  spec.bits_per_pe = 3;
+  const FaultMap m = random_fault_map(8, 8, 5, spec, rng);
+  for (const auto& f : m.faults()) {
+    EXPECT_EQ(f.bits.count(), 3);
+  }
+}
+
+TEST(FaultGenerator, RateRoundsToNearestCount) {
+  common::Rng rng(6);
+  FaultSpec spec;
+  const FaultMap m = fault_map_at_rate(16, 16, 0.3, spec, rng);
+  EXPECT_EQ(m.num_faulty_pes(), 77);  // round(0.3 * 256)
+  const FaultMap zero = fault_map_at_rate(16, 16, 0.0, spec, rng);
+  EXPECT_TRUE(zero.empty());
+  const FaultMap full = fault_map_at_rate(4, 4, 1.0, spec, rng);
+  EXPECT_EQ(full.num_faulty_pes(), 16);
+}
+
+TEST(FaultGenerator, DistinctMapsFromDifferentDraws) {
+  common::Rng rng(7);
+  FaultSpec spec;
+  const FaultMap a = random_fault_map(16, 16, 8, spec, rng);
+  const FaultMap b = random_fault_map(16, 16, 8, spec, rng);
+  // Two consecutive draws should differ in at least one PE.
+  bool differ = false;
+  for (const auto& f : a.faults()) {
+    if (!b.is_faulty(f.row, f.col)) {
+      differ = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(FaultGenerator, DeterministicForSeed) {
+  common::Rng a(8);
+  common::Rng b(8);
+  FaultSpec spec;
+  const FaultMap ma = random_fault_map(16, 16, 8, spec, a);
+  const FaultMap mb = random_fault_map(16, 16, 8, spec, b);
+  for (const auto& f : ma.faults()) {
+    EXPECT_TRUE(mb.is_faulty(f.row, f.col));
+  }
+}
+
+TEST(FaultGenerator, Validation) {
+  common::Rng rng(9);
+  FaultSpec spec;
+  EXPECT_THROW(random_fault_map(4, 4, 17, spec, rng), std::invalid_argument);
+  EXPECT_THROW(random_fault_map(4, 4, -1, spec, rng), std::invalid_argument);
+  spec.bit = 16;
+  spec.word_bits = 16;
+  EXPECT_THROW(random_fault_map(4, 4, 1, spec, rng), std::invalid_argument);
+  spec.bit = 0;
+  spec.bits_per_pe = 0;
+  EXPECT_THROW(random_fault_map(4, 4, 1, spec, rng), std::invalid_argument);
+  EXPECT_THROW(fault_map_at_rate(4, 4, 1.5, FaultSpec{}, rng),
+               std::invalid_argument);
+}
+
+TEST(FaultGenerator, WorstCaseSpecIsMsbSa1) {
+  const FaultSpec s = worst_case_spec(16);
+  EXPECT_EQ(s.bit, 15);
+  EXPECT_EQ(s.type, fx::StuckType::kStuckAt1);
+  EXPECT_EQ(s.word_bits, 16);
+}
+
+}  // namespace
+}  // namespace falvolt::fault

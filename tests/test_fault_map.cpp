@@ -1,0 +1,95 @@
+#include "fault/fault_map.h"
+
+#include <gtest/gtest.h>
+
+namespace falvolt::fault {
+namespace {
+
+fx::StuckBits sa1(int bit) {
+  fx::StuckBits b;
+  b.set(bit, fx::StuckType::kStuckAt1);
+  return b;
+}
+
+fx::StuckBits sa0(int bit) {
+  fx::StuckBits b;
+  b.set(bit, fx::StuckType::kStuckAt0);
+  return b;
+}
+
+TEST(FaultMap, EmptyByDefault) {
+  FaultMap m(4, 4);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.num_faulty_pes(), 0);
+  EXPECT_DOUBLE_EQ(m.fault_rate(), 0.0);
+  EXPECT_EQ(m.at(0, 0), nullptr);
+}
+
+TEST(FaultMap, AddAndLookup) {
+  FaultMap m(4, 4);
+  m.add(1, 2, sa1(15));
+  EXPECT_TRUE(m.is_faulty(1, 2));
+  EXPECT_FALSE(m.is_faulty(2, 1));
+  ASSERT_NE(m.at(1, 2), nullptr);
+  EXPECT_TRUE(m.at(1, 2)->is_stuck(15));
+  EXPECT_EQ(m.num_faulty_pes(), 1);
+  EXPECT_DOUBLE_EQ(m.fault_rate(), 1.0 / 16.0);
+}
+
+TEST(FaultMap, MergeSamePe) {
+  FaultMap m(4, 4);
+  m.add(0, 0, sa1(3));
+  m.add(0, 0, sa0(5));
+  EXPECT_EQ(m.num_faulty_pes(), 1);
+  EXPECT_TRUE(m.at(0, 0)->is_stuck(3));
+  EXPECT_TRUE(m.at(0, 0)->is_stuck(5));
+}
+
+TEST(FaultMap, ConflictingMergeThrows) {
+  FaultMap m(4, 4);
+  m.add(0, 0, sa1(3));
+  EXPECT_THROW(m.add(0, 0, sa0(3)), std::invalid_argument);
+}
+
+TEST(FaultMap, BothLevelsInOneAddThrows) {
+  FaultMap m(4, 4);
+  fx::StuckBits bad;
+  bad.sa0_mask = 1;
+  bad.sa1_mask = 1;
+  EXPECT_THROW(m.add(0, 0, bad), std::invalid_argument);
+}
+
+TEST(FaultMap, EmptyBitsThrow) {
+  FaultMap m(4, 4);
+  EXPECT_THROW(m.add(0, 0, fx::StuckBits{}), std::invalid_argument);
+}
+
+TEST(FaultMap, OutOfRangeThrows) {
+  FaultMap m(4, 4);
+  EXPECT_THROW(m.add(4, 0, sa1(0)), std::out_of_range);
+  EXPECT_THROW(m.at(0, -1), std::out_of_range);
+  EXPECT_THROW(FaultMap(0, 4), std::invalid_argument);
+}
+
+TEST(FaultMap, FaultsEnumeration) {
+  FaultMap m(8, 8);
+  m.add(1, 2, sa1(15));
+  m.add(7, 0, sa0(3));
+  const auto faults = m.faults();
+  EXPECT_EQ(faults.size(), 2u);
+  int seen = 0;
+  for (const auto& f : faults) {
+    if (f.row == 1 && f.col == 2) {
+      EXPECT_TRUE(f.bits.is_stuck(15));
+      ++seen;
+    }
+    if (f.row == 7 && f.col == 0) {
+      EXPECT_TRUE(f.bits.is_stuck(3));
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 2);
+}
+
+}  // namespace
+}  // namespace falvolt::fault

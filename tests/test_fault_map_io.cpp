@@ -1,0 +1,109 @@
+#include "fault/fault_map_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "fault/fault_generator.h"
+
+namespace falvolt::fault {
+namespace {
+
+bool maps_equal(const FaultMap& a, const FaultMap& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.num_faulty_pes() != b.num_faulty_pes()) return false;
+  for (const auto& f : a.faults()) {
+    const fx::StuckBits* other = b.at(f.row, f.col);
+    if (!other || !(*other == f.bits)) return false;
+  }
+  return true;
+}
+
+TEST(FaultMapIo, EmptyMapRoundTrip) {
+  const FaultMap m(8, 16);
+  const FaultMap back = fault_map_from_text(fault_map_to_text(m));
+  EXPECT_TRUE(maps_equal(m, back));
+  EXPECT_EQ(back.rows(), 8);
+  EXPECT_EQ(back.cols(), 16);
+}
+
+TEST(FaultMapIo, RandomMapRoundTrip) {
+  common::Rng rng(1);
+  FaultSpec spec;
+  spec.random_type = true;
+  spec.bits_per_pe = 2;
+  const FaultMap m = random_fault_map(32, 32, 40, spec, rng);
+  const FaultMap back = fault_map_from_text(fault_map_to_text(m));
+  EXPECT_TRUE(maps_equal(m, back));
+}
+
+TEST(FaultMapIo, TextFormatIsCanonical) {
+  FaultMap m(4, 4);
+  fx::StuckBits b1;
+  b1.set(15, fx::StuckType::kStuckAt1);
+  fx::StuckBits b2;
+  b2.set(0, fx::StuckType::kStuckAt0);
+  b2.set(3, fx::StuckType::kStuckAt1);
+  m.add(2, 1, b1);
+  m.add(0, 3, b2);
+  const std::string text = fault_map_to_text(m);
+  EXPECT_EQ(text,
+            "falvolt-faultmap v1\n"
+            "dims 4 4\n"
+            "pe 0 3 sa0 0 sa1 3\n"
+            "pe 2 1 sa1 15\n");
+}
+
+TEST(FaultMapIo, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# produced by tester 7\n"
+      "falvolt-faultmap v1\n"
+      "# die A-113\n"
+      "dims 4 4\n"
+      "pe 1 1 sa1 5\n";
+  const FaultMap m = fault_map_from_text(text);
+  EXPECT_EQ(m.num_faulty_pes(), 1);
+  EXPECT_TRUE(m.at(1, 1)->is_stuck(5));
+}
+
+TEST(FaultMapIo, MalformedInputsThrowWithLineNumbers) {
+  EXPECT_THROW(fault_map_from_text(""), std::runtime_error);
+  EXPECT_THROW(fault_map_from_text("wrong header\n"), std::runtime_error);
+  EXPECT_THROW(fault_map_from_text("falvolt-faultmap v1\n"),
+               std::runtime_error);
+  EXPECT_THROW(fault_map_from_text("falvolt-faultmap v1\ndims 0 4\n"),
+               std::runtime_error);
+  EXPECT_THROW(
+      fault_map_from_text("falvolt-faultmap v1\ndims 4 4\npe 1 1\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      fault_map_from_text("falvolt-faultmap v1\ndims 4 4\npe 1 1 sa2 3\n"),
+      std::runtime_error);
+  EXPECT_THROW(
+      fault_map_from_text("falvolt-faultmap v1\ndims 4 4\npe 9 1 sa1 3\n"),
+      std::runtime_error);
+  // A bit stuck at both levels must be rejected via FaultMap::add.
+  EXPECT_THROW(
+      fault_map_from_text(
+          "falvolt-faultmap v1\ndims 4 4\npe 1 1 sa0 3 sa1 3\n"),
+      std::runtime_error);
+}
+
+TEST(FaultMapIo, FileRoundTrip) {
+  common::Rng rng(2);
+  const FaultMap m =
+      random_fault_map(16, 16, 12, worst_case_spec(16), rng);
+  const std::string path = ::testing::TempDir() + "falvolt_map_io.txt";
+  save_fault_map(m, path);
+  const FaultMap back = load_fault_map(path);
+  EXPECT_TRUE(maps_equal(m, back));
+  std::filesystem::remove(path);
+}
+
+TEST(FaultMapIo, MissingFileThrows) {
+  EXPECT_THROW(load_fault_map("/nonexistent/map.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace falvolt::fault

@@ -1,0 +1,223 @@
+#include "systolic/faulty_gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fault/fault_generator.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace falvolt::systolic {
+namespace {
+
+using falvolt::testutil::random_tensor;
+
+ArrayConfig small_array(int n = 4) {
+  ArrayConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  return cfg;
+}
+
+tensor::Tensor random_spikes(int m, int k, common::Rng& rng, double p = 0.4) {
+  tensor::Tensor a({m, k});
+  for (auto& v : a) v = rng.bernoulli(p) ? 1.0f : 0.0f;
+  return a;
+}
+
+TEST(FaultyGemm, GoldenChipMatchesFloatWithinQuantization) {
+  common::Rng rng(1);
+  ArrayConfig cfg = small_array(8);
+  SystolicGemmEngine engine(cfg, nullptr);
+  const int m = 6, k = 20, n = 5;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  tensor::Tensor ref({m, n});
+  tensor::gemm(a.data(), w.data(), ref.data(), m, k, n);
+  // Binary spikes gate exact quantized weights: worst-case error is
+  // k * 0.5 LSB.
+  EXPECT_LT(tensor::max_abs_diff(c, ref),
+            k * cfg.format.resolution() / 2 + 1e-6);
+}
+
+TEST(FaultyGemm, RealValuedActivationsSupported) {
+  common::Rng rng(2);
+  ArrayConfig cfg = small_array(8);
+  SystolicGemmEngine engine(cfg, nullptr);
+  const int m = 4, k = 10, n = 3;
+  tensor::Tensor a = random_tensor({m, k}, rng, 0.0, 1.0);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "enc");
+  tensor::Tensor ref({m, n});
+  tensor::gemm(a.data(), w.data(), ref.data(), m, k, n);
+  EXPECT_LT(tensor::max_abs_diff(c, ref), 0.1);
+}
+
+TEST(FaultyGemm, MsbSa1CorruptsColumn) {
+  common::Rng rng(3);
+  ArrayConfig cfg = small_array(4);
+  fault::FaultMap map(4, 4);
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  map.add(0, 1, bits);  // PE column 1
+  SystolicGemmEngine engine(cfg, &map);
+  const int m = 3, k = 4, n = 4;
+  tensor::Tensor a({m, k}, 1.0f);
+  tensor::Tensor w({k, n}, 0.25f);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  // Column 1 is driven strongly negative by the stuck sign bit; other
+  // columns are unaffected.
+  for (int i = 0; i < m; ++i) {
+    EXPECT_LT(c.at2(i, 1), -50.0f);
+    EXPECT_NEAR(c.at2(i, 0), 1.0f, 0.01f);
+    EXPECT_NEAR(c.at2(i, 2), 1.0f, 0.01f);
+  }
+}
+
+TEST(FaultyGemm, LsbFaultIsNearlyHarmless) {
+  common::Rng rng(4);
+  ArrayConfig cfg = small_array(4);
+  fault::FaultMap map(4, 4);
+  fx::StuckBits bits;
+  bits.set(0, fx::StuckType::kStuckAt1);
+  map.add(2, 2, bits);
+  SystolicGemmEngine engine(cfg, &map);
+  const int m = 4, k = 8, n = 4;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  SystolicGemmEngine clean(cfg, nullptr);
+  tensor::Tensor c0({m, n});
+  clean.run(a.data(), w.data(), c0.data(), m, k, n, "L");
+  // Each traversal step can add at most 1 LSB; k/rows * rows steps.
+  EXPECT_LT(tensor::max_abs_diff(c, c0),
+            (8 + 1) * cfg.format.resolution() + 1e-6);
+}
+
+TEST(FaultyGemm, FaultAppliesEvenWithoutSpike) {
+  // A stuck MSB corrupts the passing psum even when its own input spike
+  // is zero — the defining property of a permanent accumulator fault.
+  ArrayConfig cfg = small_array(4);
+  fault::FaultMap map(4, 4);
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  map.add(3, 0, bits);  // last row of column 0
+  SystolicGemmEngine engine(cfg, &map);
+  const int m = 1, k = 4, n = 1;
+  tensor::Tensor a({m, k}, {1, 1, 1, 0});  // no spike at the faulty row
+  tensor::Tensor w({k, n}, 0.5f);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  EXPECT_LT(c[0], -50.0f);
+}
+
+TEST(FaultyGemm, PaddingRowFaultsStillCorrupt) {
+  // K=2 on a 4x4 array: the psum still traverses rows 2 and 3.
+  ArrayConfig cfg = small_array(4);
+  fault::FaultMap map(4, 4);
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  map.add(3, 0, bits);
+  SystolicGemmEngine engine(cfg, &map);
+  tensor::Tensor a({1, 2}, {1, 1});
+  tensor::Tensor w({2, 1}, 0.5f);
+  tensor::Tensor c({1, 1});
+  engine.run(a.data(), w.data(), c.data(), 1, 2, 1, "L");
+  EXPECT_LT(c[0], -50.0f);
+}
+
+TEST(FaultyGemm, BypassDropsContributionWithoutCorruption) {
+  ArrayConfig cfg = small_array(4);
+  fault::FaultMap map(4, 4);
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  map.add(1, 0, bits);
+  SystolicGemmEngine engine(cfg, &map,
+                            SystolicGemmEngine::FaultHandling::kBypass);
+  tensor::Tensor a({1, 4}, {1, 1, 1, 1});
+  tensor::Tensor w({4, 1}, 0.25f);
+  tensor::Tensor c({1, 1});
+  engine.run(a.data(), w.data(), c.data(), 1, 4, 1, "L");
+  // Weight at k=1 dropped: 3 * 0.25 instead of 1.0, no corruption.
+  EXPECT_NEAR(c[0], 0.75f, 0.01f);
+}
+
+TEST(FaultyGemm, BypassEqualsPrunedFloatGemm) {
+  common::Rng rng(5);
+  ArrayConfig cfg = small_array(4);
+  const fault::FaultMap map =
+      fault::random_fault_map(4, 4, 5, fault::worst_case_spec(16), rng);
+  SystolicGemmEngine engine(cfg, &map,
+                            SystolicGemmEngine::FaultHandling::kBypass);
+  const int m = 6, k = 12, n = 7;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, -0.5, 0.5);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  // Float reference with the mapped weights zeroed.
+  tensor::Tensor wp = w;
+  for (int kk = 0; kk < k; ++kk) {
+    for (int j = 0; j < n; ++j) {
+      if (map.is_faulty(kk % 4, j % 4)) wp.at2(kk, j) = 0.0f;
+    }
+  }
+  tensor::Tensor ref({m, n});
+  tensor::gemm(a.data(), wp.data(), ref.data(), m, k, n);
+  EXPECT_LT(tensor::max_abs_diff(c, ref),
+            k * cfg.format.resolution() / 2 + 1e-6);
+}
+
+TEST(FaultyGemm, PlanCacheInvalidatesOnWeightChange) {
+  common::Rng rng(6);
+  ArrayConfig cfg = small_array(4);
+  SystolicGemmEngine engine(cfg, nullptr);
+  tensor::Tensor a({1, 4}, {1, 1, 1, 1});
+  tensor::Tensor w1({4, 1}, 0.25f);
+  tensor::Tensor c({1, 1});
+  engine.run(a.data(), w1.data(), c.data(), 1, 4, 1, "L");
+  EXPECT_NEAR(c[0], 1.0f, 0.01f);
+  tensor::Tensor w2({4, 1}, 0.5f);  // different buffer -> replan
+  engine.run(a.data(), w2.data(), c.data(), 1, 4, 1, "L");
+  EXPECT_NEAR(c[0], 2.0f, 0.01f);
+}
+
+TEST(FaultyGemm, MismatchedMapThrows) {
+  fault::FaultMap map(8, 8);
+  EXPECT_THROW(SystolicGemmEngine(small_array(4), &map),
+               std::invalid_argument);
+}
+
+TEST(FaultyGemm, StuckAt1WorseThanStuckAt0OnAverage) {
+  // Paper observation: sa1 faults perturb more than sa0 (positive
+  // accumulations rarely have their MSB set, so sa0 often masks nothing).
+  common::Rng rng(7);
+  ArrayConfig cfg = small_array(8);
+  const int m = 16, k = 24, n = 8;
+  tensor::Tensor a = random_spikes(m, k, rng);
+  tensor::Tensor w = random_tensor({k, n}, rng, 0.0, 0.3);
+  tensor::Tensor clean({m, n});
+  SystolicGemmEngine golden(cfg, nullptr);
+  golden.run(a.data(), w.data(), clean.data(), m, k, n, "L");
+
+  auto corruption = [&](fx::StuckType type) {
+    fault::FaultMap map(8, 8);
+    fx::StuckBits bits;
+    bits.set(15, type);
+    for (int r = 0; r < 8; r += 2) map.add(r, r % 8, bits);
+    SystolicGemmEngine engine(cfg, &map);
+    tensor::Tensor c({m, n});
+    engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+    return tensor::max_abs_diff(c, clean);
+  };
+  EXPECT_GT(corruption(fx::StuckType::kStuckAt1),
+            corruption(fx::StuckType::kStuckAt0));
+}
+
+}  // namespace
+}  // namespace falvolt::systolic

@@ -1,0 +1,135 @@
+#include "tensor/gemm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace falvolt::tensor {
+namespace {
+
+// Naive triple-loop reference.
+void ref_gemm(const float* a, const float* b, float* c, int m, int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a[i * k + kk]) * b[kk * n + j];
+      }
+      c[i * n + j] = static_cast<float>(acc);
+    }
+  }
+}
+
+Tensor random_tensor(Shape shape, common::Rng& rng) {
+  Tensor t(std::move(shape));
+  for (auto& v : t) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(Gemm, SmallKnownResult) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  const Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at2(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at2(0, 1), 22.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 0), 43.0f);
+  EXPECT_FLOAT_EQ(c.at2(1, 1), 50.0f);
+}
+
+TEST(Gemm, MatmulShapeCheck) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_THROW(matmul(a, b), std::invalid_argument);
+}
+
+TEST(Gemm, AccumulateAddsIntoC) {
+  Tensor a({1, 1}, {2});
+  Tensor b({1, 1}, {3});
+  Tensor c({1, 1}, {10});
+  gemm(a.data(), b.data(), c.data(), 1, 1, 1, /*accumulate=*/true);
+  EXPECT_FLOAT_EQ(c[0], 16.0f);
+  gemm(a.data(), b.data(), c.data(), 1, 1, 1, /*accumulate=*/false);
+  EXPECT_FLOAT_EQ(c[0], 6.0f);
+}
+
+TEST(Gemm, SparseInputsSkipCorrectly) {
+  // The kernel fast-path skips zero A entries; result must be identical.
+  common::Rng rng(3);
+  Tensor a = random_tensor({7, 13}, rng);
+  for (std::size_t i = 0; i < a.size(); i += 2) a[i] = 0.0f;
+  Tensor b = random_tensor({13, 5}, rng);
+  Tensor c({7, 5});
+  Tensor ref({7, 5});
+  gemm(a.data(), b.data(), c.data(), 7, 13, 5);
+  ref_gemm(a.data(), b.data(), ref.data(), 7, 13, 5);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, AtBMatchesReference) {
+  // C = A^T * B with A stored [K x M].
+  common::Rng rng(5);
+  const int k = 11, m = 6, n = 4;
+  Tensor a = random_tensor({k, m}, rng);
+  Tensor b = random_tensor({k, n}, rng);
+  Tensor c({m, n});
+  gemm_at_b(a.data(), b.data(), c.data(), k, m, n);
+  // Reference: transpose A then multiply.
+  Tensor at({m, k});
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < m; ++j) at.at2(j, i) = a.at2(i, j);
+  }
+  Tensor ref({m, n});
+  ref_gemm(at.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f);
+  }
+}
+
+TEST(Gemm, ABtMatchesReference) {
+  // C = A * B^T with B stored [N x K].
+  common::Rng rng(7);
+  const int m = 5, k = 9, n = 8;
+  Tensor a = random_tensor({m, k}, rng);
+  Tensor b = random_tensor({n, k}, rng);
+  Tensor c({m, n});
+  gemm_a_bt(a.data(), b.data(), c.data(), m, k, n);
+  Tensor bt({k, n});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < k; ++j) bt.at2(j, i) = b.at2(i, j);
+  }
+  Tensor ref({m, n});
+  ref_gemm(a.data(), bt.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    EXPECT_NEAR(c[i], ref[i], 1e-4f);
+  }
+}
+
+// Parameterized shape sweep against the reference kernel.
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(m * 100 + k * 10 + n));
+  Tensor a = random_tensor({m, k}, rng);
+  Tensor b = random_tensor({k, n}, rng);
+  Tensor c({m, n});
+  Tensor ref({m, n});
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  ref_gemm(a.data(), b.data(), ref.data(), m, k, n);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], ref[i], 1e-3f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 64, 1},
+                      std::tuple{17, 3, 5}, std::tuple{32, 72, 8},
+                      std::tuple{64, 128, 10}, std::tuple{3, 1, 7}));
+
+}  // namespace
+}  // namespace falvolt::tensor

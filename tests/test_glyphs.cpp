@@ -1,0 +1,81 @@
+#include "data/glyphs.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::data {
+namespace {
+
+TEST(Glyphs, TenDistinctGlyphs) {
+  const auto& glyphs = digit_glyphs();
+  for (std::size_t i = 0; i < glyphs.size(); ++i) {
+    for (std::size_t j = i + 1; j < glyphs.size(); ++j) {
+      EXPECT_NE(glyphs[i], glyphs[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Glyphs, CleanRenderIsCenteredAndBinary) {
+  const tensor::Tensor img = render_glyph_clean(8, 16);
+  EXPECT_EQ(img.shape(), (tensor::Shape{16, 16}));
+  for (std::size_t i = 0; i < img.size(); ++i) {
+    EXPECT_TRUE(img[i] == 0.0f || img[i] == 1.0f);
+  }
+  // Border rows/cols must be empty for a centered 8x8 glyph on 16x16.
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(img.at2(0, i), 0.0f);
+    EXPECT_EQ(img.at2(15, i), 0.0f);
+    EXPECT_EQ(img.at2(i, 0), 0.0f);
+    EXPECT_EQ(img.at2(i, 15), 0.0f);
+  }
+  EXPECT_GT(tensor::count_nonzero(img), 10u);
+}
+
+TEST(Glyphs, RenderDeterministicGivenRngState) {
+  common::Rng a(5);
+  common::Rng b(5);
+  const tensor::Tensor x = render_glyph(3, a);
+  const tensor::Tensor y = render_glyph(3, b);
+  EXPECT_EQ(tensor::max_abs_diff(x, y), 0.0);
+}
+
+TEST(Glyphs, AugmentationProducesVariation) {
+  common::Rng rng(6);
+  const tensor::Tensor x = render_glyph(3, rng);
+  const tensor::Tensor y = render_glyph(3, rng);
+  EXPECT_GT(tensor::max_abs_diff(x, y), 0.0);
+}
+
+TEST(Glyphs, ValuesStayInUnitRange) {
+  common::Rng rng(7);
+  for (int digit = 0; digit < 10; ++digit) {
+    const tensor::Tensor img = render_glyph(digit, rng);
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      EXPECT_GE(img[i], 0.0f);
+      EXPECT_LE(img[i], 1.0f);
+    }
+  }
+}
+
+TEST(Glyphs, BadArgsThrow) {
+  common::Rng rng(1);
+  EXPECT_THROW(render_glyph(-1, rng), std::invalid_argument);
+  EXPECT_THROW(render_glyph(10, rng), std::invalid_argument);
+  GlyphRenderOptions opts;
+  opts.canvas = 4;
+  EXPECT_THROW(render_glyph(0, rng, opts), std::invalid_argument);
+}
+
+TEST(Glyphs, DifferentDigitsRenderDifferently) {
+  for (int a = 0; a < 10; ++a) {
+    for (int b = a + 1; b < 10; ++b) {
+      const tensor::Tensor x = render_glyph_clean(a);
+      const tensor::Tensor y = render_glyph_clean(b);
+      EXPECT_GT(tensor::max_abs_diff(x, y), 0.0) << a << " vs " << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falvolt::data

@@ -1,0 +1,181 @@
+// End-to-end integration tests: fabricate a defective chip, recover its
+// fault map with post-fab testing, measure the unmitigated collapse, then
+// mitigate with FaP / FaPIT / FalVolt — the full tool flow of the paper's
+// Fig. 4 on a scaled-down workload.
+
+#include <gtest/gtest.h>
+
+#include "core/falvolt.h"
+#include "core/fap.h"
+#include "data/synthetic_mnist.h"
+#include "fault/fault_generator.h"
+#include "fault/post_fab_test.h"
+#include "snn/model_zoo.h"
+#include "snn/optimizer.h"
+#include "snn/trainer.h"
+#include "systolic/faulty_gemm.h"
+
+namespace falvolt {
+namespace {
+
+struct Pipeline {
+  Pipeline() {
+    data::SyntheticMnistConfig dc;
+    dc.train_size = 160;
+    dc.test_size = 80;
+    dc.time_steps = 4;
+    split = data::make_synthetic_mnist(dc);
+    snn::ZooConfig zc;
+    zc.channels = 8;
+    zc.fc_hidden = 32;
+    snn::Network net = snn::make_digit_classifier("d", 1, 16, 10, zc);
+    snn::Adam opt(2e-2);
+    snn::TrainConfig tc;
+    tc.epochs = 12;
+    tc.batch_size = 16;
+    tc.eval_each_epoch = false;
+    snn::Trainer trainer(net, opt, split.train, &split.test, tc);
+    trainer.run();
+    snapshot = net.snapshot_params();
+    baseline = snn::evaluate(net, split.test);
+  }
+  snn::Network fresh_copy() {
+    snn::ZooConfig zc;
+    zc.channels = 8;
+    zc.fc_hidden = 32;
+    snn::Network n = snn::make_digit_classifier("d", 1, 16, 10, zc);
+    n.restore_params(snapshot);
+    return n;
+  }
+  data::DatasetSplit split{data::Dataset("a", 1, 1, 1, 1, 1),
+                           data::Dataset("b", 1, 1, 1, 1, 1)};
+  std::vector<tensor::Tensor> snapshot;
+  double baseline = 0.0;
+};
+
+Pipeline& pipeline() {
+  static Pipeline p;
+  return p;
+}
+
+TEST(Integration, BaselineIsWellTrained) {
+  EXPECT_GT(pipeline().baseline, 70.0);
+}
+
+TEST(Integration, FullChipSalvageFlow) {
+  Pipeline& p = pipeline();
+  systolic::ArrayConfig array;
+  array.rows = array.cols = 16;
+
+  // 1. Fabricate a chip with hidden defects (MSB faults, worst case).
+  common::Rng rng(11);
+  fault::FaultMap defects = fault::random_fault_map(
+      16, 16, 26, fault::worst_case_spec(16), rng);  // ~10% of 256 PEs
+  fault::FabricatedChip chip(std::move(defects), array.format);
+
+  // 2. Post-fabrication test recovers the fault map.
+  const fault::TestOutcome tested = fault::run_post_fab_test(chip);
+  EXPECT_EQ(tested.recovered.num_faulty_pes(), 26);
+
+  // 3. Unmitigated chip: accuracy collapses.
+  snn::Network net = p.fresh_copy();
+  const double faulty = core::evaluate_with_faults(
+      net, p.split.test, array, tested.recovered,
+      systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+  EXPECT_LT(faulty, p.baseline - 25.0);
+
+  // 4. FalVolt against the *recovered* map restores accuracy.
+  core::MitigationConfig cfg;
+  cfg.array = array;
+  cfg.retrain_epochs = 5;
+  cfg.batch_size = 16;
+  const core::MitigationResult r =
+      core::run_falvolt(net, tested.recovered, p.split.train, p.split.test,
+                        cfg);
+  EXPECT_GT(r.final_accuracy, faulty);
+  EXPECT_GT(r.final_accuracy, p.baseline - 20.0);
+}
+
+TEST(Integration, MethodOrderingAt30Percent) {
+  // The paper's Fig. 7 ordering: FaP <= FaPIT <= FalVolt (allowing noise
+  // tolerance on the small workload).
+  Pipeline& p = pipeline();
+  common::Rng rng(13);
+  const fault::FaultMap map = fault::fault_map_at_rate(
+      16, 16, 0.3, fault::worst_case_spec(16), rng);
+  core::MitigationConfig cfg;
+  cfg.array.rows = cfg.array.cols = 16;
+  cfg.retrain_epochs = 5;
+  cfg.batch_size = 16;
+
+  snn::Network fap_net = p.fresh_copy();
+  const double fap = core::run_fap(fap_net, map, p.split.test).final_accuracy;
+  snn::Network fapit_net = p.fresh_copy();
+  const double fapit =
+      core::run_fapit(fapit_net, map, p.split.train, p.split.test, cfg)
+          .final_accuracy;
+  snn::Network fv_net = p.fresh_copy();
+  const double falvolt =
+      core::run_falvolt(fv_net, map, p.split.train, p.split.test, cfg)
+          .final_accuracy;
+
+  EXPECT_GE(fapit + 10.0, fap);      // retraining should not hurt much
+  EXPECT_GE(falvolt + 10.0, fapit);  // vth optimization should not hurt
+  EXPECT_GT(falvolt, fap - 1e-9);    // and FalVolt strictly >= FaP
+}
+
+TEST(Integration, WholeNetworkInferenceThroughSystolicEngine) {
+  // Quantized golden-chip inference must stay close to float inference.
+  Pipeline& p = pipeline();
+  systolic::ArrayConfig array;
+  array.rows = array.cols = 16;
+  const fault::FaultMap clean(16, 16);
+  snn::Network net = p.fresh_copy();
+  const double quantized = core::evaluate_with_faults(
+      net, p.split.test, array, clean,
+      systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+  EXPECT_NEAR(quantized, p.baseline, 15.0);
+}
+
+TEST(Integration, MitigationDeterministicEndToEnd) {
+  Pipeline& p = pipeline();
+  common::Rng rng(17);
+  const fault::FaultMap map = fault::fault_map_at_rate(
+      16, 16, 0.3, fault::worst_case_spec(16), rng);
+  core::MitigationConfig cfg;
+  cfg.array.rows = cfg.array.cols = 16;
+  cfg.retrain_epochs = 3;
+  cfg.batch_size = 16;
+
+  auto run_once = [&]() {
+    snn::Network net = p.fresh_copy();
+    return core::run_falvolt(net, map, p.split.train, p.split.test, cfg)
+        .final_accuracy;
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+TEST(Integration, BypassChipMatchesPrunedFloatNetwork) {
+  // Hardware bypass (systolic engine) and software pruning (zeroed
+  // weights on the float path) must agree up to quantization error.
+  Pipeline& p = pipeline();
+  systolic::ArrayConfig array;
+  array.rows = array.cols = 16;
+  common::Rng rng(19);
+  const fault::FaultMap map = fault::random_fault_map(
+      16, 16, 26, fault::worst_case_spec(16), rng);
+
+  snn::Network pruned = p.fresh_copy();
+  fault::NetworkPruner pruner(pruned, map);
+  pruner.apply(pruned);
+  const double soft = snn::evaluate(pruned, p.split.test);
+
+  snn::Network hw = p.fresh_copy();
+  const double hard = core::evaluate_with_faults(
+      hw, p.split.test, array, map,
+      systolic::SystolicGemmEngine::FaultHandling::kBypass);
+  EXPECT_NEAR(soft, hard, 15.0);
+}
+
+}  // namespace
+}  // namespace falvolt

@@ -1,0 +1,105 @@
+#include "snn/linear.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace falvolt::snn {
+namespace {
+
+using falvolt::testutil::analytic_grads;
+using falvolt::testutil::numeric_grad;
+using falvolt::testutil::random_tensor;
+
+TEST(Linear, ForwardMatchesManualMatmul) {
+  common::Rng rng(1);
+  Linear fc("fc", 3, 2, rng, /*bias=*/false);
+  fc.weight_param().value = tensor::Tensor({3, 2}, {1, 2, 3, 4, 5, 6});
+  fc.reset_state();
+  tensor::Tensor x({1, 3}, {1, 1, 1});
+  const tensor::Tensor y = fc.forward(x, 0, Mode::kEval);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), 12.0f);
+}
+
+TEST(Linear, BiasApplied) {
+  common::Rng rng(2);
+  Linear fc("fc", 2, 2, rng);
+  fc.weight_param().value.zero();
+  fc.params()[1]->value[0] = 3.0f;
+  fc.reset_state();
+  tensor::Tensor x({1, 2});
+  EXPECT_FLOAT_EQ(fc.forward(x, 0, Mode::kEval).at2(0, 0), 3.0f);
+}
+
+TEST(Linear, ShapeValidation) {
+  common::Rng rng(3);
+  Linear fc("fc", 4, 2, rng);
+  fc.reset_state();
+  EXPECT_THROW(fc.forward(tensor::Tensor({1, 5}), 0, Mode::kEval),
+               std::invalid_argument);
+  EXPECT_THROW(Linear("bad", 0, 2, rng), std::invalid_argument);
+}
+
+TEST(Linear, WeightGradientMatchesFiniteDifference) {
+  common::Rng rng(4);
+  Linear fc("fc", 5, 3, rng);
+  const int T = 3;
+  std::vector<tensor::Tensor> xs, ys;
+  for (int t = 0; t < T; ++t) {
+    xs.push_back(random_tensor({2, 5}, rng));
+    ys.push_back(random_tensor({2, 3}, rng));
+  }
+  analytic_grads(fc, xs, ys);
+  Param& w = fc.weight_param();
+  for (std::size_t i = 0; i < w.value.size(); ++i) {
+    const double num = numeric_grad(fc, xs, ys, &w.value[i], 1e-3);
+    ASSERT_NEAR(w.grad[i], num, 2e-2 * std::max(1.0, std::abs(num))) << i;
+  }
+}
+
+TEST(Linear, InputGradientMatchesFiniteDifference) {
+  common::Rng rng(5);
+  Linear fc("fc", 4, 2, rng);
+  std::vector<tensor::Tensor> xs{random_tensor({2, 4}, rng)};
+  std::vector<tensor::Tensor> ys{random_tensor({2, 2}, rng)};
+  const auto grads = analytic_grads(fc, xs, ys);
+  for (std::size_t i = 0; i < xs[0].size(); ++i) {
+    const double num = numeric_grad(fc, xs, ys, &xs[0][i], 1e-3);
+    ASSERT_NEAR(grads[0][i], num, 2e-2 * std::max(1.0, std::abs(num)));
+  }
+}
+
+TEST(Linear, GradAccumulatesAcrossTimeSteps) {
+  common::Rng rng(6);
+  Linear fc("fc", 2, 1, rng, /*bias=*/false);
+  fc.weight_param().value.fill(1.0f);
+  // Two identical steps must give exactly twice the single-step gradient.
+  std::vector<tensor::Tensor> x1{tensor::Tensor({1, 2}, {1, 2})};
+  std::vector<tensor::Tensor> y1{tensor::Tensor({1, 1}, {1})};
+  analytic_grads(fc, x1, y1);
+  const float g1 = fc.weight_param().grad[0];
+  std::vector<tensor::Tensor> x2{x1[0], x1[0]};
+  std::vector<tensor::Tensor> y2{y1[0], y1[0]};
+  analytic_grads(fc, x2, y2);
+  EXPECT_FLOAT_EQ(fc.weight_param().grad[0], 2.0f * g1);
+}
+
+TEST(Linear, BackwardWithoutForwardThrows) {
+  common::Rng rng(7);
+  Linear fc("fc", 2, 2, rng);
+  fc.reset_state();
+  EXPECT_THROW(fc.backward(tensor::Tensor({1, 2}), 0), std::logic_error);
+}
+
+TEST(Linear, MatmulInterface) {
+  common::Rng rng(8);
+  Linear fc("head", 128, 10, rng);
+  MatmulLayer& m = fc;
+  EXPECT_EQ(m.gemm_k(), 128);
+  EXPECT_EQ(m.gemm_m(), 10);
+  EXPECT_EQ(m.matmul_name(), "head");
+}
+
+}  // namespace
+}  // namespace falvolt::snn

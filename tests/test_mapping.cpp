@@ -1,0 +1,74 @@
+#include "systolic/mapping.h"
+
+#include <gtest/gtest.h>
+
+namespace falvolt::systolic {
+namespace {
+
+TEST(Mapping, FoldsOverBothDimensions) {
+  ArrayConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  EXPECT_EQ(pe_for_weight(0, 0, cfg), (PeCoord{0, 0}));
+  EXPECT_EQ(pe_for_weight(5, 2, cfg), (PeCoord{1, 2}));
+  EXPECT_EQ(pe_for_weight(4, 4, cfg), (PeCoord{0, 0}));
+  EXPECT_EQ(pe_for_weight(15, 9, cfg), (PeCoord{3, 1}));
+}
+
+TEST(Mapping, NegativeIndexThrows) {
+  ArrayConfig cfg;
+  EXPECT_THROW(pe_for_weight(-1, 0, cfg), std::invalid_argument);
+}
+
+TEST(Mapping, WeightsOnPeCountsFolds) {
+  ArrayConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  // K=10, M=6: PE row 0 holds k in {0,4,8} (3 folds); PE col 0 holds
+  // m in {0,4} (2 folds) -> 6 weights.
+  EXPECT_EQ(weights_on_pe(10, 6, {0, 0}, cfg), 6);
+  // PE row 2 holds k in {2,6}; col 5 does not exist for M=6? col index 1
+  // holds m in {1,5}.
+  EXPECT_EQ(weights_on_pe(10, 6, {2, 1}, cfg), 4);
+  // A PE beyond both extents holds nothing.
+  EXPECT_EQ(weights_on_pe(2, 2, {3, 3}, cfg), 0);
+}
+
+TEST(Mapping, SmallerArrayMeansMoreWeightsPerPe) {
+  // The Fig. 5c mechanism: folding increases with smaller arrays.
+  const int k = 64, m = 32;
+  ArrayConfig small;
+  small.rows = small.cols = 4;
+  ArrayConfig big;
+  big.rows = big.cols = 32;
+  EXPECT_GT(weights_on_pe(k, m, {0, 0}, small),
+            weights_on_pe(k, m, {0, 0}, big));
+  EXPECT_EQ(weights_on_pe(k, m, {0, 0}, small), 16 * 8);
+  EXPECT_EQ(weights_on_pe(k, m, {0, 0}, big), 2 * 1);
+}
+
+TEST(Mapping, PaddedKRoundsUpToWholeColumns) {
+  ArrayConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  EXPECT_EQ(padded_k(1, cfg), 8);
+  EXPECT_EQ(padded_k(8, cfg), 8);
+  EXPECT_EQ(padded_k(9, cfg), 16);
+  EXPECT_THROW(padded_k(0, cfg), std::invalid_argument);
+}
+
+TEST(Mapping, OutOfRangePeThrows) {
+  ArrayConfig cfg;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  EXPECT_THROW(weights_on_pe(8, 8, {4, 0}, cfg), std::invalid_argument);
+}
+
+TEST(Mapping, ConfigToString) {
+  ArrayConfig cfg;
+  EXPECT_EQ(cfg.to_string(), "256x256 Q7.8 (16-bit)");
+  EXPECT_EQ(cfg.total_pes(), 65536);
+}
+
+}  // namespace
+}  // namespace falvolt::systolic

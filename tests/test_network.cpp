@@ -1,0 +1,156 @@
+#include "snn/network.h"
+
+#include <gtest/gtest.h>
+
+#include "snn/conv2d.h"
+#include "snn/flatten.h"
+#include "snn/linear.h"
+#include "snn/model_zoo.h"
+#include "snn/plif.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace falvolt::snn {
+namespace {
+
+Network tiny_net(std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  Network net("tiny");
+  net.emplace<Conv2d>("SEncConv", 1, 2, 3, 1, rng);
+  net.emplace<Plif>("SEncPLIF");
+  net.emplace<Conv2d>("Conv1", 2, 2, 3, 1, rng);
+  net.emplace<Plif>("PLIF1");
+  net.emplace<Flatten>("Flatten");
+  net.emplace<Linear>("FC1", 2 * 4 * 4, 3, rng);
+  net.emplace<Plif>("PLIF_FC1");
+  return net;
+}
+
+TEST(Network, ForwardProducesClassOutputs) {
+  Network net = tiny_net();
+  net.reset_state();
+  common::Rng rng(2);
+  tensor::Tensor x = falvolt::testutil::random_tensor({2, 1, 4, 4}, rng,
+                                                      0.0, 1.0);
+  const tensor::Tensor y = net.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 3}));
+}
+
+TEST(Network, ParamsCollectsAllLayers) {
+  Network net = tiny_net();
+  // SEncConv(w, b) + SEncPLIF(vth, w_tau) + Conv1(w, b) + PLIF1(2) +
+  // FC1(w, b) + PLIF_FC1(2) = 12 params.
+  EXPECT_EQ(net.params().size(), 12u);
+}
+
+TEST(Network, ZeroGradClearsAll) {
+  Network net = tiny_net();
+  for (Param* p : net.params()) p->grad.fill(3.0f);
+  net.zero_grad();
+  for (Param* p : net.params()) {
+    for (std::size_t i = 0; i < p->grad.size(); ++i) {
+      ASSERT_EQ(p->grad[i], 0.0f);
+    }
+  }
+}
+
+TEST(Network, SpikingLayerDiscovery) {
+  Network net = tiny_net();
+  EXPECT_EQ(net.spiking_layers().size(), 3u);
+  // The encoder PLIF must be excluded from the hidden set (Fig. 6 reports
+  // only hidden conv/FC thresholds).
+  const auto hidden = net.hidden_spiking_layers();
+  ASSERT_EQ(hidden.size(), 2u);
+  EXPECT_EQ(hidden[0]->name(), "PLIF1");
+  EXPECT_EQ(hidden[1]->name(), "PLIF_FC1");
+}
+
+TEST(Network, MatmulLayerDiscovery) {
+  Network net = tiny_net();
+  const auto mm = net.matmul_layers();
+  ASSERT_EQ(mm.size(), 3u);
+  EXPECT_EQ(mm[0]->matmul_name(), "SEncConv");
+  EXPECT_EQ(mm[2]->matmul_name(), "FC1");
+}
+
+TEST(Network, SetTrainVthOnlyTouchesHiddenLayers) {
+  Network net = tiny_net();
+  net.set_train_vth(true);
+  for (Plif* p : net.hidden_spiking_layers()) {
+    EXPECT_TRUE(p->train_vth());
+  }
+  // Encoder layer stays frozen.
+  EXPECT_FALSE(net.spiking_layers()[0]->train_vth());
+  net.set_train_vth(false);
+  for (Plif* p : net.spiking_layers()) EXPECT_FALSE(p->train_vth());
+}
+
+TEST(Network, SnapshotRestoreRoundTrip) {
+  Network net = tiny_net();
+  const auto snap = net.snapshot_params();
+  const auto params = net.params();
+  params[0]->value.fill(9.0f);
+  net.restore_params(snap);
+  EXPECT_EQ(tensor::max_abs_diff(params[0]->value, snap[0]), 0.0);
+}
+
+TEST(Network, RestoreRejectsWrongInventory) {
+  Network net = tiny_net();
+  auto snap = net.snapshot_params();
+  snap.pop_back();
+  EXPECT_THROW(net.restore_params(snap), std::invalid_argument);
+}
+
+TEST(Network, DeterministicGivenSeedAndInput) {
+  Network a = tiny_net(5);
+  Network b = tiny_net(5);
+  common::Rng rng(3);
+  tensor::Tensor x = falvolt::testutil::random_tensor({1, 1, 4, 4}, rng,
+                                                      0.0, 1.0);
+  a.reset_state();
+  b.reset_state();
+  const tensor::Tensor ya = a.forward(x, 0, Mode::kEval);
+  const tensor::Tensor yb = b.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(tensor::max_abs_diff(ya, yb), 0.0);
+}
+
+TEST(Network, NumTrainableScalarsExcludesFrozen) {
+  Network net = tiny_net();
+  const std::size_t all = net.num_trainable_scalars();
+  net.set_train_vth(true);
+  // vth params were already counted? They are Params with trainable flag;
+  // enabling training on 2 hidden layers adds 2 scalars.
+  EXPECT_EQ(net.num_trainable_scalars(), all + 2);
+}
+
+TEST(ModelZoo, DigitClassifierShapes) {
+  Network net = make_digit_classifier("digit", 1, 16, 10);
+  net.reset_state();
+  tensor::Tensor x({2, 1, 16, 16}, 0.5f);
+  const tensor::Tensor y = net.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 10}));
+  // Fig. 6a layout: exactly 4 hidden spiking layers Conv1/Conv2/FC1/FC2.
+  const auto hidden = net.hidden_spiking_layers();
+  ASSERT_EQ(hidden.size(), 4u);
+  EXPECT_EQ(hidden[0]->name(), "PLIF1");
+  EXPECT_EQ(hidden[3]->name(), "PLIF_FC2");
+}
+
+TEST(ModelZoo, GestureClassifierShapes) {
+  Network net = make_gesture_classifier("gesture", 2, 24, 11);
+  net.reset_state();
+  tensor::Tensor x({1, 2, 24, 24}, 0.0f);
+  const tensor::Tensor y = net.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(y.shape(), (tensor::Shape{1, 11}));
+  // Fig. 6c layout: Conv1..Conv5 + FC1 + FC2 -> 7 hidden spiking layers.
+  EXPECT_EQ(net.hidden_spiking_layers().size(), 7u);
+}
+
+TEST(ModelZoo, CanvasValidation) {
+  EXPECT_THROW(make_digit_classifier("d", 1, 18, 10), std::invalid_argument);
+  EXPECT_THROW(make_gesture_classifier("g", 2, 20, 11),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::snn

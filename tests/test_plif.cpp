@@ -1,0 +1,260 @@
+#include "snn/plif.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace falvolt::snn {
+namespace {
+
+using falvolt::testutil::analytic_grads;
+using falvolt::testutil::numeric_grad;
+using falvolt::testutil::random_tensor;
+
+TEST(Plif, FiresWhenMembraneExceedsThreshold) {
+  PlifConfig cfg;
+  cfg.initial_tau = 2.0f;  // k = 0.5
+  cfg.initial_vth = 1.0f;
+  Plif p("p", cfg);
+  p.reset_state();
+  // Step 0: H = 0 + 0.5 * (3 - 0) = 1.5 > 1 -> spike, reset to 0.
+  tensor::Tensor x({1, 1}, 3.0f);
+  tensor::Tensor s0 = p.forward(x, 0, Mode::kEval);
+  EXPECT_EQ(s0[0], 1.0f);
+  // Step 1 after reset: H = 0.5 * 3 = 1.5 -> spikes again.
+  tensor::Tensor s1 = p.forward(x, 1, Mode::kEval);
+  EXPECT_EQ(s1[0], 1.0f);
+}
+
+TEST(Plif, SubthresholdInputAccumulates) {
+  PlifConfig cfg;
+  cfg.initial_tau = 2.0f;
+  cfg.initial_vth = 1.0f;
+  Plif p("p", cfg);
+  p.reset_state();
+  tensor::Tensor x({1, 1}, 0.8f);
+  // H0 = 0.4 (no spike), H1 = 0.4 + 0.5*(0.8-0.4) = 0.6, H2 = 0.7, ...
+  EXPECT_EQ(p.forward(x, 0, Mode::kEval)[0], 0.0f);
+  EXPECT_EQ(p.forward(x, 1, Mode::kEval)[0], 0.0f);
+  // The membrane converges to x = 0.8 < 1.0, so it never fires.
+  for (int t = 2; t < 20; ++t) {
+    EXPECT_EQ(p.forward(x, t, Mode::kEval)[0], 0.0f);
+  }
+}
+
+TEST(Plif, LowerThresholdFiresMore) {
+  tensor::Tensor x({1, 1}, 0.8f);
+  auto count_spikes = [&](float vth) {
+    PlifConfig cfg;
+    cfg.initial_vth = vth;
+    Plif p("p", cfg);
+    p.reset_state();
+    int spikes = 0;
+    for (int t = 0; t < 20; ++t) {
+      spikes += p.forward(x, t, Mode::kEval)[0] == 1.0f ? 1 : 0;
+    }
+    return spikes;
+  };
+  EXPECT_GT(count_spikes(0.45f), count_spikes(0.7f));
+  EXPECT_EQ(count_spikes(1.2f), 0);
+}
+
+TEST(Plif, NonConsecutiveTimeStepThrows) {
+  Plif p("p");
+  p.reset_state();
+  tensor::Tensor x({1, 1}, 0.5f);
+  p.forward(x, 0, Mode::kTrain);
+  EXPECT_THROW(p.forward(x, 2, Mode::kTrain), std::logic_error);
+}
+
+TEST(Plif, ResetStateClearsMembrane) {
+  PlifConfig cfg;
+  cfg.initial_vth = 1.0f;
+  Plif p("p", cfg);
+  p.reset_state();
+  tensor::Tensor x({1, 1}, 0.9f);
+  p.forward(x, 0, Mode::kEval);
+  p.reset_state();
+  // After reset the same stimulus gives the same (subthreshold) response.
+  EXPECT_EQ(p.forward(x, 0, Mode::kEval)[0], 0.0f);
+}
+
+TEST(Plif, SetVthClamps) {
+  Plif p("p");
+  p.set_vth(100.0f);
+  EXPECT_FLOAT_EQ(p.vth(), 2.0f);  // default vth_max
+  p.set_vth(0.0f);
+  EXPECT_FLOAT_EQ(p.vth(), 0.05f);  // default vth_min
+}
+
+TEST(Plif, TauMatchesConfig) {
+  PlifConfig cfg;
+  cfg.initial_tau = 4.0f;
+  Plif p("p", cfg);
+  EXPECT_NEAR(p.tau(), 4.0f, 1e-4f);
+  EXPECT_NEAR(p.k(), 0.25f, 1e-5f);
+}
+
+TEST(Plif, InvalidConfigThrows) {
+  PlifConfig cfg;
+  cfg.initial_tau = 1.0f;
+  EXPECT_THROW(Plif("p", cfg), std::invalid_argument);
+  cfg.initial_tau = 2.0f;
+  cfg.initial_vth = 0.0f;
+  EXPECT_THROW(Plif("p", cfg), std::invalid_argument);
+}
+
+// ---- Gradient checks (BPTT through 4 steps) ----
+//
+// The true spike function is piecewise constant, so finite differences of
+// the layer output are 0 almost everywhere and O(1/eps) at spike flips —
+// they can never validate a *surrogate* gradient. Instead we validate the
+// layer against an independent hand-coded reference implementation of the
+// surrogate-BPTT recursion (DESIGN.md / paper Eqs. 2-4):
+//   dL/dH_t   = y_t * sg(z_t)/V + carry_{t+1} * (1 - S_t)
+//   dL/dV    += y_t * sg(z_t) * (-H_t / V^2)
+//   dL/dx_t   = dL/dH_t * k
+//   dL/dk    += dL/dH_t * (x_t - V_{t-1})
+//   carry_t   = dL/dH_t * (1 - k)
+struct ReferenceGrads {
+  std::vector<tensor::Tensor> input;
+  double vth = 0.0;
+  double w_tau = 0.0;
+};
+
+ReferenceGrads reference_bptt(const std::vector<tensor::Tensor>& xs,
+                              const std::vector<tensor::Tensor>& ys,
+                              float k, float vth, const Surrogate& sg) {
+  const int T = static_cast<int>(xs.size());
+  const std::size_t n = xs[0].size();
+  // Forward: record H_t, S_t, V_{t-1}.
+  std::vector<tensor::Tensor> h(T), s(T), vprev(T);
+  tensor::Tensor v(xs[0].shape());
+  for (int t = 0; t < T; ++t) {
+    h[t] = tensor::Tensor(xs[0].shape());
+    s[t] = tensor::Tensor(xs[0].shape());
+    vprev[t] = v;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float hi = v[i] + k * (xs[t][i] - v[i]);
+      h[t][i] = hi;
+      const bool fire = hi > vth;
+      s[t][i] = fire ? 1.0f : 0.0f;
+      v[i] = fire ? 0.0f : hi;
+    }
+  }
+  // Backward.
+  ReferenceGrads out;
+  out.input.assign(static_cast<std::size_t>(T), tensor::Tensor());
+  tensor::Tensor carry(xs[0].shape());
+  double dk = 0.0;
+  for (int t = T - 1; t >= 0; --t) {
+    out.input[static_cast<std::size_t>(t)] = tensor::Tensor(xs[0].shape());
+    for (std::size_t i = 0; i < n; ++i) {
+      const float z = h[t][i] / vth - 1.0f;
+      const float g = sg.grad(z);
+      const float dh = ys[t][i] * g / vth + carry[i] * (1.0f - s[t][i]);
+      out.vth += static_cast<double>(ys[t][i]) * g *
+                 (-h[t][i] / (vth * vth));
+      dk += static_cast<double>(dh) * (xs[t][i] - vprev[t][i]);
+      out.input[static_cast<std::size_t>(t)][i] = dh * k;
+      carry[i] = dh * (1.0f - k);
+    }
+  }
+  out.w_tau = dk * k * (1.0 - k);
+  return out;
+}
+
+std::vector<tensor::Tensor> make_inputs(common::Rng& rng, int t_steps,
+                                        tensor::Shape shape) {
+  std::vector<tensor::Tensor> xs;
+  for (int t = 0; t < t_steps; ++t) {
+    xs.push_back(falvolt::testutil::random_tensor(shape, rng, 0.0, 2.0));
+  }
+  return xs;
+}
+
+TEST(PlifGrad, MatchesIndependentReferenceRecursion) {
+  common::Rng rng(31);
+  PlifConfig cfg;
+  cfg.train_vth = true;
+  Plif p("p", cfg);
+  const int T = 4;
+  auto xs = make_inputs(rng, T, {2, 3});
+  std::vector<tensor::Tensor> ys;
+  for (int t = 0; t < T; ++t) {
+    ys.push_back(falvolt::testutil::random_tensor({2, 3}, rng));
+  }
+  const auto grads = analytic_grads(p, xs, ys);
+  const ReferenceGrads ref =
+      reference_bptt(xs, ys, p.k(), p.vth(), p.surrogate());
+  for (int t = 0; t < T; ++t) {
+    for (std::size_t i = 0; i < xs[0].size(); ++i) {
+      EXPECT_NEAR(grads[t][i], ref.input[static_cast<std::size_t>(t)][i],
+                  1e-5)
+          << "t=" << t << " i=" << i;
+    }
+  }
+  EXPECT_NEAR(p.params()[0]->grad[0], ref.vth, 1e-4);    // vth
+  EXPECT_NEAR(p.params()[1]->grad[0], ref.w_tau, 1e-4);  // w_tau
+}
+
+TEST(PlifGrad, VthGradientSignLowersThresholdWhenMoreSpikesWanted) {
+  // If the loss rewards spiking (positive cotangent on S) and the neuron
+  // is near threshold, dL/dV must be negative: lowering V_th raises S.
+  PlifConfig cfg;
+  cfg.train_vth = true;
+  Plif p("p", cfg);
+  p.reset_state();
+  std::vector<tensor::Tensor> xs{tensor::Tensor({1, 1}, 1.9f)};  // H ~ 0.95
+  std::vector<tensor::Tensor> ys{tensor::Tensor({1, 1}, -1.0f)};
+  // Loss = -S (we *want* spikes); dL/dV = -sg * (-H/V^2) * ... sign check:
+  analytic_grads(p, xs, ys);
+  EXPECT_GT(p.params()[0]->grad[0], 0.0f);
+  // Gradient descent then *decreases* V? No: grad > 0 means descent
+  // lowers V_th, which increases spiking and decreases the loss. Verify
+  // by stepping manually.
+  const float before = p.vth();
+  p.set_vth(before - 0.2f);
+  p.reset_state();
+  const tensor::Tensor s = p.forward(xs[0], 0, Mode::kEval);
+  EXPECT_EQ(s[0], 1.0f);  // now fires
+}
+
+TEST(PlifGrad, TauGradientNonzeroWhenTrained) {
+  common::Rng rng(35);
+  Plif p("p");
+  const int T = 3;
+  auto xs = make_inputs(rng, T, {4, 4});
+  std::vector<tensor::Tensor> ys;
+  for (int t = 0; t < T; ++t) {
+    ys.push_back(falvolt::testutil::random_tensor({4, 4}, rng));
+  }
+  analytic_grads(p, xs, ys);
+  // params()[1] is w_tau.
+  EXPECT_NE(p.params()[1]->grad[0], 0.0f);
+}
+
+TEST(PlifGrad, VthGradientZeroWhenFrozen) {
+  common::Rng rng(37);
+  PlifConfig cfg;
+  cfg.train_vth = false;  // FaPIT mode
+  Plif p("p", cfg);
+  const int T = 3;
+  auto xs = make_inputs(rng, T, {4, 4});
+  std::vector<tensor::Tensor> ys;
+  for (int t = 0; t < T; ++t) {
+    ys.push_back(falvolt::testutil::random_tensor({4, 4}, rng));
+  }
+  analytic_grads(p, xs, ys);
+  EXPECT_EQ(p.params()[0]->grad[0], 0.0f);
+}
+
+TEST(PlifGrad, BackwardWithoutCacheThrows) {
+  Plif p("p");
+  p.reset_state();
+  tensor::Tensor g({1, 1});
+  EXPECT_THROW(p.backward(g, 0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace falvolt::snn

@@ -1,0 +1,88 @@
+#include "fault/post_fab_test.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_generator.h"
+
+namespace falvolt::fault {
+namespace {
+
+TEST(PostFabTest, CleanChipRecoversEmptyMap) {
+  FabricatedChip chip(FaultMap(8, 8), fx::FixedFormat::q8_8());
+  const TestOutcome out = run_post_fab_test(chip);
+  EXPECT_TRUE(out.recovered.empty());
+  EXPECT_EQ(out.scan_operations, 8 * 8 * 4);
+}
+
+TEST(PostFabTest, ScanReadbackAppliesStuckBits) {
+  FaultMap defects(2, 2);
+  fx::StuckBits b;
+  b.set(0, fx::StuckType::kStuckAt1);
+  b.set(3, fx::StuckType::kStuckAt0);
+  defects.add(0, 1, b);
+  FabricatedChip chip(std::move(defects), fx::FixedFormat::q8_8());
+  EXPECT_EQ(chip.scan_readback(0, 1, 0x0008u), 0x0001u);
+  EXPECT_EQ(chip.scan_readback(0, 0, 0x0008u), 0x0008u);
+}
+
+TEST(PostFabTest, RecoversExactMapSingleFaults) {
+  common::Rng rng(1);
+  const FabricatedChip chip =
+      fabricate_random_chip(16, 16, 20, fx::FixedFormat::q8_8(), rng);
+  const TestOutcome out = run_post_fab_test(chip);
+  const FaultMap& truth = chip.ground_truth();
+  EXPECT_EQ(out.recovered.num_faulty_pes(), truth.num_faulty_pes());
+  for (const auto& f : truth.faults()) {
+    const fx::StuckBits* rec = out.recovered.at(f.row, f.col);
+    ASSERT_NE(rec, nullptr) << f.row << "," << f.col;
+    EXPECT_EQ(*rec, f.bits);
+  }
+}
+
+TEST(PostFabTest, RecoversMultiBitFaults) {
+  common::Rng rng(2);
+  FaultSpec spec;
+  spec.bits_per_pe = 4;
+  spec.random_type = true;
+  spec.word_bits = 16;
+  FaultMap defects = random_fault_map(8, 8, 10, spec, rng);
+  FabricatedChip chip(std::move(defects), fx::FixedFormat::q8_8());
+  const TestOutcome out = run_post_fab_test(chip);
+  for (const auto& f : chip.ground_truth().faults()) {
+    const fx::StuckBits* rec = out.recovered.at(f.row, f.col);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(*rec, f.bits);
+  }
+}
+
+TEST(PostFabTest, Recovers32BitChip) {
+  common::Rng rng(3);
+  const FabricatedChip chip =
+      fabricate_random_chip(4, 4, 6, fx::FixedFormat::q16_16(), rng);
+  const TestOutcome out = run_post_fab_test(chip);
+  EXPECT_EQ(out.recovered.num_faulty_pes(),
+            chip.ground_truth().num_faulty_pes());
+  for (const auto& f : chip.ground_truth().faults()) {
+    const fx::StuckBits* rec = out.recovered.at(f.row, f.col);
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(*rec, f.bits);
+  }
+}
+
+TEST(PostFabTest, RecoveredMapDrivesPruning) {
+  // End-to-end sanity: the recovered map is what FalVolt consumes; it
+  // must be interchangeable with the ground truth.
+  common::Rng rng(4);
+  const FabricatedChip chip =
+      fabricate_random_chip(8, 8, 5, fx::FixedFormat::q8_8(), rng);
+  const TestOutcome out = run_post_fab_test(chip);
+  for (int r = 0; r < 8; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_EQ(out.recovered.is_faulty(r, c),
+                chip.ground_truth().is_faulty(r, c));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace falvolt::fault

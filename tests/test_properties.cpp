@@ -1,0 +1,251 @@
+// Property-based / parameterized invariants spanning multiple modules.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fault/fault_generator.h"
+#include "fault/prune_mask.h"
+#include "systolic/cycle_sim.h"
+#include "systolic/faulty_gemm.h"
+#include "systolic/mapping.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor_ops.h"
+
+namespace falvolt {
+namespace {
+
+tensor::Tensor random_spikes(int m, int k, common::Rng& rng, double p) {
+  tensor::Tensor a({m, k});
+  for (auto& v : a) v = rng.bernoulli(p) ? 1.0f : 0.0f;
+  return a;
+}
+
+tensor::Tensor random_weights(int k, int n, common::Rng& rng) {
+  tensor::Tensor w({k, n});
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-0.5, 0.5));
+  return w;
+}
+
+// Invariant: the pruned-weight fraction converges to the PE fault rate as
+// the weight matrix grows (each weight lands on a uniformly distributed
+// PE).
+class PruneFraction : public ::testing::TestWithParam<double> {};
+
+TEST_P(PruneFraction, TracksFaultRate) {
+  const double rate = GetParam();
+  common::Rng rng(static_cast<std::uint64_t>(rate * 1000));
+  const fault::FaultMap map = fault::fault_map_at_rate(
+      16, 16, rate, fault::worst_case_spec(16), rng);
+  const tensor::Tensor mask = fault::build_prune_mask(map, 160, 160);
+  const double pruned =
+      static_cast<double>(fault::count_pruned(mask)) / mask.size();
+  EXPECT_NEAR(pruned, map.fault_rate(), 0.02) << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, PruneFraction,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.6, 0.9));
+
+// Invariant: with zero faults, the systolic engine equals the float GEMM
+// up to deterministic quantization error — for any array geometry.
+class GoldenEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenEquivalence, QuantizationBoundHolds) {
+  const int n_pe = GetParam();
+  systolic::ArrayConfig cfg;
+  cfg.rows = cfg.cols = n_pe;
+  common::Rng rng(static_cast<std::uint64_t>(n_pe));
+  const int m = 8, k = 3 * n_pe + 1, n = n_pe + 2;
+  tensor::Tensor a = random_spikes(m, k, rng, 0.5);
+  tensor::Tensor w = random_weights(k, n, rng);
+  systolic::SystolicGemmEngine engine(cfg, nullptr);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  tensor::Tensor ref({m, n});
+  tensor::gemm(a.data(), w.data(), ref.data(), m, k, n);
+  EXPECT_LE(tensor::max_abs_diff(c, ref),
+            k * cfg.format.resolution() / 2 + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(ArraySizes, GoldenEquivalence,
+                         ::testing::Values(2, 3, 4, 8, 16));
+
+// Invariant: corruption magnitude grows (weakly) with the stuck bit
+// significance, averaged over random problems.
+TEST(Properties, HigherBitsCorruptMore) {
+  common::Rng rng(7);
+  systolic::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  const int m = 12, k = 24, n = 8;
+  tensor::Tensor a = random_spikes(m, k, rng, 0.5);
+  tensor::Tensor w = random_weights(k, n, rng);
+  tensor::Tensor clean({m, n});
+  systolic::SystolicGemmEngine golden(cfg, nullptr);
+  golden.run(a.data(), w.data(), clean.data(), m, k, n, "L");
+
+  auto corruption_at_bit = [&](int bit) {
+    double total = 0.0;
+    for (int trial = 0; trial < 4; ++trial) {
+      common::Rng trial_rng(static_cast<std::uint64_t>(bit * 10 + trial));
+      fault::FaultSpec spec;
+      spec.bit = bit;
+      spec.word_bits = 16;
+      spec.type = fx::StuckType::kStuckAt1;
+      const fault::FaultMap map =
+          fault::random_fault_map(8, 8, 6, spec, trial_rng);
+      systolic::SystolicGemmEngine engine(cfg, &map);
+      tensor::Tensor c({m, n});
+      engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+      total += tensor::max_abs_diff(c, clean);
+    }
+    return total / 4.0;
+  };
+  const double lsb = corruption_at_bit(0);
+  const double mid = corruption_at_bit(8);
+  const double msb = corruption_at_bit(15);
+  EXPECT_LE(lsb, mid + 1e-9);
+  EXPECT_LT(mid, msb);
+}
+
+// Invariant: under bypass handling, adding more faults never *increases*
+// the number of surviving weights.
+TEST(Properties, BypassMonotoneInFaultCount) {
+  common::Rng rng(9);
+  const int k = 64, m = 32;
+  std::size_t prev_pruned = 0;
+  fault::FaultMap map(16, 16);
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  for (int i = 0; i < 40; ++i) {
+    // Incrementally add fault cells (monotone growth of the same map).
+    int r, c;
+    do {
+      r = static_cast<int>(rng.uniform_int(std::uint64_t{16}));
+      c = static_cast<int>(rng.uniform_int(std::uint64_t{16}));
+    } while (map.is_faulty(r, c));
+    map.add(r, c, bits);
+    const tensor::Tensor mask = fault::build_prune_mask(map, k, m);
+    const std::size_t pruned = fault::count_pruned(mask);
+    EXPECT_GE(pruned, prev_pruned);
+    prev_pruned = pruned;
+  }
+}
+
+// Invariant: the engine is deterministic — identical runs produce
+// identical outputs, including under faults.
+TEST(Properties, EngineDeterminism) {
+  common::Rng rng(11);
+  systolic::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 8;
+  const fault::FaultMap map =
+      fault::random_fault_map(8, 8, 10, fault::worst_case_spec(16), rng);
+  const int m = 10, k = 30, n = 12;
+  tensor::Tensor a = random_spikes(m, k, rng, 0.4);
+  tensor::Tensor w = random_weights(k, n, rng);
+  tensor::Tensor c1({m, n});
+  tensor::Tensor c2({m, n});
+  systolic::SystolicGemmEngine e1(cfg, &map);
+  systolic::SystolicGemmEngine e2(cfg, &map);
+  e1.run(a.data(), w.data(), c1.data(), m, k, n, "L");
+  e2.run(a.data(), w.data(), c2.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c1, c2), 0.0);
+}
+
+// Invariant: fault maps never place a weight outside the array and the
+// mapping is total — every weight has exactly one PE.
+TEST(Properties, MappingIsTotalAndInRange) {
+  systolic::ArrayConfig cfg;
+  cfg.rows = 12;
+  cfg.cols = 5;
+  for (int k = 0; k < 40; ++k) {
+    for (int m = 0; m < 17; ++m) {
+      const systolic::PeCoord pe = systolic::pe_for_weight(k, m, cfg);
+      EXPECT_GE(pe.row, 0);
+      EXPECT_LT(pe.row, cfg.rows);
+      EXPECT_GE(pe.col, 0);
+      EXPECT_LT(pe.col, cfg.cols);
+    }
+  }
+}
+
+// Invariant: rectangular (rows != cols) arrays behave identically in the
+// functional engine and the cycle simulator, with and without faults.
+class RectangularArrays
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RectangularArrays, CycleAndFunctionalAgree) {
+  const auto [rows, cols] = GetParam();
+  systolic::ArrayConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  common::Rng rng(static_cast<std::uint64_t>(rows * 100 + cols));
+  fault::FaultSpec spec = fault::worst_case_spec(16);
+  fault::FaultMap map(rows, cols);
+  // Two faults placed deterministically inside the grid.
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  map.add(rows - 1, cols - 1, bits);
+  map.add(rows / 2, 0, bits);
+  (void)spec;
+
+  const int m = 5, k = 2 * rows + 1, n = cols + 2;  // fold both dims
+  tensor::Tensor a = random_spikes(m, k, rng, 0.5);
+  tensor::Tensor w = random_weights(k, n, rng);
+
+  systolic::SystolicArraySim sim(cfg, &map);
+  const tensor::Tensor c_cycle = sim.matmul(a, w);
+  systolic::SystolicGemmEngine func(cfg, &map);
+  tensor::Tensor c_func({m, n});
+  func.run(a.data(), w.data(), c_func.data(), m, k, n, "L");
+  EXPECT_EQ(tensor::max_abs_diff(c_cycle, c_func), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RectangularArrays,
+                         ::testing::Values(std::pair{2, 6}, std::pair{6, 2},
+                                           std::pair{3, 5},
+                                           std::pair{8, 3}));
+
+// Invariant: output columns beyond the array width fold back onto the
+// same physical columns, so a fault in PE column c hits every output
+// column j with j % cols == c — and only those.
+TEST(Properties, ColumnFoldingHitsAllAliases) {
+  systolic::ArrayConfig cfg;
+  cfg.rows = cfg.cols = 4;
+  fault::FaultMap map(4, 4);
+  fx::StuckBits bits;
+  bits.set(15, fx::StuckType::kStuckAt1);
+  for (int r = 0; r < 4; ++r) map.add(r, 1, bits);  // whole PE column 1
+
+  const int m = 3, k = 4, n = 10;
+  tensor::Tensor a({m, k}, 1.0f);
+  tensor::Tensor w({k, n}, 0.25f);
+  systolic::SystolicGemmEngine engine(cfg, &map);
+  tensor::Tensor c({m, n});
+  engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (j % 4 == 1) {
+        EXPECT_LT(c.at2(i, j), -50.0f) << j;  // corrupted aliases
+      } else {
+        EXPECT_NEAR(c.at2(i, j), 1.0f, 0.01f) << j;  // untouched
+      }
+    }
+  }
+}
+
+// Invariant: total weights_on_pe over all PEs equals K*M.
+TEST(Properties, FoldCountsPartitionTheMatrix) {
+  systolic::ArrayConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 7;
+  const int k = 29, m = 15;
+  long long total = 0;
+  for (int r = 0; r < cfg.rows; ++r) {
+    for (int c = 0; c < cfg.cols; ++c) {
+      total += systolic::weights_on_pe(k, m, {r, c}, cfg);
+    }
+  }
+  EXPECT_EQ(total, static_cast<long long>(k) * m);
+}
+
+}  // namespace
+}  // namespace falvolt

@@ -1,0 +1,141 @@
+#include "fault/prune_mask.h"
+
+#include <gtest/gtest.h>
+
+#include "fault/fault_generator.h"
+#include "snn/conv2d.h"
+#include "snn/linear.h"
+#include "systolic/mapping.h"
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::fault {
+namespace {
+
+fx::StuckBits sa1_msb() {
+  fx::StuckBits b;
+  b.set(15, fx::StuckType::kStuckAt1);
+  return b;
+}
+
+TEST(PruneMask, CleanMapKeepsEverything) {
+  FaultMap m(4, 4);
+  const tensor::Tensor mask = build_prune_mask(m, 10, 6);
+  EXPECT_EQ(count_pruned(mask), 0u);
+}
+
+TEST(PruneMask, SingleFaultPrunesAllFolds) {
+  FaultMap m(4, 4);
+  m.add(1, 2, sa1_msb());
+  const tensor::Tensor mask = build_prune_mask(m, 10, 6);
+  // k % 4 == 1 -> k in {1, 5, 9}; m % 4 == 2 -> m in {2}. 3 weights.
+  EXPECT_EQ(count_pruned(mask), 3u);
+  EXPECT_EQ(mask.at2(1, 2), 0.0f);
+  EXPECT_EQ(mask.at2(5, 2), 0.0f);
+  EXPECT_EQ(mask.at2(9, 2), 0.0f);
+  EXPECT_EQ(mask.at2(1, 1), 1.0f);
+}
+
+TEST(PruneMask, MatchesWeightsOnPeFormula) {
+  common::Rng rng(1);
+  FaultSpec spec;
+  const FaultMap map = random_fault_map(8, 8, 12, spec, rng);
+  systolic::ArrayConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 8;
+  const int k = 37, m = 19;
+  const tensor::Tensor mask = build_prune_mask(map, k, m);
+  std::size_t expected = 0;
+  for (const auto& f : map.faults()) {
+    expected += static_cast<std::size_t>(
+        systolic::weights_on_pe(k, m, {f.row, f.col}, cfg));
+  }
+  EXPECT_EQ(count_pruned(mask), expected);
+}
+
+TEST(PruneMask, SmallerArrayPrunesMore) {
+  // Direct check of the Fig. 5c mechanism at the mask level.
+  common::Rng rng(2);
+  FaultSpec spec;
+  const int k = 72, m = 16;
+  const FaultMap small = random_fault_map(4, 4, 4, spec, rng);
+  const FaultMap big = random_fault_map(64, 64, 4, spec, rng);
+  EXPECT_GT(count_pruned(build_prune_mask(small, k, m)),
+            count_pruned(build_prune_mask(big, k, m)));
+}
+
+TEST(PruneMask, BadDimensionsThrow) {
+  FaultMap m(4, 4);
+  EXPECT_THROW(build_prune_mask(m, 0, 5), std::invalid_argument);
+}
+
+class NetworkPrunerTest : public ::testing::Test {
+ protected:
+  NetworkPrunerTest() : rng_(3) {
+    net_.emplace<snn::Conv2d>("Conv1", 1, 4, 3, 1, rng_);
+    net_.emplace<snn::Linear>("FC1", 16, 8, rng_);
+  }
+  common::Rng rng_;
+  snn::Network net_;
+};
+
+TEST_F(NetworkPrunerTest, ApplyZeroesMappedWeights) {
+  FaultMap map(4, 4);
+  map.add(0, 0, sa1_msb());
+  NetworkPruner pruner(net_, map);
+  pruner.apply(net_);
+  EXPECT_TRUE(pruner.is_pruned(net_));
+  EXPECT_GT(pruner.total_pruned(), 0u);
+  // Conv1 weight (0, 0) maps to PE (0, 0) and must be zero.
+  EXPECT_EQ(net_.matmul_layers()[0]->weight_param().value.at2(0, 0), 0.0f);
+}
+
+TEST_F(NetworkPrunerTest, ReportCoversAllLayers) {
+  FaultMap map(4, 4);
+  map.add(1, 1, sa1_msb());
+  NetworkPruner pruner(net_, map);
+  const auto& report = pruner.report();
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report[0].layer, "Conv1");
+  EXPECT_EQ(report[0].total_weights, 9u * 4u);
+  EXPECT_EQ(report[1].layer, "FC1");
+  EXPECT_GT(report[0].pruned_fraction(), 0.0);
+}
+
+TEST_F(NetworkPrunerTest, ApplyIsIdempotent) {
+  FaultMap map(4, 4);
+  map.add(2, 3, sa1_msb());
+  NetworkPruner pruner(net_, map);
+  pruner.apply(net_);
+  const auto snap = net_.snapshot_params();
+  pruner.apply(net_);
+  const auto snap2 = net_.snapshot_params();
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    ASSERT_EQ(tensor::max_abs_diff(snap[i], snap2[i]), 0.0);
+  }
+}
+
+TEST_F(NetworkPrunerTest, IsPrunedDetectsRegrowth) {
+  FaultMap map(4, 4);
+  map.add(0, 0, sa1_msb());
+  NetworkPruner pruner(net_, map);
+  pruner.apply(net_);
+  EXPECT_TRUE(pruner.is_pruned(net_));
+  // Simulate an optimizer step writing into a pruned weight.
+  net_.matmul_layers()[0]->weight_param().value.at2(0, 0) = 0.5f;
+  EXPECT_FALSE(pruner.is_pruned(net_));
+  pruner.apply(net_);
+  EXPECT_TRUE(pruner.is_pruned(net_));
+}
+
+TEST_F(NetworkPrunerTest, FullFaultRatePrunesEverything) {
+  common::Rng rng(4);
+  const FaultMap map = random_fault_map(4, 4, 16, FaultSpec{}, rng);
+  NetworkPruner pruner(net_, map);
+  pruner.apply(net_);
+  for (const auto& r : pruner.report()) {
+    EXPECT_EQ(r.pruned_weights, r.total_weights);
+  }
+}
+
+}  // namespace
+}  // namespace falvolt::fault

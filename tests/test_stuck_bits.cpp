@@ -1,0 +1,137 @@
+#include "fixed/stuck_bits.h"
+
+#include <gtest/gtest.h>
+
+namespace falvolt::fx {
+namespace {
+
+TEST(StuckBits, DefaultIsClean) {
+  StuckBits b;
+  EXPECT_TRUE(b.none());
+  EXPECT_EQ(b.count(), 0);
+  const FixedFormat f = FixedFormat::q8_8();
+  EXPECT_EQ(b.apply(1234, f), 1234);
+}
+
+TEST(StuckBits, Sa1ForcesBitOn) {
+  StuckBits b;
+  b.set(3, StuckType::kStuckAt1);
+  const FixedFormat f = FixedFormat::q8_8();
+  EXPECT_EQ(b.apply(0, f), 8);
+  EXPECT_EQ(b.apply(8, f), 8);
+  EXPECT_EQ(b.apply(1, f), 9);
+}
+
+TEST(StuckBits, Sa0ForcesBitOff) {
+  StuckBits b;
+  b.set(0, StuckType::kStuckAt0);
+  const FixedFormat f = FixedFormat::q8_8();
+  EXPECT_EQ(b.apply(1, f), 0);
+  EXPECT_EQ(b.apply(3, f), 2);
+  EXPECT_EQ(b.apply(2, f), 2);
+}
+
+TEST(StuckBits, MsbSa1MakesValueNegative) {
+  // The paper's worst case: stuck-at-1 in the sign bit.
+  StuckBits b;
+  b.set(15, StuckType::kStuckAt1);
+  const FixedFormat f = FixedFormat::q8_8();
+  const std::int32_t corrupted = b.apply(100, f);
+  EXPECT_LT(corrupted, 0);
+  EXPECT_EQ(corrupted, 100 - 32768);
+}
+
+TEST(StuckBits, MsbSa0ClampsNegativeToPositive) {
+  StuckBits b;
+  b.set(15, StuckType::kStuckAt0);
+  const FixedFormat f = FixedFormat::q8_8();
+  EXPECT_EQ(b.apply(-1, f), 32767);
+  EXPECT_GE(b.apply(-32768, f), 0);
+}
+
+TEST(StuckBits, ApplyIsIdempotent) {
+  StuckBits b;
+  b.set(15, StuckType::kStuckAt1);
+  b.set(2, StuckType::kStuckAt0);
+  const FixedFormat f = FixedFormat::q8_8();
+  for (std::int32_t v : {-32768, -1000, -1, 0, 1, 77, 32767}) {
+    const std::int32_t once = b.apply(v, f);
+    EXPECT_EQ(b.apply(once, f), once) << v;
+  }
+}
+
+TEST(StuckBits, ConflictingLevelsThrow) {
+  StuckBits b;
+  b.set(4, StuckType::kStuckAt0);
+  EXPECT_THROW(b.set(4, StuckType::kStuckAt1), std::invalid_argument);
+}
+
+TEST(StuckBits, OutOfRangeBitThrows) {
+  StuckBits b;
+  EXPECT_THROW(b.set(-1, StuckType::kStuckAt0), std::invalid_argument);
+  EXPECT_THROW(b.set(32, StuckType::kStuckAt1), std::invalid_argument);
+}
+
+TEST(StuckBits, ClearRemovesFault) {
+  StuckBits b;
+  b.set(5, StuckType::kStuckAt1);
+  EXPECT_TRUE(b.is_stuck(5));
+  b.clear(5);
+  EXPECT_FALSE(b.is_stuck(5));
+  EXPECT_TRUE(b.none());
+}
+
+TEST(StuckBits, CountTallriesBothTypes) {
+  StuckBits b;
+  b.set(0, StuckType::kStuckAt0);
+  b.set(1, StuckType::kStuckAt1);
+  b.set(9, StuckType::kStuckAt1);
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(StuckBits, MasksOutsideWordAreIgnored) {
+  // A 32-bit mask applied to a 16-bit register must not touch the
+  // canonical (sign-extended) high bits.
+  StuckBits b;
+  b.set(20, StuckType::kStuckAt1);
+  const FixedFormat f = FixedFormat::q8_8();
+  EXPECT_EQ(b.apply(100, f), 100);
+  EXPECT_EQ(b.apply(-100, f), -100);
+}
+
+TEST(StuckBits, ToStringListsFaults) {
+  StuckBits b;
+  b.set(15, StuckType::kStuckAt1);
+  b.set(3, StuckType::kStuckAt0);
+  EXPECT_EQ(b.to_string(), "sa1@15,sa0@3");
+  EXPECT_EQ(StuckBits{}.to_string(), "none");
+}
+
+// Property over all bit positions: corruption error magnitude of a single
+// stuck bit is bounded by the bit weight.
+class BitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitSweep, ErrorBoundedByBitWeight) {
+  const int bit = GetParam();
+  const FixedFormat f = FixedFormat::q8_8();
+  for (const StuckType type :
+       {StuckType::kStuckAt0, StuckType::kStuckAt1}) {
+    StuckBits b;
+    b.set(bit, type);
+    for (std::int32_t v : {-20000, -3000, -1, 0, 1, 42, 9999, 32767}) {
+      const std::int64_t err =
+          static_cast<std::int64_t>(b.apply(v, f)) - v;
+      // Flipping one bit of a two's-complement word changes it by
+      // exactly 0 or +/- 2^bit (sign bit flips look like -2^15 offset).
+      EXPECT_LE(std::abs(err), std::int64_t{1} << 15) << bit << " " << v;
+      const std::int64_t weight = std::int64_t{1} << bit;
+      EXPECT_TRUE(err == 0 || err == weight || err == -weight)
+          << "bit=" << bit << " v=" << v << " err=" << err;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBits, BitSweep, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace falvolt::fx

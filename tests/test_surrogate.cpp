@@ -1,0 +1,69 @@
+#include "snn/surrogate.h"
+
+#include <gtest/gtest.h>
+
+namespace falvolt::snn {
+namespace {
+
+TEST(Surrogate, TriangleShape) {
+  Surrogate s;  // triangle, gamma = 1
+  EXPECT_FLOAT_EQ(s.grad(0.0f), 1.0f);   // peak at the threshold
+  EXPECT_FLOAT_EQ(s.grad(0.5f), 0.5f);
+  EXPECT_FLOAT_EQ(s.grad(-0.5f), 0.5f);
+  EXPECT_FLOAT_EQ(s.grad(1.0f), 0.0f);
+  EXPECT_FLOAT_EQ(s.grad(2.0f), 0.0f);
+  EXPECT_FLOAT_EQ(s.grad(-3.0f), 0.0f);
+}
+
+TEST(Surrogate, TriangleGammaScalesPeak) {
+  Surrogate s;
+  s.gamma = 2.5f;
+  EXPECT_FLOAT_EQ(s.grad(0.0f), 2.5f);
+  EXPECT_FLOAT_EQ(s.grad(0.5f), 1.25f);
+}
+
+TEST(Surrogate, SigmoidShape) {
+  Surrogate s;
+  s.kind = SurrogateKind::kSigmoid;
+  s.gamma = 4.0f;
+  EXPECT_FLOAT_EQ(s.grad(0.0f), 1.0f);  // gamma * 0.25
+  EXPECT_GT(s.grad(0.0f), s.grad(1.0f));
+  EXPECT_FLOAT_EQ(s.grad(0.7f), s.grad(-0.7f));  // symmetric
+}
+
+TEST(Surrogate, RectangleShape) {
+  Surrogate s;
+  s.kind = SurrogateKind::kRectangle;
+  s.gamma = 1.0f;
+  EXPECT_FLOAT_EQ(s.grad(0.0f), 1.0f);
+  EXPECT_FLOAT_EQ(s.grad(0.49f), 1.0f);
+  EXPECT_FLOAT_EQ(s.grad(0.51f), 0.0f);
+  EXPECT_FLOAT_EQ(s.grad(-0.51f), 0.0f);
+}
+
+TEST(Surrogate, AllKindsNonNegative) {
+  for (const SurrogateKind k :
+       {SurrogateKind::kTriangle, SurrogateKind::kSigmoid,
+        SurrogateKind::kRectangle}) {
+    Surrogate s;
+    s.kind = k;
+    for (float z = -3.0f; z <= 3.0f; z += 0.1f) {
+      EXPECT_GE(s.grad(z), 0.0f);
+    }
+  }
+}
+
+TEST(Surrogate, ParseNames) {
+  EXPECT_EQ(parse_surrogate("triangle"), SurrogateKind::kTriangle);
+  EXPECT_EQ(parse_surrogate("sigmoid"), SurrogateKind::kSigmoid);
+  EXPECT_EQ(parse_surrogate("rectangle"), SurrogateKind::kRectangle);
+  EXPECT_THROW(parse_surrogate("step"), std::invalid_argument);
+}
+
+TEST(Surrogate, ToStringMentionsKind) {
+  Surrogate s;
+  EXPECT_NE(s.to_string().find("triangle"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace falvolt::snn

@@ -1,0 +1,146 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::tensor {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.rank(), 0);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(Tensor, InitializerListChecksSize) {
+  Tensor t({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at2(1, 0), 3.0f);
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, NegativeDimensionThrows) {
+  EXPECT_THROW(Tensor({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, At2RowMajorLayout) {
+  Tensor t({2, 3}, {0, 1, 2, 10, 11, 12});
+  EXPECT_EQ(t.at2(0, 2), 2.0f);
+  EXPECT_EQ(t.at2(1, 0), 10.0f);
+  EXPECT_THROW(t.at2(2, 0), std::out_of_range);
+  EXPECT_THROW(t.at2(0, 3), std::out_of_range);
+}
+
+TEST(Tensor, At4Layout) {
+  Tensor t({2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 7.0f;
+  // Flat index: ((1*3+2)*4+3)*5+4 = 119
+  EXPECT_EQ(t[119], 7.0f);
+  EXPECT_THROW(t.at4(2, 0, 0, 0), std::out_of_range);
+}
+
+TEST(Tensor, At2OnNon2DThrows) {
+  Tensor t({2, 2, 2});
+  EXPECT_THROW(t.at2(0, 0), std::logic_error);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at2(2, 1), 6.0f);
+  EXPECT_THROW(t.reshaped({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor a({2}, 1.0f);
+  Tensor b = a;
+  b[0] = 9.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorOps, AddSubMul) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  EXPECT_EQ(add(a, b)[1], 22.0f);
+  EXPECT_EQ(sub(b, a)[2], 27.0f);
+  EXPECT_EQ(mul(a, b)[0], 10.0f);
+  EXPECT_EQ(scale(a, 2.0f)[2], 6.0f);
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  Tensor a({3});
+  Tensor b({4});
+  EXPECT_THROW(add(a, b), std::invalid_argument);
+  Tensor c({3});
+  EXPECT_NO_THROW(add(a, c));
+}
+
+TEST(TensorOps, InplaceVariants) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {3, 4});
+  add_inplace(a, b);
+  EXPECT_EQ(a[0], 4.0f);
+  axpy_inplace(a, 2.0f, b);
+  EXPECT_EQ(a[1], 14.0f);
+  mul_inplace(a, b);
+  EXPECT_EQ(a[0], 30.0f);
+  scale_inplace(a, 0.5f);
+  EXPECT_EQ(a[1], 28.0f);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a({4}, {1, -2, 3, 0});
+  EXPECT_DOUBLE_EQ(sum(a), 2.0);
+  EXPECT_DOUBLE_EQ(mean(a), 0.5);
+  EXPECT_EQ(max_value(a), 3.0f);
+  EXPECT_EQ(argmax(a), 2u);
+  EXPECT_EQ(count_nonzero(a), 3u);
+}
+
+TEST(TensorOps, ArgmaxRows) {
+  Tensor a({2, 3}, {1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(a);
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(TensorOps, ArgmaxRowsFirstWinsOnTies) {
+  Tensor a({1, 3}, {2, 2, 2});
+  EXPECT_EQ(argmax_rows(a)[0], 0);
+}
+
+TEST(TensorOps, EmptyReductionsThrow) {
+  Tensor a({0});
+  EXPECT_THROW(max_value(a), std::invalid_argument);
+  EXPECT_THROW(argmax(a), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(mean(a), 0.0);
+}
+
+TEST(TensorOps, MaxAbsDiffAndNorm) {
+  Tensor a({3}, {1, 2, 2});
+  Tensor b({3}, {1, 0, 5});
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(l2_norm(Tensor({2}, {3, 4})), 5.0);
+}
+
+TEST(Shape, NumelAndStr) {
+  EXPECT_EQ(numel({2, 3, 4}), 24u);
+  EXPECT_EQ(numel({}), 1u);
+  EXPECT_EQ(numel({5, 0}), 0u);
+  EXPECT_EQ(shape_str({2, 3}), "[2, 3]");
+}
+
+}  // namespace
+}  // namespace falvolt::tensor

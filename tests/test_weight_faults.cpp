@@ -1,0 +1,137 @@
+#include "fault/weight_faults.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "snn/conv2d.h"
+#include "snn/linear.h"
+#include "tensor/tensor_ops.h"
+
+namespace falvolt::fault {
+namespace {
+
+snn::Network tiny_net(std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  snn::Network net("t");
+  net.emplace<snn::Conv2d>("Conv1", 1, 4, 3, 1, rng);
+  net.emplace<snn::Linear>("FC1", 16, 8, rng);
+  return net;
+}
+
+TEST(WeightBitFlips, ZeroProbabilityChangesNothing) {
+  common::Rng rng(2);
+  tensor::Tensor w({100});
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  const tensor::Tensor before = w;
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 0.0;
+  EXPECT_EQ(inject_weight_bit_flips(w, spec, rng), 0u);
+  EXPECT_EQ(tensor::max_abs_diff(w, before), 0.0);
+}
+
+TEST(WeightBitFlips, FullProbabilityFlipsEveryWeight) {
+  common::Rng rng(3);
+  tensor::Tensor w({64});
+  for (auto& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 1.0;
+  EXPECT_EQ(inject_weight_bit_flips(w, spec, rng), w.size());
+}
+
+TEST(WeightBitFlips, LsbFlipIsOneResolutionStep) {
+  common::Rng rng(4);
+  tensor::Tensor w({1}, {0.5f});
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 1.0;
+  spec.bit = 0;
+  inject_weight_bit_flips(w, spec, rng);
+  EXPECT_NEAR(std::fabs(w[0] - 0.5f), spec.format.resolution(), 1e-6);
+}
+
+TEST(WeightBitFlips, SignBitFlipIsLarge) {
+  common::Rng rng(5);
+  tensor::Tensor w({1}, {0.5f});
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 1.0;
+  spec.bit = 15;
+  inject_weight_bit_flips(w, spec, rng);
+  EXPECT_LT(w[0], -100.0f);  // 0.5 - 128 in Q8.8
+}
+
+TEST(WeightBitFlips, FlipRateMatchesProbability) {
+  common::Rng rng(6);
+  tensor::Tensor w({20000}, 0.25f);
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 0.1;
+  const std::size_t flipped = inject_weight_bit_flips(w, spec, rng);
+  EXPECT_NEAR(static_cast<double>(flipped), 2000.0, 200.0);
+}
+
+TEST(WeightBitFlips, Validation) {
+  common::Rng rng(7);
+  tensor::Tensor w({4});
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 1.5;
+  EXPECT_THROW(inject_weight_bit_flips(w, spec, rng),
+               std::invalid_argument);
+  spec.flip_probability = 0.5;
+  spec.bit = 16;  // outside Q8.8
+  EXPECT_THROW(inject_weight_bit_flips(w, spec, rng),
+               std::invalid_argument);
+}
+
+TEST(WeightBitFlips, NetworkInjectionTouchesAllLayers) {
+  snn::Network net = tiny_net();
+  common::Rng rng(8);
+  const auto before0 = net.matmul_layers()[0]->weight_param().value;
+  const auto before1 = net.matmul_layers()[1]->weight_param().value;
+  WeightBitFlipSpec spec;
+  spec.flip_probability = 1.0;
+  const std::size_t flipped =
+      inject_network_weight_faults(net, spec, rng);
+  EXPECT_EQ(flipped, before0.size() + before1.size());
+  EXPECT_GT(tensor::max_abs_diff(
+                net.matmul_layers()[0]->weight_param().value, before0),
+            0.0);
+  EXPECT_GT(tensor::max_abs_diff(
+                net.matmul_layers()[1]->weight_param().value, before1),
+            0.0);
+}
+
+TEST(DeadSynapses, KillsRequestedFraction) {
+  snn::Network net = tiny_net();
+  common::Rng rng(9);
+  std::size_t total = 0;
+  for (auto* l : net.matmul_layers()) total += l->weight_param().size();
+  const std::size_t killed = inject_dead_synapses(net, 0.5, rng);
+  EXPECT_NEAR(static_cast<double>(killed), total * 0.5, total * 0.2);
+  // Killed synapses are exactly zero.
+  std::size_t zeros = 0;
+  for (auto* l : net.matmul_layers()) {
+    const auto& w = l->weight_param().value;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (w[i] == 0.0f) ++zeros;
+    }
+  }
+  EXPECT_GE(zeros, killed);
+}
+
+TEST(DeadSynapses, FullDeathZeroesEverything) {
+  snn::Network net = tiny_net();
+  common::Rng rng(10);
+  inject_dead_synapses(net, 1.0, rng);
+  for (auto* l : net.matmul_layers()) {
+    EXPECT_EQ(tensor::count_nonzero(l->weight_param().value), 0u);
+  }
+}
+
+TEST(DeadSynapses, Validation) {
+  snn::Network net = tiny_net();
+  common::Rng rng(11);
+  EXPECT_THROW(inject_dead_synapses(net, -0.1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::fault
