@@ -31,6 +31,9 @@ inline void add_common_flags(common::CliFlags& cli) {
               "CPU-scaled networks are ~16x narrower, so the default "
               "array is scaled to 64x64 to preserve utilization — see "
               "EXPERIMENTS.md");
+  cli.add_int("threads", 0,
+              "compute worker threads (0 = $FALVOLT_THREADS, else the "
+              "hardware concurrency)");
 }
 
 /// The experiment array: paper-equivalent geometry at our network scale.
@@ -44,6 +47,7 @@ inline core::WorkloadOptions workload_options(const common::CliFlags& cli) {
   core::WorkloadOptions opts;
   opts.fast = cli.get_bool("fast");
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  opts.threads = static_cast<int>(cli.get_int("threads"));
   return opts;
 }
 

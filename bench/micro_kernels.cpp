@@ -1,11 +1,31 @@
 // Micro-benchmarks (google-benchmark) for the library's hot kernels:
-// float GEMM, the fixed-point faulty-GEMM engine (clean / corrupt /
-// bypass), the register-level cycle simulator, PLIF forward/backward,
-// prune-mask construction, fault-map generation, and post-fab test.
+// float GEMM (naive vs blocked vs pool-parallel across 64^3..512^3, with
+// a machine-readable JSON summary for perf tracking), the fixed-point
+// faulty-GEMM engine (clean / corrupt / bypass), the register-level cycle
+// simulator, PLIF forward/backward, prune-mask construction, fault-map
+// generation, and post-fab test.
+//
+// Usage:
+//   micro_kernels [--gemm_json=PATH] [--threads=N] [google-benchmark flags]
+//
+// The GEMM sweep runs first and writes its summary to PATH (default
+// micro_kernels_gemm.json in the CWD); google-benchmark then runs the
+// registered micro-benchmarks as usual.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/timer.h"
+#include "compute/gemm_kernels.h"
+#include "compute/thread_pool.h"
 #include "fault/fault_generator.h"
 #include "fault/post_fab_test.h"
 #include "fault/prune_mask.h"
@@ -46,6 +66,49 @@ void BM_FloatGemm(benchmark::State& state) {
                           n);
 }
 BENCHMARK(BM_FloatGemm)->Arg(64)->Arg(256)->Arg(1024);
+
+// Square-GEMM tier comparison: the seed's naive kernel vs the compute
+// backend's blocked kernel, serial and pool-parallel.
+
+enum class GemmTier { kNaive, kBlocked, kParallel };
+
+void square_gemm_bench(benchmark::State& state, GemmTier tier) {
+  const int s = static_cast<int>(state.range(0));
+  const tensor::Tensor a = random_weights(s, s, 41);
+  const tensor::Tensor b = random_weights(s, s, 42);
+  tensor::Tensor c({s, s});
+  for (auto _ : state) {
+    switch (tier) {
+      case GemmTier::kNaive:
+        compute::gemm_naive(a.data(), b.data(), c.data(), s, s, s);
+        break;
+      case GemmTier::kBlocked:
+        compute::gemm_blocked(a.data(), b.data(), c.data(), s, s, s);
+        break;
+      case GemmTier::kParallel:
+        compute::gemm_blocked(a.data(), b.data(), c.data(), s, s, s,
+                              /*accumulate=*/false,
+                              compute::global_threads());
+        break;
+    }
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(s) * s *
+                          s);
+}
+
+void BM_GemmNaive(benchmark::State& state) {
+  square_gemm_bench(state, GemmTier::kNaive);
+}
+void BM_GemmBlocked(benchmark::State& state) {
+  square_gemm_bench(state, GemmTier::kBlocked);
+}
+void BM_GemmParallel(benchmark::State& state) {
+  square_gemm_bench(state, GemmTier::kParallel);
+}
+BENCHMARK(BM_GemmNaive)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmBlocked)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_GemmParallel)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_SystolicEngineClean(benchmark::State& state) {
   const int m = static_cast<int>(state.range(0));
@@ -189,6 +252,100 @@ void BM_PostFabTest(benchmark::State& state) {
 }
 BENCHMARK(BM_PostFabTest)->Arg(16)->Arg(64)->Arg(256);
 
+// ------------------------------------------------- GEMM sweep + JSON
+
+// Median-of-reps wall time for one kernel invocation.
+double time_kernel_ms(const std::function<void()>& fn) {
+  // Warm up once, then repeat until ~0.2 s of samples (>= 3 reps).
+  fn();
+  std::vector<double> samples;
+  double total = 0.0;
+  while (static_cast<int>(samples.size()) < 3 || total < 0.2) {
+    common::Timer t;
+    fn();
+    const double s = t.seconds();
+    samples.push_back(s);
+    total += s;
+    if (samples.size() >= 64) break;
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2] * 1e3;
+}
+
+// naive / blocked / parallel square-GEMM sweep; returns the JSON text.
+std::string run_gemm_sweep(const std::vector<int>& sizes) {
+  const int threads = compute::global_threads();
+  std::string json = "{\n  \"bench\": \"gemm_tiers\",\n  \"threads\": " +
+                     std::to_string(threads) + ",\n  \"sizes\": [\n";
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    const int s = sizes[idx];
+    const tensor::Tensor a = random_weights(s, s, 51);
+    const tensor::Tensor b = random_weights(s, s, 52);
+    tensor::Tensor c({s, s});
+    const double naive_ms = time_kernel_ms([&] {
+      compute::gemm_naive(a.data(), b.data(), c.data(), s, s, s);
+    });
+    const double blocked_ms = time_kernel_ms([&] {
+      compute::gemm_blocked(a.data(), b.data(), c.data(), s, s, s);
+    });
+    const double parallel_ms = time_kernel_ms([&] {
+      compute::gemm_blocked(a.data(), b.data(), c.data(), s, s, s,
+                            /*accumulate=*/false, threads);
+    });
+    const double flops = 2.0 * s * s * static_cast<double>(s);
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"size\": %d, \"naive_ms\": %.3f, \"blocked_ms\": %.3f, "
+        "\"parallel_ms\": %.3f, \"blocked_speedup\": %.2f, "
+        "\"parallel_speedup\": %.2f, \"parallel_gflops\": %.2f}%s\n",
+        s, naive_ms, blocked_ms, parallel_ms, naive_ms / blocked_ms,
+        naive_ms / parallel_ms, flops / (parallel_ms * 1e6),
+        idx + 1 == sizes.size() ? "" : ",");
+    json += row;
+    std::printf(
+        "[gemm %3d^3] naive %8.2f ms | blocked %8.2f ms (%.2fx) | "
+        "parallel(%d) %8.2f ms (%.2fx)\n",
+        s, naive_ms, blocked_ms, naive_ms / blocked_ms, threads,
+        parallel_ms, naive_ms / parallel_ms);
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Peel off our flags; everything else goes to google-benchmark.
+  std::string json_path = "micro_kernels_gemm.json";
+  std::vector<char*> bench_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
+      json_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      compute::set_global_threads(std::atoi(argv[i] + 10));
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+
+  const std::string json = run_gemm_sweep({64, 128, 256, 512});
+  if (!json_path.empty()) {
+    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+      std::printf("[gemm] JSON summary written to %s\n\n", json_path.c_str());
+    } else {
+      std::fprintf(stderr, "[gemm] cannot write %s\n", json_path.c_str());
+    }
+  }
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,11 +21,15 @@ using namespace falvolt;
 int main(int argc, char** argv) {
   common::CliFlags cli("quickstart");
   cli.add_bool("fast", false, "smaller dataset / fewer epochs");
+  cli.add_int("threads", 0,
+              "compute worker threads (0 = $FALVOLT_THREADS, else the "
+              "hardware concurrency)");
   if (!cli.parse(argc, argv)) return 0;
 
   // 1-2. Dataset + trained baseline (cached on disk after the first run).
   core::WorkloadOptions opts;
   opts.fast = cli.get_bool("fast");
+  opts.threads = static_cast<int>(cli.get_int("threads"));
   core::Workload wl = core::prepare_workload(core::DatasetKind::kMnist, opts);
   std::printf("baseline accuracy: %.2f%%\n", wl.baseline_accuracy);
 

@@ -1,0 +1,90 @@
+#include "compute/engine_registry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "compute/gemm_kernels.h"
+#include "compute/thread_pool.h"
+#include "systolic/faulty_gemm.h"
+
+namespace falvolt::compute {
+
+void NaiveGemmEngine::run(const float* a, const float* w, float* c, int m,
+                          int k, int n, const std::string&) {
+  gemm_naive(a, w, c, m, k, n);
+}
+
+void BlockedGemmEngine::run(const float* a, const float* w, float* c, int m,
+                            int k, int n, const std::string&) {
+  gemm_blocked(a, w, c, m, k, n, /*accumulate=*/false, threads_);
+}
+
+EngineRegistry::EngineRegistry() {
+  register_factory("naive", [](const EngineOptions&) {
+    return std::make_unique<NaiveGemmEngine>();
+  });
+  register_factory("blocked", [](const EngineOptions&) {
+    return std::make_unique<BlockedGemmEngine>(1);
+  });
+  register_factory("parallel", [](const EngineOptions& opts) {
+    const int threads = opts.threads > 0 ? opts.threads : global_threads();
+    return std::make_unique<BlockedGemmEngine>(threads);
+  });
+  register_factory("systolic", [](const EngineOptions& opts) {
+    systolic::ArrayConfig cfg;
+    if (opts.array_rows > 0) cfg.rows = opts.array_rows;
+    if (opts.array_cols > 0) cfg.cols = opts.array_cols;
+    const auto handling =
+        opts.bypass_faulty
+            ? systolic::SystolicGemmEngine::FaultHandling::kBypass
+            : systolic::SystolicGemmEngine::FaultHandling::kCorrupt;
+    auto engine = std::make_unique<systolic::SystolicGemmEngine>(
+        cfg, opts.fault_map, handling);
+    if (opts.threads > 0) engine->set_threads(opts.threads);
+    return engine;
+  });
+}
+
+EngineRegistry& EngineRegistry::instance() {
+  static EngineRegistry registry;
+  return registry;
+}
+
+void EngineRegistry::register_factory(const std::string& name,
+                                      Factory factory) {
+  for (auto& [existing, f] : factories_) {
+    if (existing == name) {
+      f = std::move(factory);
+      return;
+    }
+  }
+  factories_.emplace_back(name, std::move(factory));
+}
+
+std::unique_ptr<snn::GemmEngine> EngineRegistry::create(
+    const std::string& name, const EngineOptions& opts) const {
+  for (const auto& [existing, factory] : factories_) {
+    if (existing == name) return factory(opts);
+  }
+  std::ostringstream os;
+  os << "EngineRegistry: unknown engine \"" << name << "\" (known:";
+  for (const std::string& n : names()) os << " " << n;
+  os << ")";
+  throw std::invalid_argument(os.str());
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+  return std::any_of(factories_.begin(), factories_.end(),
+                     [&](const auto& e) { return e.first == name; });
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace falvolt::compute

@@ -1,0 +1,90 @@
+#pragma once
+// Named GEMM-engine dispatch for benches, examples, and tests.
+//
+// The registry maps engine names to factories producing snn::GemmEngine
+// instances:
+//
+//   "naive"    — reference float kernel (zero-skip i-k-j loops)
+//   "blocked"  — cache-blocked float kernel, single thread
+//   "parallel" — cache-blocked float kernel split across the thread pool
+//   "systolic" — bit-accurate faulty systolic array model (optionally
+//                configured with array geometry, a fault map, and the
+//                bypass mux via EngineOptions)
+//
+// New backends (GPU offload, batched variants, ...) register themselves
+// here and every harness that selects engines by name picks them up.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "snn/layer.h"
+
+namespace falvolt::fault {
+class FaultMap;
+}  // namespace falvolt::fault
+
+namespace falvolt::compute {
+
+/// Construction-time knobs a factory may honor. Engines that do not use a
+/// field ignore it (the float engines ignore the array/fault fields).
+struct EngineOptions {
+  /// Worker threads for parallel engines; 0 means the global pool size.
+  int threads = 0;
+  /// Systolic array geometry; 0 keeps systolic::ArrayConfig defaults.
+  int array_rows = 0;
+  int array_cols = 0;
+  /// Fault map for the systolic engine (non-owning; nullptr = golden chip).
+  const fault::FaultMap* fault_map = nullptr;
+  /// Engage the bypass mux on faulty PEs (FaP/FalVolt hardware side).
+  bool bypass_faulty = false;
+};
+
+class EngineRegistry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<snn::GemmEngine>(const EngineOptions&)>;
+
+  /// Process-wide registry, pre-seeded with the four built-in engines.
+  static EngineRegistry& instance();
+
+  /// Register (or replace) a factory under `name`.
+  void register_factory(const std::string& name, Factory factory);
+
+  /// Instantiate the engine registered under `name`; throws
+  /// std::invalid_argument (listing the known names) on a miss.
+  std::unique_ptr<snn::GemmEngine> create(
+      const std::string& name, const EngineOptions& opts = {}) const;
+
+  bool contains(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  EngineRegistry();
+  std::vector<std::pair<std::string, Factory>> factories_;
+};
+
+/// Float engines backed by the compute kernels, exposed for direct use.
+class NaiveGemmEngine final : public snn::GemmEngine {
+ public:
+  void run(const float* a, const float* w, float* c, int m, int k, int n,
+           const std::string& layer_tag) override;
+};
+
+class BlockedGemmEngine final : public snn::GemmEngine {
+ public:
+  /// threads <= 1 runs serial; anything larger splits output rows across
+  /// the global pool. Results are bit-identical either way.
+  explicit BlockedGemmEngine(int threads = 1) : threads_(threads) {}
+  void run(const float* a, const float* w, float* c, int m, int k, int n,
+           const std::string& layer_tag) override;
+  int threads() const { return threads_; }
+
+ private:
+  int threads_;
+};
+
+}  // namespace falvolt::compute

@@ -1,0 +1,74 @@
+#pragma once
+// Float GEMM kernels for the unified compute backend.
+//
+// Three tiers:
+//
+//   *_naive    — the reference loops (i-k-j with a zero-skip fast path for
+//                spike inputs; the seed library's kernels).
+//   *_blocked  — cache-blocked: B packed into column panels, register
+//                tiling over an MR x NR micro-tile, K sliced into panels
+//                that fit L1/L2.
+//   gemm_auto* — dispatch: picks naive for small/narrow problems, blocked
+//                for large ones, and splits output rows across the global
+//                thread pool when the problem is big enough to pay for it.
+//
+// Determinism: within a tier, kernels partition only output rows and keep
+// each row's accumulation schedule fixed, so results are bit-identical for
+// any thread count. ACROSS tiers results agree only to float tolerance —
+// the blocked tier sums K panels as separate partials (and the compiler
+// may contract its multiply-adds to FMA), so it is not bitwise equal to
+// naive for every shape.
+//
+// tensor::gemm / gemm_at_b / gemm_a_bt are thin wrappers over the auto
+// dispatchers; call the explicit tiers directly only in benches and tests.
+
+#include <cstddef>
+
+namespace falvolt::compute {
+
+// ---------------------------------------------------------------- naive
+
+/// C[m x n] = A[m x k] * B[k x n] (row-major). `accumulate` adds into C.
+void gemm_naive(const float* a, const float* b, float* c, int m, int k,
+                int n, bool accumulate = false);
+
+/// C[m x n] = A^T * B with A stored [k x m].
+void gemm_at_b_naive(const float* a, const float* b, float* c, int k, int m,
+                     int n, bool accumulate = false);
+
+/// C[m x n] = A * B^T with B stored [n x k].
+void gemm_a_bt_naive(const float* a, const float* b, float* c, int m, int k,
+                     int n, bool accumulate = false);
+
+// --------------------------------------------------------------- blocked
+
+/// Cache-blocked C = A * B. `threads` caps how many global-pool workers
+/// share the output rows (<= 1 runs serial); results are bit-identical
+/// for any count.
+void gemm_blocked(const float* a, const float* b, float* c, int m, int k,
+                  int n, bool accumulate = false, int threads = 1);
+
+/// Cache-blocked C = A^T * B (A stored [k x m]); transposes A into a
+/// scratch buffer, then runs the blocked kernel.
+void gemm_at_b_blocked(const float* a, const float* b, float* c, int k,
+                       int m, int n, bool accumulate = false,
+                       int threads = 1);
+
+/// Cache-blocked C = A * B^T (B stored [n x k]): dot-product tiling, both
+/// operands streamed along contiguous k.
+void gemm_a_bt_blocked(const float* a, const float* b, float* c, int m,
+                       int k, int n, bool accumulate = false,
+                       int threads = 1);
+
+// --------------------------------------------------------------- dispatch
+
+/// Heuristic dispatchers used by tensor::gemm and friends: naive vs
+/// blocked by problem shape, parallel across the global pool when large.
+void gemm_auto(const float* a, const float* b, float* c, int m, int k,
+               int n, bool accumulate = false);
+void gemm_at_b_auto(const float* a, const float* b, float* c, int k, int m,
+                    int n, bool accumulate = false);
+void gemm_a_bt_auto(const float* a, const float* b, float* c, int m, int k,
+                    int n, bool accumulate = false);
+
+}  // namespace falvolt::compute

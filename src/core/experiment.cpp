@@ -7,6 +7,7 @@
 #include <stdexcept>
 
 #include "common/env.h"
+#include "compute/thread_pool.h"
 #include "data/synthetic_dvs_gesture.h"
 #include "data/synthetic_mnist.h"
 #include "data/synthetic_nmnist.h"
@@ -99,12 +100,22 @@ int baseline_epochs(DatasetKind kind, bool fast) {
 // mitigation retraining of the scaled-down models.
 constexpr double kBaselineLr = 2e-2;
 
+}  // namespace
+
 std::string resolve_cache_dir(const WorkloadOptions& opts) {
-  if (opts.cache_dir != "__default__") return opts.cache_dir;
+  // Three cases, each honored: the sentinel defers to the environment
+  // (which may itself disable caching with an empty value), an explicit
+  // empty string disables caching, and any other value is used verbatim.
+  if (opts.cache_dir != kDefaultCacheDir) return opts.cache_dir;
   return common::env_or("FALVOLT_CACHE_DIR", "falvolt_cache");
 }
 
-}  // namespace
+std::string baseline_cache_file(const std::string& cache_dir,
+                                DatasetKind kind, bool fast,
+                                std::uint64_t seed) {
+  return cache_dir + "/baseline_" + dataset_name(kind) + "_" +
+         (fast ? "fast" : "full") + "_seed" + std::to_string(seed) + ".bin";
+}
 
 int default_retrain_epochs(DatasetKind kind, bool fast) {
   switch (kind) {
@@ -170,6 +181,7 @@ bool load_params(snn::Network& net, const std::string& path) {
 }
 
 Workload prepare_workload(DatasetKind kind, const WorkloadOptions& opts) {
+  if (opts.threads > 0) compute::set_global_threads(opts.threads);
   Workload w{kind, build_data(kind, opts.fast, opts.seed),
              snn::Network(), 0.0, 0};
   w.net = build_net(kind, w.data.train, opts.seed);
@@ -179,12 +191,7 @@ Workload prepare_workload(DatasetKind kind, const WorkloadOptions& opts) {
   std::string cache_file;
   if (!cache_dir.empty()) {
     std::filesystem::create_directories(cache_dir);
-    char buf[160];
-    std::snprintf(buf, sizeof(buf), "%s/baseline_%s_%s_seed%llu.bin",
-                  cache_dir.c_str(), dataset_name(kind),
-                  opts.fast ? "fast" : "full",
-                  static_cast<unsigned long long>(opts.seed));
-    cache_file = buf;
+    cache_file = baseline_cache_file(cache_dir, kind, opts.fast, opts.seed);
   }
 
   bool loaded = false;

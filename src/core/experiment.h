@@ -27,16 +27,34 @@ struct Workload {
   int baseline_epochs = 0;
 };
 
+/// Sentinel for WorkloadOptions::cache_dir meaning "not set explicitly":
+/// resolve via $FALVOLT_CACHE_DIR, else "falvolt_cache" in the CWD.
+inline constexpr const char* kDefaultCacheDir = "__default__";
+
 /// Scaling knobs (FALVOLT_FAST shrinks everything ~2-4x).
 struct WorkloadOptions {
   bool fast = false;
   std::uint64_t seed = 7;
-  /// Directory for cached baseline weights; empty disables caching.
-  /// Defaults to $FALVOLT_CACHE_DIR, else "falvolt_cache" in the CWD.
-  std::string cache_dir = "__default__";
+  /// Directory for cached baseline weights. The kDefaultCacheDir sentinel
+  /// defers to $FALVOLT_CACHE_DIR (else "falvolt_cache"); an explicit
+  /// empty string disables caching entirely.
+  std::string cache_dir = kDefaultCacheDir;
   /// Retrain the baseline even if a cache entry exists.
   bool ignore_cache = false;
+  /// Worker threads for the compute backend (applied to the global pool
+  /// before training): 0 keeps the current pool ($FALVOLT_THREADS or the
+  /// hardware concurrency on first use).
+  int threads = 0;
 };
+
+/// Resolve the effective cache directory from `opts` (see cache_dir);
+/// returns an empty string when caching is disabled.
+std::string resolve_cache_dir(const WorkloadOptions& opts);
+
+/// Path of the cached baseline-weights file inside `cache_dir`.
+std::string baseline_cache_file(const std::string& cache_dir,
+                                DatasetKind kind, bool fast,
+                                std::uint64_t seed);
 
 /// Build the dataset, construct the paper architecture, and train (or
 /// load) the baseline model.

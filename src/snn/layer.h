@@ -36,7 +36,8 @@ class GemmEngine {
                    int n, const std::string& layer_tag) = 0;
 };
 
-/// Default float GEMM (delegates to tensor::gemm).
+/// Default float GEMM (delegates to tensor::gemm, i.e. the compute
+/// backend's auto-dispatched blocked/parallel kernels).
 class FloatGemmEngine final : public GemmEngine {
  public:
   void run(const float* a, const float* w, float* c, int m, int k, int n,

@@ -1,7 +1,10 @@
 #include "systolic/faulty_gemm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "compute/thread_pool.h"
 
 namespace falvolt::systolic {
 
@@ -41,11 +44,15 @@ const SystolicGemmEngine::LayerPlan& SystolicGemmEngine::plan_for(
                          w[static_cast<std::size_t>(kk) * n + j]);
     }
   }
-  plan.column_events.assign(static_cast<std::size_t>(n), {});
+  // One event schedule per physical PE column: output columns folding
+  // onto the same PE column traverse the same faulty accumulators, so the
+  // schedule is shared instead of being replicated per output column.
+  const int used_cols = std::min(n, cfg_.cols);
+  plan.pe_column_events.assign(static_cast<std::size_t>(used_cols), {});
   if (map_ && handling_ == FaultHandling::kCorrupt) {
-    for (int j = 0; j < n; ++j) {
-      auto& events = plan.column_events[static_cast<std::size_t>(j)];
-      const int pe_col = j % cfg_.cols;
+    for (int pe_col = 0; pe_col < used_cols; ++pe_col) {
+      auto& events =
+          plan.pe_column_events[static_cast<std::size_t>(pe_col)];
       for (int pos = 0; pos < plan.padded_k; ++pos) {
         const fx::StuckBits* bits = map_->at(pos % cfg_.rows, pe_col);
         if (bits) events.push_back(FaultEvent{pos, *bits});
@@ -56,16 +63,18 @@ const SystolicGemmEngine::LayerPlan& SystolicGemmEngine::plan_for(
   return ins->second;
 }
 
-void SystolicGemmEngine::run(const float* a, const float* w, float* c, int m,
-                             int k, int n, const std::string& layer_tag) {
-  const LayerPlan& plan = plan_for(layer_tag, w, k, n);
+void SystolicGemmEngine::run_rows(const LayerPlan& plan, const float* a,
+                                  float* c, int i0, int i1, int n) {
   const fx::FixedFormat& fmt = cfg_.format;
+  std::uint64_t local_steps = 0;
 
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
+  for (int i = i0; i < i1; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * plan.k;
     float* crow = c + static_cast<std::size_t>(i) * n;
     for (int j = 0; j < n; ++j) {
-      const auto& events = plan.column_events[static_cast<std::size_t>(j)];
+      // j mod cols < min(n, cols) == pe_column_events.size() always.
+      const std::vector<FaultEvent>& events =
+          plan.pe_column_events[static_cast<std::size_t>(j % cfg_.cols)];
       std::int32_t acc = 0;
 
       // Accumulate weights over positions [lo, hi) of the traversal.
@@ -81,7 +90,7 @@ void SystolicGemmEngine::run(const float* a, const float* w, float* c, int m,
             contrib = fmt.mul(contrib, fmt.quantize(av));
           }
           acc = fmt.add(acc, contrib);
-          ++steps_;
+          ++local_steps;
         }
       };
 
@@ -101,6 +110,25 @@ void SystolicGemmEngine::run(const float* a, const float* w, float* c, int m,
       }
       crow[j] = static_cast<float>(fmt.dequantize(acc));
     }
+  }
+  steps_.fetch_add(local_steps, std::memory_order_relaxed);
+}
+
+void SystolicGemmEngine::run(const float* a, const float* w, float* c, int m,
+                             int k, int n, const std::string& layer_tag) {
+  const LayerPlan& plan = plan_for(layer_tag, w, k, n);
+  const int threads =
+      threads_ > 0 ? threads_ : compute::global_threads();
+  if (threads > 1 && m > 1) {
+    // Row chunks at least ceil(m/threads) wide cap the effective
+    // concurrency at the requested width even on a larger pool.
+    const int grain = (m + threads - 1) / threads;
+    compute::global_pool().parallel_for(0, m, grain,
+                                        [&](int i0, int i1) {
+                                          run_rows(plan, a, c, i0, i1, n);
+                                        });
+  } else {
+    run_rows(plan, a, c, 0, m, n);
   }
 }
 

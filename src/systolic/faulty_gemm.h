@@ -10,12 +10,20 @@
 // including corruption by idle padding rows and saturation per step — and
 // is tested bit-identical against the register-level cycle simulator.
 //
+// The per-layer plan quantizes the weights and precomputes the fault-event
+// schedule once per physical PE column (output columns folding onto the
+// same PE column share it). Output rows are independent, so `run` splits
+// them across the compute thread pool; each row is evaluated exactly as in
+// a serial run, keeping the result bit-identical for any thread count.
+//
 // Fault handling modes:
 //   kCorrupt — stuck bits corrupt the psum (the unmitigated chip);
 //   kBypass  — faulty PEs are bypassed by the Fig. 3b mux: their weight
 //              contribution is dropped and no corruption occurs (the
 //              hardware side of FaP/FalVolt).
 
+#include <atomic>
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,8 +52,15 @@ class SystolicGemmEngine final : public snn::GemmEngine {
   const ArrayConfig& config() const { return cfg_; }
   FaultHandling handling() const { return handling_; }
 
+  /// Worker threads for run(): 0 (default) uses the global pool size,
+  /// 1 forces serial evaluation. Output is identical either way.
+  void set_threads(int threads) { threads_ = threads; }
+  int threads() const { return threads_; }
+
   /// Total accumulate steps executed since construction (bench telemetry).
-  std::uint64_t accumulate_steps() const { return steps_; }
+  std::uint64_t accumulate_steps() const {
+    return steps_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct FaultEvent {
@@ -54,7 +69,9 @@ class SystolicGemmEngine final : public snn::GemmEngine {
   };
   struct LayerPlan {
     std::vector<std::int32_t> qweights;  // [k x n], bypassed weights zeroed
-    std::vector<std::vector<FaultEvent>> column_events;  // per output col j
+    // Fault-event schedule per *physical* PE column; output column j uses
+    // entry j mod cols. Sized min(n, cols) — the PE columns actually hit.
+    std::vector<std::vector<FaultEvent>> pe_column_events;
     int k = 0;
     int n = 0;
     int padded_k = 0;
@@ -63,12 +80,15 @@ class SystolicGemmEngine final : public snn::GemmEngine {
 
   const LayerPlan& plan_for(const std::string& tag, const float* w, int k,
                             int n);
+  void run_rows(const LayerPlan& plan, const float* a, float* c, int i0,
+                int i1, int n);
 
   ArrayConfig cfg_;
   const fault::FaultMap* map_;
   FaultHandling handling_;
+  int threads_ = 0;
   std::unordered_map<std::string, LayerPlan> plans_;
-  std::uint64_t steps_ = 0;
+  std::atomic<std::uint64_t> steps_{0};
 };
 
 }  // namespace falvolt::systolic

@@ -1,65 +1,30 @@
 #include "tensor/gemm.h"
 
-#include <cstring>
 #include <stdexcept>
+
+#include "compute/gemm_kernels.h"
 
 namespace falvolt::tensor {
 
-// i-k-j loop order keeps the inner loop streaming over contiguous rows of B
-// and C, which GCC auto-vectorizes; adequate for the network sizes used by
-// the experiments (K up to a few hundred).
+// The tensor-level entry points are thin wrappers over the unified
+// compute backend: the auto dispatchers pick the zero-skip naive kernel
+// for small/sparse problems and the cache-blocked (optionally
+// pool-parallel) kernels for large dense ones. Conv2d, Linear, and the
+// trainer's backward pass all route through here.
 
 void gemm(const float* a, const float* b, float* c, int m, int k, int n,
           bool accumulate) {
-  if (!accumulate) {
-    std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  }
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;  // spike inputs are mostly zero
-      const float* brow = b + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  compute::gemm_auto(a, b, c, m, k, n, accumulate);
 }
 
 void gemm_at_b(const float* a, const float* b, float* c, int k, int m, int n,
                bool accumulate) {
-  // C[M x N] = A^T[M x K] * B[K x N], A stored KxM.
-  if (!accumulate) {
-    std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  }
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = a + static_cast<std::size_t>(kk) * m;
-    const float* brow = b + static_cast<std::size_t>(kk) * n;
-    for (int i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + static_cast<std::size_t>(i) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  compute::gemm_at_b_auto(a, b, c, k, m, n, accumulate);
 }
 
 void gemm_a_bt(const float* a, const float* b, float* c, int m, int k, int n,
                bool accumulate) {
-  // C[M x N] = A[M x K] * B^T[K x N], B stored NxK.
-  if (!accumulate) {
-    std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
-  }
-  for (int i = 0; i < m; ++i) {
-    const float* arow = a + static_cast<std::size_t>(i) * k;
-    float* crow = c + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = b + static_cast<std::size_t>(j) * k;
-      float acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] += acc;
-    }
-  }
+  compute::gemm_a_bt_auto(a, b, c, m, k, n, accumulate);
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {

@@ -1,7 +1,11 @@
 #pragma once
-// Float GEMM kernels. Conv and FC layers lower to
+// Float GEMM entry points. Conv and FC layers lower to
 //   C[M x N] = A[M x K] * B[K x N]  (+ accumulate variants)
-// via im2col, so one well-ordered kernel serves the whole library.
+// via im2col, so one interface serves the whole library. The
+// implementations delegate to the unified compute backend
+// (compute/gemm_kernels.h), which dispatches between the zero-skip naive
+// kernel and the cache-blocked, thread-pool-parallel kernels by problem
+// shape and input sparsity.
 
 #include <cstddef>
 

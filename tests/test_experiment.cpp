@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <string>
 
 #include "snn/model_zoo.h"
 #include "snn/trainer.h"
@@ -24,6 +26,75 @@ TEST(Experiment, DefaultRetrainEpochsOrdering) {
             default_retrain_epochs(DatasetKind::kMnist, false) - 1);
   EXPECT_LT(default_retrain_epochs(DatasetKind::kMnist, true),
             default_retrain_epochs(DatasetKind::kMnist, false));
+}
+
+// RAII environment-variable override for cache-dir resolution tests.
+class EnvVarScope {
+ public:
+  EnvVarScope(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~EnvVarScope() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  std::string old_;
+  bool had_old_ = false;
+};
+
+TEST(Experiment, CacheDirSentinelFallsBackToDefault) {
+  EnvVarScope env("FALVOLT_CACHE_DIR", nullptr);
+  WorkloadOptions opts;  // cache_dir left at the sentinel
+  EXPECT_EQ(opts.cache_dir, kDefaultCacheDir);
+  EXPECT_EQ(resolve_cache_dir(opts), "falvolt_cache");
+}
+
+TEST(Experiment, CacheDirSentinelHonorsEnvironment) {
+  EnvVarScope env("FALVOLT_CACHE_DIR", "/tmp/falvolt_env_cache");
+  WorkloadOptions opts;
+  EXPECT_EQ(resolve_cache_dir(opts), "/tmp/falvolt_env_cache");
+}
+
+TEST(Experiment, CacheDirEnvironmentCanDisableCaching) {
+  EnvVarScope env("FALVOLT_CACHE_DIR", "");
+  WorkloadOptions opts;
+  EXPECT_EQ(resolve_cache_dir(opts), "");
+}
+
+TEST(Experiment, CacheDirExplicitEmptyDisablesCaching) {
+  EnvVarScope env("FALVOLT_CACHE_DIR", "/tmp/should_be_ignored");
+  WorkloadOptions opts;
+  opts.cache_dir = "";  // explicit: caching off, env must NOT override
+  EXPECT_EQ(resolve_cache_dir(opts), "");
+}
+
+TEST(Experiment, CacheDirExplicitValueWinsOverEnvironment) {
+  EnvVarScope env("FALVOLT_CACHE_DIR", "/tmp/should_be_ignored");
+  WorkloadOptions opts;
+  opts.cache_dir = "/tmp/explicit_cache";
+  EXPECT_EQ(resolve_cache_dir(opts), "/tmp/explicit_cache");
+}
+
+TEST(Experiment, BaselineCacheFileSurvivesLongDirectories) {
+  // The seed built this path through a fixed 160-char snprintf buffer,
+  // silently truncating long cache directories into a wrong path.
+  const std::string long_dir(300, 'd');
+  const std::string path =
+      baseline_cache_file(long_dir, DatasetKind::kNMnist, true, 42);
+  EXPECT_EQ(path, long_dir + "/baseline_N-MNIST_fast_seed42.bin");
 }
 
 TEST(Experiment, SaveLoadRoundTrip) {

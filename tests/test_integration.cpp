@@ -31,7 +31,10 @@ struct Pipeline {
     snn::Network net = snn::make_digit_classifier("d", 1, 16, 10, zc);
     snn::Adam opt(2e-2);
     snn::TrainConfig tc;
-    tc.epochs = 12;
+    // 16 epochs (the seed used 12): the blocked/FMA GEMM backend changes
+    // float summation order, and this tiny 160-sample run needs the extra
+    // budget to clear the accuracy bar under both SIMD and scalar builds.
+    tc.epochs = 16;
     tc.batch_size = 16;
     tc.eval_each_epoch = false;
     snn::Trainer trainer(net, opt, split.train, &split.test, tc);
