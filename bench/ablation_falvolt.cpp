@@ -8,7 +8,9 @@
 //   A4  accumulator width of the PE (16-bit Q8.8 vs 32-bit Q16.16) for
 //       the unmitigated MSB-fault collapse
 //
-// All ablations run on the MNIST-like workload at 30% faulty PEs.
+// All ablations run on the MNIST-like workload at 30% faulty PEs. Every
+// arm is an independent scenario on core::SweepRunner, retraining its
+// own clone of the shared trained baseline.
 
 #include "bench_common.h"
 #include "fault/prune_mask.h"
@@ -20,15 +22,15 @@ using namespace falvolt;
 
 namespace {
 
-/// Retrain with pruning; `tie_vth` averages all hidden thresholds after
-/// each epoch (the "global V_th" arm), `rezero_each_epoch` toggles
+/// Retrain `net` with pruning; `tie_vth` averages all hidden thresholds
+/// after each epoch (the "global V_th" arm), `rezero_each_epoch` toggles
 /// Algorithm 1 line 13.
-double retrain_custom(core::Workload& wl, const fault::FaultMap& map,
-                      int epochs, bool train_vth, bool tie_vth,
-                      bool rezero_each_epoch) {
-  fault::NetworkPruner pruner(wl.net, map);
-  pruner.apply(wl.net);
-  for (snn::Plif* p : wl.net.hidden_spiking_layers()) {
+double retrain_custom(snn::Network& net, const data::DatasetSplit& data,
+                      const fault::FaultMap& map, int epochs, bool train_vth,
+                      bool tie_vth, bool rezero_each_epoch) {
+  fault::NetworkPruner pruner(net, map);
+  pruner.apply(net);
+  for (snn::Plif* p : net.hidden_spiking_layers()) {
     p->set_vth(1.0f);
     p->set_train_vth(train_vth);
   }
@@ -42,21 +44,21 @@ double retrain_custom(core::Workload& wl, const fault::FaultMap& map,
   tc.on_epoch = [&opt, decay_epoch](const snn::EpochStats& s) {
     if (s.epoch + 1 == decay_epoch) opt.set_lr(kLr / 4.0);
   };
-  tc.post_epoch = [&](snn::Network& net) {
-    if (rezero_each_epoch) pruner.apply(net);
+  tc.post_epoch = [&](snn::Network& n) {
+    if (rezero_each_epoch) pruner.apply(n);
     if (tie_vth) {
-      const auto layers = net.hidden_spiking_layers();
+      const auto layers = n.hidden_spiking_layers();
       float mean = 0.0f;
       for (snn::Plif* p : layers) mean += p->vth();
       mean /= static_cast<float>(layers.size());
       for (snn::Plif* p : layers) p->set_vth(mean);
     }
   };
-  snn::Trainer trainer(wl.net, opt, wl.data.train, &wl.data.test, tc);
+  snn::Trainer trainer(net, opt, data.train, &data.test, tc);
   trainer.run();
-  pruner.apply(wl.net);  // final re-zero (hardware bypass is mandatory)
-  wl.net.set_train_vth(false);
-  return snn::evaluate(wl.net, wl.data.test);
+  pruner.apply(net);  // final re-zero (hardware bypass is mandatory)
+  net.set_train_vth(false);
+  return snn::evaluate(net, data.test);
 }
 
 }  // namespace
@@ -71,102 +73,186 @@ int main(int argc, char** argv) {
   fb::banner("Ablations", "FalVolt design-choice ablations (MNIST, 30% "
                           "faulty PEs unless noted)");
 
-  core::Workload wl =
-      core::prepare_workload(core::DatasetKind::kMnist,
-                             fb::workload_options(cli));
-  fb::print_baseline(wl);
-  fb::BaselineKeeper keeper(wl);
+  // This bench's grid is MNIST-only: dataset_list rejects a --datasets
+  // that asks for anything else rather than silently running MNIST.
+  (void)fb::dataset_list(cli, {core::DatasetKind::kMnist});
+
   const bool fast = cli.get_bool("fast");
   const int epochs =
       cli.get_int("epochs") > 0
           ? static_cast<int>(cli.get_int("epochs"))
           : 2 + core::default_retrain_epochs(core::DatasetKind::kMnist,
                                              fast);
-
+  const double rate = cli.get_double("rate");
   const systolic::ArrayConfig array = fb::experiment_array(cli);
-  common::Rng rng(8000);
-  const fault::FaultMap map = fault::fault_map_at_rate(
-      array.rows, array.cols, cli.get_double("rate"),
-      fault::worst_case_spec(array.format.total_bits()), rng);
+
+  // Scenario grid: (ablation, arm) cells, all on the MNIST workload.
+  struct Arm {
+    const char* ablation;
+    const char* arm;
+  };
+  // A2's "every epoch" arm is bit-identical to A1's per-layer arm
+  // (same clone, map, and retrain_custom arguments, and scenarios are
+  // deterministic), so it is aliased below instead of recomputed.
+  const std::vector<Arm> arms = {
+      {"vth_granularity", "per_layer"}, {"vth_granularity", "global"},
+      {"vth_granularity", "frozen"},    {"rezero", "end_only"},
+      {"surrogate", "triangle"},        {"surrogate", "sigmoid"},
+      {"surrogate", "rectangle"},       {"accumulator_width", "q8_8"},
+      {"accumulator_width", "q16_16"}};
+
+  std::vector<core::Scenario> scenarios;
+  for (const Arm& a : arms) {
+    core::Scenario s;
+    s.key = std::string(a.ablation) + "/" + a.arm;
+    s.tag = a.arm;
+    s.dataset = core::DatasetKind::kMnist;
+    s.fault_rate = rate;
+    s.fault_seed =
+        std::string(a.ablation) == "accumulator_width" ? 8100 : 8000;
+    s.retrain = std::string(a.ablation) != "accumulator_width";
+    s.epochs = epochs;
+    scenarios.push_back(s);
+  }
+
+  // Outputs open before the sweep so an unwritable CWD fails fast.
   common::CsvWriter csv(fb::csv_path("ablation_falvolt"),
                         {"ablation", "arm", "accuracy"});
+  fb::probe_sweep_json(cli, "ablation_falvolt");
 
-  // ---- A1: threshold granularity -------------------------------------
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  const core::SweepContext& ctx = runner.prepare(scenarios);
+  const data::Dataset eval_set =
+      fb::subset(ctx.workload(core::DatasetKind::kMnist).data.test, 96);
+
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& c) {
+    const core::Workload& wl = c.workload(s.dataset);
+    snn::Network net = c.clone_network(s.dataset);
+    core::ScenarioResult out;
+
+    if (s.key.rfind("accumulator_width/", 0) == 0) {
+      // A4: unmitigated MSB collapse at two accumulator widths.
+      const fx::FixedFormat fmt = s.tag == "q8_8" ? fx::FixedFormat::q8_8()
+                                                  : fx::FixedFormat::q16_16();
+      systolic::ArrayConfig a = array;
+      a.format = fmt;
+      common::Rng map_rng(s.fault_seed);
+      const fault::FaultMap m = fault::random_fault_map(
+          a.rows, a.cols, 8, fault::worst_case_spec(fmt.total_bits()),
+          map_rng);
+      const fault::FaultMap clean(a.rows, a.cols);
+      const double acc_clean = core::evaluate_with_faults(
+          net, eval_set, a, clean,
+          systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+      const double acc_faulty = core::evaluate_with_faults(
+          net, eval_set, a, m,
+          systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+      out.metrics = {{"clean_accuracy", acc_clean},
+                     {"faulty_accuracy", acc_faulty}};
+      out.csv_rows = {{"accumulator_width", fmt.to_string(),
+                       common::CsvWriter::format(acc_faulty)}};
+      return out;
+    }
+
+    common::Rng rng(s.fault_seed);
+    const fault::FaultMap map = fault::fault_map_at_rate(
+        array.rows, array.cols, s.fault_rate,
+        fault::worst_case_spec(array.format.total_bits()), rng);
+
+    if (s.key.rfind("surrogate/", 0) == 0) {
+      // A3: surrogate kind during retraining.
+      snn::Surrogate sg;
+      sg.kind = s.tag == "sigmoid"     ? snn::SurrogateKind::kSigmoid
+                : s.tag == "rectangle" ? snn::SurrogateKind::kRectangle
+                                       : snn::SurrogateKind::kTriangle;
+      sg.gamma = sg.kind == snn::SurrogateKind::kSigmoid ? 4.0f : 2.0f;
+      for (snn::Plif* p : net.spiking_layers()) p->set_surrogate(sg);
+      const double acc =
+          retrain_custom(net, wl.data, map, s.epochs, true, false, true);
+      out.metrics = {{"accuracy", acc}};
+      out.csv_rows = {{"surrogate", sg.to_string(),
+                       common::CsvWriter::format(acc)}};
+      return out;
+    }
+
+    // A1/A2: threshold granularity and re-zero cadence.
+    const bool train_vth = s.tag != "frozen";
+    const bool tie_vth = s.tag == "global";
+    const bool rezero = s.tag != "end_only";
+    const double acc =
+        retrain_custom(net, wl.data, map, s.epochs, train_vth, tie_vth,
+                       rezero);
+    out.metrics = {{"accuracy", acc}};
+    const char* ablation =
+        s.key.rfind("rezero/", 0) == 0 ? "rezero" : "vth_granularity";
+    out.csv_rows = {{ablation, s.tag, common::CsvWriter::format(acc)}};
+    return out;
+  };
+
+  const core::ResultTable results = runner.run(scenarios, fn);
+
+  const auto acc_of = [&](const char* key) {
+    return results.get(key).metrics.front().second;
+  };
+
+  // CSV rows keep the legacy grouping (A1, A2, A3, A4) rather than
+  // scenario order; the A2 "every_epoch" row aliases the bit-identical
+  // A1 per-layer result (see the arms table above).
+  for (const char* arm : {"per_layer", "global", "frozen"}) {
+    csv.row({"vth_granularity", arm,
+             common::CsvWriter::format(
+                 acc_of((std::string("vth_granularity/") + arm).c_str()))});
+  }
+  csv.row({"rezero", "every_epoch",
+           common::CsvWriter::format(acc_of("vth_granularity/per_layer"))});
+  csv.row({"rezero", "end_only",
+           common::CsvWriter::format(acc_of("rezero/end_only"))});
+  for (const char* arm : {"triangle", "sigmoid", "rectangle"}) {
+    csv.row(results.get(std::string("surrogate/") + arm).csv_rows.front());
+  }
+  for (const char* arm : {"q8_8", "q16_16"}) {
+    csv.row(results.get(std::string("accumulator_width/") + arm)
+                .csv_rows.front());
+  }
+
   common::TextTable a1({"vth granularity", "accuracy"});
-  keeper.restore();
-  const double per_layer = retrain_custom(wl, map, epochs, true, false, true);
-  keeper.restore();
-  const double global_vth = retrain_custom(wl, map, epochs, true, true, true);
-  keeper.restore();
-  const double frozen = retrain_custom(wl, map, epochs, false, false, true);
-  a1.row_labeled("per-layer (FalVolt)", {per_layer}, 1);
-  a1.row_labeled("global (tied)", {global_vth}, 1);
-  a1.row_labeled("frozen @1.0 (FaPIT)", {frozen}, 1);
-  csv.row({"vth_granularity", "per_layer",
-           common::CsvWriter::format(per_layer)});
-  csv.row({"vth_granularity", "global",
-           common::CsvWriter::format(global_vth)});
-  csv.row({"vth_granularity", "frozen", common::CsvWriter::format(frozen)});
+  a1.row_labeled("per-layer (FalVolt)", {acc_of("vth_granularity/per_layer")},
+                 1);
+  a1.row_labeled("global (tied)", {acc_of("vth_granularity/global")}, 1);
+  a1.row_labeled("frozen @1.0 (FaPIT)", {acc_of("vth_granularity/frozen")},
+                 1);
   std::printf("\nA1 — threshold-voltage granularity:\n");
   a1.print();
 
-  // ---- A2: re-zero cadence --------------------------------------------
   common::TextTable a2({"re-zero cadence", "accuracy"});
-  keeper.restore();
-  const double every_epoch =
-      retrain_custom(wl, map, epochs, true, false, true);
-  keeper.restore();
-  const double end_only = retrain_custom(wl, map, epochs, true, false, false);
-  a2.row_labeled("every epoch (Alg.1 L13)", {every_epoch}, 1);
-  a2.row_labeled("end of training only", {end_only}, 1);
-  csv.row({"rezero", "every_epoch", common::CsvWriter::format(every_epoch)});
-  csv.row({"rezero", "end_only", common::CsvWriter::format(end_only)});
+  a2.row_labeled("every epoch (Alg.1 L13)",
+                 {acc_of("vth_granularity/per_layer")}, 1);
+  a2.row_labeled("end of training only", {acc_of("rezero/end_only")}, 1);
   std::printf("\nA2 — pruned-weight re-zero cadence:\n");
   a2.print();
 
-  // ---- A3: surrogate kind ----------------------------------------------
   common::TextTable a3({"surrogate", "accuracy"});
-  for (const auto kind :
-       {snn::SurrogateKind::kTriangle, snn::SurrogateKind::kSigmoid,
-        snn::SurrogateKind::kRectangle}) {
-    keeper.restore();
-    snn::Surrogate s;
-    s.kind = kind;
-    s.gamma = kind == snn::SurrogateKind::kSigmoid ? 4.0f : 2.0f;
-    for (snn::Plif* p : wl.net.spiking_layers()) p->set_surrogate(s);
-    const double acc = retrain_custom(wl, map, epochs, true, false, true);
-    a3.row_labeled(s.to_string(), {acc}, 1);
-    csv.row({"surrogate", s.to_string(), common::CsvWriter::format(acc)});
+  for (const char* arm : {"triangle", "sigmoid", "rectangle"}) {
+    const core::ScenarioResult& r =
+        results.get(std::string("surrogate/") + arm);
+    a3.row_labeled(r.csv_rows.front()[1], {r.metrics.front().second}, 1);
   }
-  // Restore the default surrogate for any later use.
-  keeper.restore();
   std::printf("\nA3 — surrogate gradient during retraining:\n");
   a3.print();
 
-  // ---- A4: accumulator width (unmitigated MSB collapse) ---------------
   common::TextTable a4({"accumulator", "clean acc", "8 faulty PEs (MSB sa1)"});
-  const data::Dataset eval_set = fb::subset(wl.data.test, 96);
-  for (const auto fmt : {fx::FixedFormat::q8_8(), fx::FixedFormat::q16_16()}) {
-    systolic::ArrayConfig a = array;
-    a.format = fmt;
-    common::Rng map_rng(8100);
-    const fault::FaultMap m = fault::random_fault_map(
-        a.rows, a.cols, 8, fault::worst_case_spec(fmt.total_bits()), map_rng);
-    keeper.restore();
-    const fault::FaultMap clean(a.rows, a.cols);
-    const double acc_clean = core::evaluate_with_faults(
-        wl.net, eval_set, a, clean,
-        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-    const double acc_faulty = core::evaluate_with_faults(
-        wl.net, eval_set, a, m,
-        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-    a4.row_labeled(fmt.to_string(), {acc_clean, acc_faulty}, 1);
-    csv.row({"accumulator_width", fmt.to_string(),
-             common::CsvWriter::format(acc_faulty)});
+  for (const char* arm : {"q8_8", "q16_16"}) {
+    const core::ScenarioResult& r =
+        results.get(std::string("accumulator_width/") + arm);
+    a4.row_labeled(r.csv_rows.front()[1],
+                   {r.metrics[0].second, r.metrics[1].second}, 1);
   }
   std::printf("\nA4 — accumulator width (quantization + MSB sa1 collapse):\n");
   a4.print();
 
+  fb::emit_sweep_summary(cli, "ablation_falvolt", results);
   std::printf("\nTakeaways: per-layer V_th >= global >= frozen; epoch-wise "
               "re-zeroing matters because the optimizer keeps regrowing "
               "bypassed weights; the triangle surrogate (paper Eq. 2) is "

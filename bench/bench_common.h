@@ -1,8 +1,14 @@
 #pragma once
 // Shared plumbing for the figure-reproduction benches: workload loading
-// (with on-disk baseline caching), result tables, and CSV output.
+// (with on-disk baseline caching), scenario-sweep orchestration, result
+// tables, and CSV/JSON output.
 
+#include <algorithm>
+#include <cstdarg>
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -15,6 +21,7 @@
 #include "core/experiment.h"
 #include "core/falvolt.h"
 #include "core/fap.h"
+#include "core/sweep.h"
 #include "fault/fault_generator.h"
 
 namespace falvolt::bench {
@@ -34,6 +41,16 @@ inline void add_common_flags(common::CliFlags& cli) {
   cli.add_int("threads", 0,
               "compute worker threads (0 = $FALVOLT_THREADS, else the "
               "hardware concurrency)");
+  cli.add_int("sweep-parallel", 0,
+              "concurrent scenarios of the figure grid (1 = serial; 0 = "
+              "$FALVOLT_SWEEP_PARALLEL, else the hardware concurrency). "
+              "Result tables are byte-identical at any value");
+  cli.add_string("datasets", "all",
+                 "comma list of mnist,nmnist,dvs to subset the grid "
+                 "(all = the bench's paper grid)");
+  cli.add_string("sweep-json", "",
+                 "machine-readable sweep summary path ('' = "
+                 "<bench>_sweep.json, none = disabled)");
 }
 
 /// The experiment array: paper-equivalent geometry at our network scale.
@@ -48,7 +65,115 @@ inline core::WorkloadOptions workload_options(const common::CliFlags& cli) {
   opts.fast = cli.get_bool("fast");
   opts.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
   opts.threads = static_cast<int>(cli.get_int("threads"));
+  opts.sweep_parallel = static_cast<int>(cli.get_int("sweep-parallel"));
   return opts;
+}
+
+/// The bench's dataset axis, optionally subset by --datasets (handy for
+/// CI smoke runs and quick local iterations). Strictly a subset: asking
+/// for a dataset the bench's paper grid does not contain is an error,
+/// never a silent grid extension.
+inline std::vector<core::DatasetKind> dataset_list(
+    const common::CliFlags& cli, std::vector<core::DatasetKind> def) {
+  const std::string& spec = cli.get_string("datasets");
+  if (spec.empty() || spec == "all") return def;
+  std::vector<core::DatasetKind> requested;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (tok == "mnist") {
+      requested.push_back(core::DatasetKind::kMnist);
+    } else if (tok == "nmnist") {
+      requested.push_back(core::DatasetKind::kNMnist);
+    } else if (tok == "dvs" || tok == "dvs-gesture") {
+      requested.push_back(core::DatasetKind::kDvsGesture);
+    } else {
+      throw std::invalid_argument("--datasets: unknown dataset '" + tok +
+                                  "' (want mnist,nmnist,dvs)");
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  for (const auto kind : requested) {
+    if (std::find(def.begin(), def.end(), kind) == def.end()) {
+      throw std::invalid_argument(
+          std::string("--datasets: ") + core::dataset_name(kind) +
+          " is not part of this bench's grid");
+    }
+  }
+  std::vector<core::DatasetKind> out;  // keep the bench's axis order
+  for (const auto kind : def) {
+    if (std::find(requested.begin(), requested.end(), kind) !=
+        requested.end()) {
+      out.push_back(kind);
+    }
+  }
+  return out;
+}
+
+/// Append a printf-formatted line to a scenario's buffered log.
+inline void logf(std::string& log, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+inline void logf(std::string& log, const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  log += buf;
+}
+
+/// CSV file next to the executable's working directory.
+inline std::string csv_path(const std::string& bench_name) {
+  return bench_name + ".csv";
+}
+
+/// Resolved --sweep-json path; empty string disables the summary.
+inline std::string sweep_json_path(const common::CliFlags& cli,
+                                   const std::string& bench_name) {
+  const std::string& p = cli.get_string("sweep-json");
+  if (p == "none") return "";
+  return p.empty() ? bench_name + "_sweep.json" : p;
+}
+
+/// Validate that the sweep JSON summary path is writable. Call BEFORE
+/// the sweep runs: an unwritable CWD must fail before hours of compute,
+/// not after (the benches likewise construct their CsvWriter up front
+/// for the same reason).
+inline void probe_sweep_json(const common::CliFlags& cli,
+                             const std::string& bench_name) {
+  const std::string path = sweep_json_path(cli, bench_name);
+  if (path.empty()) return;
+  // Append mode: tests writability without clobbering the previous
+  // run's summary should this run die mid-sweep.
+  std::ofstream probe(path, std::ios::app);
+  if (!probe) {
+    throw std::runtime_error("cannot open sweep summary path " + path);
+  }
+}
+
+/// Write the sweep JSON summary (if enabled) and print where it went.
+inline void emit_sweep_summary(const common::CliFlags& cli,
+                               const std::string& bench_name,
+                               const core::ResultTable& results) {
+  const std::string path = sweep_json_path(cli, bench_name);
+  if (path.empty()) return;
+  results.write_json(path, bench_name);
+  std::printf("[sweep] %zu scenarios in %.1f s at sweep-parallel=%d — "
+              "JSON summary written to %s\n",
+              results.size(), results.total_seconds(),
+              results.sweep_parallel(), path.c_str());
+}
+
+/// Append the per-scenario CSV rows to an already-open writer, in
+/// scenario order (byte-identical at any sweep parallelism).
+inline void write_scenario_rows(common::CsvWriter& csv,
+                                const core::ResultTable& results) {
+  for (const core::ScenarioResult& r : results.rows()) {
+    for (const auto& row : r.csv_rows) csv.row(row);
+  }
 }
 
 /// Banner printed by every bench so logs are self-describing.
@@ -81,11 +206,6 @@ class BaselineKeeper {
   std::vector<tensor::Tensor> snapshot_;
 };
 
-/// CSV file next to the executable's working directory.
-inline std::string csv_path(const std::string& bench_name) {
-  return bench_name + ".csv";
-}
-
 /// First `n` samples of a dataset (vulnerability sweeps evaluate through
 /// the bit-level engine, so a subset keeps runtimes reasonable; samples
 /// are class-round-robin, so any prefix is balanced).
@@ -94,6 +214,18 @@ inline data::Dataset subset(const data::Dataset& ds, int n) {
                     ds.time_steps(), ds.channels(), ds.height(), ds.width());
   const int count = std::min(n, ds.size());
   for (int i = 0; i < count; ++i) out.add(ds[i]);
+  return out;
+}
+
+/// Shared, read-only test-set subsets for every dataset a sweep
+/// prepared — built once on the main thread, then read concurrently by
+/// the scenario functions.
+inline std::map<core::DatasetKind, data::Dataset> eval_subsets(
+    const core::SweepContext& ctx, int n) {
+  std::map<core::DatasetKind, data::Dataset> out;
+  for (const auto kind : ctx.kinds()) {
+    out.emplace(kind, subset(ctx.workload(kind).data.test, n));
+  }
   return out;
 }
 

@@ -7,6 +7,10 @@
 // The paper's point: the best fixed V_th depends on the dataset AND the
 // fault rate, and a wrong pick costs tens of accuracy points — which is
 // what motivates learning V_th (FalVolt).
+//
+// Every (dataset, rate, vth) cell is an independent scenario on
+// core::SweepRunner; --sweep-parallel N runs N cells at a time with
+// byte-identical tables.
 
 #include "bench_common.h"
 
@@ -26,49 +30,88 @@ int main(int argc, char** argv) {
   const bool fast = cli.get_bool("fast");
   const std::vector<float> vths = {0.45f, 0.5f, 0.55f, 0.7f, 1.0f};
   const std::vector<double> rates = {0.30, 0.60};
+  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
+      cli, {core::DatasetKind::kMnist, core::DatasetKind::kDvsGesture});
 
-  std::vector<std::string> header = {"series"};
-  for (const float v : vths) {
-    header.push_back(common::TextTable::format(v, 2));
-  }
-  common::TextTable table(header);
-  common::CsvWriter csv(fb::csv_path("fig2_vth_sweep"),
-                        {"dataset", "fault_rate_percent", "vth", "accuracy"});
+  // Single source of truth for scenario keys: the same lambda builds
+  // the grid and rebuilds the tables, so they can never disagree.
+  const auto cell_key = [](core::DatasetKind kind, double rate, float vth) {
+    return std::string(core::dataset_name(kind)) + "/rate=" +
+           common::TextTable::format(rate * 100, 0) + "/vth=" +
+           common::TextTable::format(vth, 2);
+  };
 
-  for (const auto kind :
-       {core::DatasetKind::kMnist, core::DatasetKind::kDvsGesture}) {
-    core::Workload wl =
-        core::prepare_workload(kind, fb::workload_options(cli));
-    fb::print_baseline(wl);
-    fb::BaselineKeeper keeper(wl);
+  std::vector<core::Scenario> scenarios;
+  for (const auto kind : kinds) {
     const int epochs =
         cli.get_int("epochs") > 0
             ? static_cast<int>(cli.get_int("epochs"))
             : core::default_retrain_epochs(kind, fast);
-
     for (const double rate : rates) {
-      common::Rng rng(4000 + static_cast<int>(rate * 100));
-      const systolic::ArrayConfig array = fb::experiment_array(cli);
-      const fault::FaultMap map = fault::fault_map_at_rate(
-          array.rows, array.cols, rate,
-          fault::worst_case_spec(array.format.total_bits()), rng);
+      for (const float vth : vths) {
+        core::Scenario s;
+        s.key = cell_key(kind, rate, vth);
+        s.dataset = kind;
+        s.vth = vth;
+        s.fault_rate = rate;
+        s.fault_seed = 4000 + static_cast<std::uint64_t>(rate * 100);
+        s.retrain = true;
+        s.epochs = epochs;
+        scenarios.push_back(s);
+      }
+    }
+  }
+
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path("fig2_vth_sweep"),
+                        {"dataset", "fault_rate_percent", "vth", "accuracy"});
+  fb::probe_sweep_json(cli, "fig2_vth_sweep");
+
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& ctx) {
+    const core::Workload& wl = ctx.workload(s.dataset);
+    snn::Network net = ctx.clone_network(s.dataset);
+    common::Rng rng(s.fault_seed);
+    const systolic::ArrayConfig array = fb::experiment_array(cli);
+    const fault::FaultMap map = fault::fault_map_at_rate(
+        array.rows, array.cols, s.fault_rate,
+        fault::worst_case_spec(array.format.total_bits()), rng);
+    core::MitigationConfig cfg;
+    cfg.array = array;
+    cfg.retrain_epochs = s.epochs;
+    cfg.eval_each_epoch = false;
+    const core::MitigationResult r = core::run_fixed_vth_retraining(
+        net, map, wl.data.train, wl.data.test, cfg,
+        static_cast<float>(s.vth));
+
+    core::ScenarioResult out;
+    out.metrics = {{"accuracy", r.final_accuracy}};
+    out.csv_rows = {{std::string(core::dataset_name(s.dataset)),
+                     common::CsvWriter::format(s.fault_rate * 100),
+                     common::CsvWriter::format(s.vth),
+                     common::CsvWriter::format(r.final_accuracy)}};
+    fb::logf(out.log, "  %-15s rate=%2.0f%% vth=%.2f -> %.1f%%\n",
+             core::dataset_name(s.dataset), s.fault_rate * 100, s.vth,
+             r.final_accuracy);
+    return out;
+  };
+
+  const core::ResultTable results = runner.run(scenarios, fn);
+
+  fb::write_scenario_rows(csv, results);
+
+  std::vector<std::string> header = {"series"};
+  for (const float v : vths) header.push_back(common::TextTable::format(v, 2));
+  common::TextTable table(header);
+  for (const auto kind : kinds) {
+    for (const double rate : rates) {
       std::vector<double> row;
       for (const float vth : vths) {
-        keeper.restore();
-        core::MitigationConfig cfg;
-        cfg.array = array;
-        cfg.retrain_epochs = epochs;
-        cfg.eval_each_epoch = false;
-        const core::MitigationResult r = core::run_fixed_vth_retraining(
-            wl.net, map, wl.data.train, wl.data.test, cfg, vth);
-        row.push_back(r.final_accuracy);
-        csv.row({std::string(core::dataset_name(kind)),
-                 common::CsvWriter::format(rate * 100),
-                 common::CsvWriter::format(vth),
-                 common::CsvWriter::format(r.final_accuracy)});
-        std::printf("  %-15s rate=%2.0f%% vth=%.2f -> %.1f%%\n",
-                    core::dataset_name(kind), rate * 100, vth,
-                    r.final_accuracy);
+        row.push_back(
+            results.get(cell_key(kind, rate, vth)).metrics.front().second);
       }
       table.row_labeled(std::string(core::dataset_name(kind)) + "@" +
                             common::TextTable::format(rate * 100, 0) + "%",
@@ -77,6 +120,7 @@ int main(int argc, char** argv) {
   }
   std::printf("\nRetrained accuracy [%%] per fixed threshold voltage:\n");
   table.print();
+  fb::emit_sweep_summary(cli, "fig2_vth_sweep", results);
   std::printf("\nExpected shape (paper): best V_th differs per dataset and "
               "fault rate; a bad fixed pick loses tens of points.\n");
   return 0;

@@ -5,6 +5,11 @@
 // systolicSNN, 8 faulty PEs, unmitigated inference, for MNIST / N-MNIST /
 // DVS-Gesture. The paper's finding: MSB faults (especially stuck-at-1 in
 // the sign bit) collapse accuracy, LSB faults are nearly harmless.
+//
+// Every (dataset, stuck level, bit, fault map) cell is an independent
+// scenario on core::SweepRunner; the per-repeat accuracies are averaged
+// in repeat order afterwards, so tables are byte-identical at any
+// --sweep-parallel.
 
 #include "bench_common.h"
 #include "core/mitigation.h"
@@ -30,54 +35,102 @@ int main(int argc, char** argv) {
                                  : (cli.get_bool("fast") ? 1 : 2);
   const int n_faulty = static_cast<int>(cli.get_int("faulty-pes"));
   const int eval_n = static_cast<int>(cli.get_int("eval-samples"));
+  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
+      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+            core::DatasetKind::kDvsGesture});
 
   std::vector<int> bits;
   for (int b = 0; b < word; b += 2) bits.push_back(b);
   if (bits.back() != word - 1) bits.push_back(word - 1);  // always the MSB
 
+  const std::vector<fx::StuckType> types = {fx::StuckType::kStuckAt0,
+                                            fx::StuckType::kStuckAt1};
+  const auto type_name = [](fx::StuckType t) {
+    return t == fx::StuckType::kStuckAt0 ? "sa0" : "sa1";
+  };
+
+  // Single source of truth for scenario keys: the same lambda builds
+  // the grid and rebuilds the tables, so they can never disagree.
+  const auto cell_key = [&](core::DatasetKind kind, fx::StuckType type,
+                            int bit, int rep) {
+    return std::string(core::dataset_name(kind)) + "/" + type_name(type) +
+           "/bit=" + std::to_string(bit) + "/rep=" + std::to_string(rep);
+  };
+
+  std::vector<core::Scenario> scenarios;
+  for (const auto kind : kinds) {
+    for (const auto type : types) {
+      for (const int bit : bits) {
+        for (int rep = 0; rep < repeats; ++rep) {
+          core::Scenario s;
+          s.key = cell_key(kind, type, bit, rep);
+          s.dataset = kind;
+          s.stuck = type;
+          s.bit = bit;
+          s.fault_count = n_faulty;
+          s.repeat = rep;
+          // Seeded per repeat only: every bit position and stuck level is
+          // evaluated on the SAME faulty-PE locations, so the x-axis
+          // isolates the bit effect (as in the paper's setup).
+          s.fault_seed = 1000 + static_cast<std::uint64_t>(rep);
+          scenarios.push_back(s);
+        }
+      }
+    }
+  }
+
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path("fig5a_bit_position"),
+                        {"dataset", "type", "bit", "accuracy"});
+  fb::probe_sweep_json(cli, "fig5a_bit_position");
+
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  const core::SweepContext& ctx = runner.prepare(scenarios);
+
+  const std::map<core::DatasetKind, data::Dataset> eval_sets =
+      fb::eval_subsets(ctx, eval_n);
+
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& c) {
+    snn::Network net = c.clone_network(s.dataset);
+    common::Rng rng(s.fault_seed);
+    fault::FaultSpec spec;
+    spec.bit = s.bit;
+    spec.word_bits = word;
+    spec.type = s.stuck;
+    const fault::FaultMap map = fault::random_fault_map(
+        array.rows, array.cols, s.fault_count, spec, rng);
+    const double acc = core::evaluate_with_faults(
+        net, eval_sets.at(s.dataset), array, map,
+        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+    core::ScenarioResult out;
+    out.metrics = {{"accuracy", acc}};
+    return out;
+  };
+
+  const core::ResultTable results = runner.run(scenarios, fn);
+
   std::vector<std::string> header = {"series"};
   for (const int b : bits) header.push_back("bit" + std::to_string(b));
   common::TextTable table(header);
-  common::CsvWriter csv(fb::csv_path("fig5a_bit_position"),
-                        [&] {
-                          std::vector<std::string> h = {"dataset", "type",
-                                                        "bit", "accuracy"};
-                          return h;
-                        }());
 
-  for (const auto kind :
-       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-        core::DatasetKind::kDvsGesture}) {
-    core::Workload wl = core::prepare_workload(kind, fb::workload_options(cli));
-    fb::print_baseline(wl);
-    const data::Dataset eval_set = fb::subset(wl.data.test, eval_n);
-
-    for (const auto type :
-         {fx::StuckType::kStuckAt0, fx::StuckType::kStuckAt1}) {
-      const char* tname = type == fx::StuckType::kStuckAt0 ? "sa0" : "sa1";
+  for (const auto kind : kinds) {
+    for (const auto type : types) {
       std::vector<double> row;
       for (const int bit : bits) {
         common::RunningStats acc;
         for (int rep = 0; rep < repeats; ++rep) {
-          // Seeded per repeat only: every bit position and stuck level is
-          // evaluated on the SAME faulty-PE locations, so the x-axis
-          // isolates the bit effect (as in the paper's setup).
-          common::Rng rng(1000 + rep);
-          fault::FaultSpec spec;
-          spec.bit = bit;
-          spec.word_bits = word;
-          spec.type = type;
-          const fault::FaultMap map = fault::random_fault_map(
-              array.rows, array.cols, n_faulty, spec, rng);
-          acc.add(core::evaluate_with_faults(
-              wl.net, eval_set, array, map,
-              systolic::SystolicGemmEngine::FaultHandling::kCorrupt));
+          acc.add(results.get(cell_key(kind, type, bit, rep))
+                      .metrics.front()
+                      .second);
         }
         row.push_back(acc.mean());
-        csv.row({std::string(core::dataset_name(kind)), tname,
+        csv.row({std::string(core::dataset_name(kind)), type_name(type),
                  std::to_string(bit), common::CsvWriter::format(acc.mean())});
       }
-      table.row_labeled(std::string(tname) + "-" + core::dataset_name(kind),
+      table.row_labeled(std::string(type_name(type)) + "-" +
+                            core::dataset_name(kind),
                         row, 1);
     }
   }
@@ -85,6 +138,7 @@ int main(int argc, char** argv) {
               "%s array):\n",
               n_faulty, array.to_string().c_str());
   table.print();
+  fb::emit_sweep_summary(cli, "fig5a_bit_position", results);
   std::printf("\nExpected shape (paper): accuracy near baseline at LSBs, "
               "collapse at MSBs; sa1 worse than sa0.\n");
   return 0;

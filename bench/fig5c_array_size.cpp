@@ -4,6 +4,10 @@
 // arrays fold more weights onto each PE (higher reuse), so the same
 // absolute number of faults does far more damage — the paper's
 // array-reuse argument.
+//
+// Every (dataset, array size, fault map) cell is an independent scenario
+// on core::SweepRunner; per-repeat accuracies are averaged in repeat
+// order afterwards, so tables are byte-identical at any --sweep-parallel.
 
 #include "bench_common.h"
 #include "core/mitigation.h"
@@ -28,37 +32,80 @@ int main(int argc, char** argv) {
   const int n_faulty = static_cast<int>(cli.get_int("faulty-pes"));
   const int eval_n = static_cast<int>(cli.get_int("eval-samples"));
   const std::vector<int> sizes = {4, 8, 16, 32, 64, 256};
+  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
+      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+            core::DatasetKind::kDvsGesture});
+
+  // Single source of truth for scenario keys: the same lambda builds
+  // the grid and rebuilds the tables, so they can never disagree.
+  const auto cell_key = [](core::DatasetKind kind, int n, int rep) {
+    return std::string(core::dataset_name(kind)) + "/array=" +
+           std::to_string(n) + "/rep=" + std::to_string(rep);
+  };
+
+  std::vector<core::Scenario> scenarios;
+  for (const auto kind : kinds) {
+    for (const int n : sizes) {
+      for (int rep = 0; rep < repeats; ++rep) {
+        core::Scenario s;
+        s.key = cell_key(kind, n, rep);
+        s.dataset = kind;
+        s.array_size = n;
+        s.fault_count = n_faulty;
+        s.repeat = rep;
+        s.fault_seed = 3000 + static_cast<std::uint64_t>(7 * n + rep);
+        scenarios.push_back(s);
+      }
+    }
+  }
+
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path("fig5c_array_size"),
+                        {"dataset", "array", "total_pes", "accuracy",
+                         "stddev"});
+  fb::probe_sweep_json(cli, "fig5c_array_size");
+
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  const core::SweepContext& ctx = runner.prepare(scenarios);
+
+  const std::map<core::DatasetKind, data::Dataset> eval_sets =
+      fb::eval_subsets(ctx, eval_n);
+
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& c) {
+    snn::Network net = c.clone_network(s.dataset);
+    systolic::ArrayConfig array;
+    array.rows = array.cols = s.array_size;
+    const fault::FaultSpec spec =
+        fault::worst_case_spec(array.format.total_bits());
+    common::Rng rng(s.fault_seed);
+    const fault::FaultMap map = fault::random_fault_map(
+        s.array_size, s.array_size, s.fault_count, spec, rng);
+    const double acc = core::evaluate_with_faults(
+        net, eval_sets.at(s.dataset), array, map,
+        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+    core::ScenarioResult out;
+    out.metrics = {{"accuracy", acc}};
+    return out;
+  };
+
+  const core::ResultTable results = runner.run(scenarios, fn);
 
   std::vector<std::string> header = {"dataset"};
   for (const int s : sizes) {
     header.push_back(std::to_string(s * s));  // paper plots total PEs
   }
   common::TextTable table(header);
-  common::CsvWriter csv(fb::csv_path("fig5c_array_size"),
-                        {"dataset", "array", "total_pes", "accuracy",
-                         "stddev"});
 
-  for (const auto kind :
-       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-        core::DatasetKind::kDvsGesture}) {
-    core::Workload wl =
-        core::prepare_workload(kind, fb::workload_options(cli));
-    fb::print_baseline(wl);
-    const data::Dataset eval_set = fb::subset(wl.data.test, eval_n);
+  for (const auto kind : kinds) {
     std::vector<double> row;
     for (const int n : sizes) {
-      systolic::ArrayConfig array;
-      array.rows = array.cols = n;
-      const fault::FaultSpec spec =
-          fault::worst_case_spec(array.format.total_bits());
       common::RunningStats acc;
       for (int rep = 0; rep < repeats; ++rep) {
-        common::Rng rng(3000 + 7 * n + rep);
-        const fault::FaultMap map =
-            fault::random_fault_map(n, n, n_faulty, spec, rng);
-        acc.add(core::evaluate_with_faults(
-            wl.net, eval_set, array, map,
-            systolic::SystolicGemmEngine::FaultHandling::kCorrupt));
+        acc.add(results.get(cell_key(kind, n, rep))
+                    .metrics.front()
+                    .second);
       }
       row.push_back(acc.mean());
       csv.row({std::string(core::dataset_name(kind)),
@@ -73,6 +120,7 @@ int main(int argc, char** argv) {
               "over %d maps):\n",
               n_faulty, repeats);
   table.print();
+  fb::emit_sweep_summary(cli, "fig5c_array_size", results);
   std::printf("\nExpected shape (paper): small arrays suffer far more from "
               "the same absolute fault count (array reuse).\n");
   return 0;

@@ -3,6 +3,10 @@
 // Reproduces: FalVolt run at 10% / 30% / 60% faulty PEs (MSB sa1, 256x256
 // array) for all three datasets; reports the learned V_th of every hidden
 // convolutional and fully connected spiking layer.
+//
+// Every (dataset, rate) cell is an independent FalVolt run on
+// core::SweepRunner; --sweep-parallel N runs N cells at a time with
+// byte-identical tables.
 
 #include "bench_common.h"
 
@@ -21,60 +25,105 @@ int main(int argc, char** argv) {
 
   const bool fast = cli.get_bool("fast");
   const std::vector<double> rates = {0.10, 0.30, 0.60};
-  common::CsvWriter csv(fb::csv_path("fig6_vth_layers"),
-                        {"dataset", "fault_rate_percent", "layer", "vth",
-                         "final_accuracy"});
+  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
+      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+            core::DatasetKind::kDvsGesture});
 
-  for (const auto kind :
-       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-        core::DatasetKind::kDvsGesture}) {
-    core::Workload wl =
-        core::prepare_workload(kind, fb::workload_options(cli));
-    fb::print_baseline(wl);
-    fb::BaselineKeeper keeper(wl);
+  // Single source of truth for scenario keys: the same lambda builds
+  // the grid and rebuilds the tables, so they can never disagree.
+  const auto cell_key = [](core::DatasetKind kind, double rate) {
+    return std::string(core::dataset_name(kind)) + "/rate=" +
+           common::TextTable::format(rate * 100, 0);
+  };
+
+  std::vector<core::Scenario> scenarios;
+  for (const auto kind : kinds) {
     const int epochs =
         cli.get_int("epochs") > 0
             ? static_cast<int>(cli.get_int("epochs"))
             : core::default_retrain_epochs(kind, fast);
+    for (const double rate : rates) {
+      core::Scenario s;
+      s.key = cell_key(kind, rate);
+      s.dataset = kind;
+      s.fault_rate = rate;
+      s.fault_seed = 5000 + static_cast<std::uint64_t>(rate * 100);
+      s.retrain = true;
+      s.epochs = epochs;
+      scenarios.push_back(s);
+    }
+  }
 
-    // One table per dataset: rows = fault rates, cols = hidden layers.
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path("fig6_vth_layers"),
+                        {"dataset", "fault_rate_percent", "layer", "vth",
+                         "final_accuracy"});
+  fb::probe_sweep_json(cli, "fig6_vth_layers");
+
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& ctx) {
+    const core::Workload& wl = ctx.workload(s.dataset);
+    snn::Network net = ctx.clone_network(s.dataset);
+    common::Rng rng(s.fault_seed);
+    const systolic::ArrayConfig array = fb::experiment_array(cli);
+    const fault::FaultMap map = fault::fault_map_at_rate(
+        array.rows, array.cols, s.fault_rate,
+        fault::worst_case_spec(array.format.total_bits()), rng);
+    core::MitigationConfig cfg;
+    cfg.array = array;
+    cfg.retrain_epochs = s.epochs;
+    cfg.eval_each_epoch = false;
+    const core::MitigationResult r =
+        core::run_falvolt(net, map, wl.data.train, wl.data.test, cfg);
+
+    core::ScenarioResult out;
+    out.metrics = {{"accuracy", r.final_accuracy}};
+    for (const auto& v : r.vth_per_layer) {
+      out.metrics.emplace_back("vth:" + v.layer, v.vth);
+      out.csv_rows.push_back(
+          {std::string(core::dataset_name(s.dataset)),
+           common::CsvWriter::format(s.fault_rate * 100), v.layer,
+           common::CsvWriter::format(v.vth),
+           common::CsvWriter::format(r.final_accuracy)});
+    }
+    fb::logf(out.log, "  %-15s rate=%2.0f%% -> accuracy %.1f%%\n",
+             core::dataset_name(s.dataset), s.fault_rate * 100,
+             r.final_accuracy);
+    return out;
+  };
+
+  const core::ResultTable results = runner.run(scenarios, fn);
+
+  fb::write_scenario_rows(csv, results);
+
+  // One table per dataset: rows = fault rates, cols = hidden layers
+  // (names recovered from the "vth:<layer>" metric labels).
+  for (const auto kind : kinds) {
     std::vector<std::string> header = {"faulty"};
-    for (snn::Plif* p : wl.net.hidden_spiking_layers()) {
-      header.push_back(p->name());
+    const auto& first_metrics =
+        results.get(cell_key(kind, rates.front())).metrics;
+    for (std::size_t m = 1; m < first_metrics.size(); ++m) {
+      header.push_back(first_metrics[m].first.substr(4));
     }
     common::TextTable table(header);
-
     for (const double rate : rates) {
-      common::Rng rng(5000 + static_cast<int>(rate * 100));
-      const systolic::ArrayConfig array = fb::experiment_array(cli);
-      const fault::FaultMap map = fault::fault_map_at_rate(
-          array.rows, array.cols, rate,
-          fault::worst_case_spec(array.format.total_bits()), rng);
-      keeper.restore();
-      core::MitigationConfig cfg;
-      cfg.array = array;
-      cfg.retrain_epochs = epochs;
-      cfg.eval_each_epoch = false;
-      const core::MitigationResult r = core::run_falvolt(
-          wl.net, map, wl.data.train, wl.data.test, cfg);
+      const core::ScenarioResult& r = results.get(cell_key(kind, rate));
       std::vector<double> row;
-      for (const auto& v : r.vth_per_layer) {
-        row.push_back(v.vth);
-        csv.row({std::string(core::dataset_name(kind)),
-                 common::CsvWriter::format(rate * 100), v.layer,
-                 common::CsvWriter::format(v.vth),
-                 common::CsvWriter::format(r.final_accuracy)});
+      for (std::size_t m = 1; m < r.metrics.size(); ++m) {
+        row.push_back(r.metrics[m].second);
       }
       table.row_labeled(common::TextTable::format(rate * 100, 0) + "%",
                         row, 3);
-      std::printf("  %-15s rate=%2.0f%% -> accuracy %.1f%%\n",
-                  core::dataset_name(kind), rate * 100, r.final_accuracy);
     }
     std::printf("\nOptimized V_th per hidden layer — %s:\n",
                 core::dataset_name(kind));
     table.print();
     std::printf("\n");
   }
+  fb::emit_sweep_summary(cli, "fig6_vth_layers", results);
   std::printf("Expected shape (paper): early conv / first FC layers keep "
               "higher thresholds than later layers so redundant spikes do "
               "not reach the output.\n");

@@ -5,6 +5,11 @@
 // paper's claim: FaP collapses as the rate grows, FaPIT recovers
 // partially, and only FalVolt stays at (near-)baseline accuracy up to
 // 60% faults.
+//
+// Every (dataset, rate, method) cell is an independent scenario on
+// core::SweepRunner — all three mitigations of one rate share the same
+// fault map (seeded from the rate, as before) but run on independent
+// clones of the trained baseline.
 
 #include "bench_common.h"
 
@@ -22,69 +27,117 @@ int main(int argc, char** argv) {
 
   const bool fast = cli.get_bool("fast");
   const std::vector<double> rates = {0.10, 0.30, 0.60};
-  common::CsvWriter csv(fb::csv_path("fig7_mitigation"),
-                        {"dataset", "fault_rate_percent", "method",
-                         "best_accuracy", "baseline"});
+  const std::vector<std::string> methods = {"FaP", "FaPIT", "FalVolt"};
+  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
+      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+            core::DatasetKind::kDvsGesture});
 
-  for (const auto kind :
-       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-        core::DatasetKind::kDvsGesture}) {
-    core::Workload wl =
-        core::prepare_workload(kind, fb::workload_options(cli));
-    fb::print_baseline(wl);
-    fb::BaselineKeeper keeper(wl);
+  // Single source of truth for scenario keys: the same lambda builds
+  // the grid and rebuilds the tables, so they can never disagree.
+  const auto cell_key = [](core::DatasetKind kind, double rate,
+                           const std::string& method) {
+    return std::string(core::dataset_name(kind)) + "/rate=" +
+           common::TextTable::format(rate * 100, 0) + "/" + method;
+  };
+
+  std::vector<core::Scenario> scenarios;
+  for (const auto kind : kinds) {
     const int epochs =
         cli.get_int("epochs") > 0
             ? static_cast<int>(cli.get_int("epochs"))
             : core::default_retrain_epochs(kind, fast);
+    for (const double rate : rates) {
+      for (const std::string& method : methods) {
+        core::Scenario s;
+        s.key = cell_key(kind, rate, method);
+        s.tag = method;
+        s.dataset = kind;
+        s.fault_rate = rate;
+        s.fault_seed = 6000 + static_cast<std::uint64_t>(rate * 100);
+        s.retrain = method != "FaP";
+        s.epochs = epochs;
+        scenarios.push_back(s);
+      }
+    }
+  }
 
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path("fig7_mitigation"),
+                        {"dataset", "fault_rate_percent", "method",
+                         "best_accuracy", "baseline"});
+  fb::probe_sweep_json(cli, "fig7_mitigation");
+
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& ctx) {
+    const core::Workload& wl = ctx.workload(s.dataset);
+    snn::Network net = ctx.clone_network(s.dataset);
+    common::Rng rng(s.fault_seed);
+    const systolic::ArrayConfig array = fb::experiment_array(cli);
+    const fault::FaultMap map = fault::fault_map_at_rate(
+        array.rows, array.cols, s.fault_rate,
+        fault::worst_case_spec(array.format.total_bits()), rng);
+    core::MitigationConfig cfg;
+    cfg.array = array;
+    cfg.retrain_epochs = s.epochs;
+    // Per-epoch evaluation so we can report the best checkpoint — the
+    // weights a deployment flow would actually keep (retraining SNNs
+    // with surrogate gradients is noisy epoch to epoch).
+    cfg.eval_each_epoch = true;
+
+    double acc = 0.0;
+    if (s.tag == "FaP") {
+      acc = core::run_fap(net, map, wl.data.test).final_accuracy;
+    } else if (s.tag == "FaPIT") {
+      acc = core::run_fapit(net, map, wl.data.train, wl.data.test, cfg)
+                .best_accuracy;
+    } else {
+      acc = core::run_falvolt(net, map, wl.data.train, wl.data.test, cfg)
+                .best_accuracy;
+    }
+
+    core::ScenarioResult out;
+    out.metrics = {{"best_accuracy", acc},
+                   {"baseline", wl.baseline_accuracy}};
+    out.csv_rows = {{std::string(core::dataset_name(s.dataset)),
+                     common::CsvWriter::format(s.fault_rate * 100), s.tag,
+                     common::CsvWriter::format(acc),
+                     common::CsvWriter::format(wl.baseline_accuracy)}};
+    return out;
+  };
+
+  const core::ResultTable results = runner.run(scenarios, fn);
+
+  fb::write_scenario_rows(csv, results);
+
+  for (const auto kind : kinds) {
+    const double baseline =
+        runner.context().workload(kind).baseline_accuracy;
     common::TextTable table({"faulty", "FaP", "FaPIT", "FalVolt"});
     for (const double rate : rates) {
-      common::Rng rng(6000 + static_cast<int>(rate * 100));
-      const systolic::ArrayConfig array = fb::experiment_array(cli);
-      const fault::FaultMap map = fault::fault_map_at_rate(
-          array.rows, array.cols, rate,
-          fault::worst_case_spec(array.format.total_bits()), rng);
-      core::MitigationConfig cfg;
-      cfg.array = array;
-      cfg.retrain_epochs = epochs;
-      // Per-epoch evaluation so we can report the best checkpoint — the
-      // weights a deployment flow would actually keep (retraining SNNs
-      // with surrogate gradients is noisy epoch to epoch).
-      cfg.eval_each_epoch = true;
-
-      keeper.restore();
       const double fap =
-          core::run_fap(wl.net, map, wl.data.test).final_accuracy;
-      keeper.restore();
+          results.get(cell_key(kind, rate, "FaP")).metrics.front().second;
       const double fapit =
-          core::run_fapit(wl.net, map, wl.data.train, wl.data.test, cfg)
-              .best_accuracy;
-      keeper.restore();
+          results.get(cell_key(kind, rate, "FaPIT")).metrics.front().second;
       const double falvolt =
-          core::run_falvolt(wl.net, map, wl.data.train, wl.data.test, cfg)
-              .best_accuracy;
-
+          results.get(cell_key(kind, rate, "FalVolt"))
+              .metrics.front()
+              .second;
       table.row_labeled(common::TextTable::format(rate * 100, 0) + "%",
                         {fap, fapit, falvolt}, 1);
-      for (const auto& [method, acc] :
-           std::vector<std::pair<std::string, double>>{
-               {"FaP", fap}, {"FaPIT", fapit}, {"FalVolt", falvolt}}) {
-        csv.row({std::string(core::dataset_name(kind)),
-                 common::CsvWriter::format(rate * 100), method,
-                 common::CsvWriter::format(acc),
-                 common::CsvWriter::format(wl.baseline_accuracy)});
-      }
       std::printf("  %-15s rate=%2.0f%%  FaP %.1f | FaPIT %.1f | FalVolt "
                   "%.1f (baseline %.1f)\n",
                   core::dataset_name(kind), rate * 100, fap, fapit, falvolt,
-                  wl.baseline_accuracy);
+                  baseline);
     }
     std::printf("\nAccuracy [%%] — %s (baseline %.1f%%):\n",
-                core::dataset_name(kind), wl.baseline_accuracy);
+                core::dataset_name(kind), baseline);
     table.print();
     std::printf("\n");
   }
+  fb::emit_sweep_summary(cli, "fig7_mitigation", results);
   std::printf("Reported values are best checkpoints over the retraining run.\nExpected shape (paper): FaP degrades rapidly with rate; "
               "FaPIT recovers partially; FalVolt reaches (near-)baseline "
               "even at 60%%.\n");

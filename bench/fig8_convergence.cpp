@@ -31,9 +31,12 @@ int main(int argc, char** argv) {
   common::TextTable summary({"dataset", "FaPIT epochs-to-target",
                              "FalVolt epochs-to-target", "speedup"});
 
-  for (const auto kind :
-       {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-        core::DatasetKind::kDvsGesture}) {
+  // Unlike the grid figures, the convergence curves run serially per
+  // dataset (two long retraining runs each) — --datasets is honored,
+  // --sweep-parallel/--sweep-json are no-ops here.
+  for (const auto kind : fb::dataset_list(
+           cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+                 core::DatasetKind::kDvsGesture})) {
     core::Workload wl =
         core::prepare_workload(kind, fb::workload_options(cli));
     fb::print_baseline(wl);

@@ -1,33 +1,60 @@
 #include "common/cli.h"
 
 #include <cstdio>
+#include <iomanip>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
 namespace falvolt::common {
 
+namespace {
+
+// Shortest round-trip formatting: the fewest significant digits whose
+// std::stod gives back the exact registered double (the default ostream
+// precision of 6 silently truncated defaults like 1e-7 or 0.1234567,
+// while a flat max_digits10 would print 0.3 as 0.29999999999999999).
+std::string format_double(double v) {
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::ostringstream os;
+    os << std::setprecision(precision) << v;
+    // stod throws out_of_range for subnormals (strtod sets ERANGE) —
+    // treat that as "no round-trip at this precision", not a crash.
+    try {
+      if (std::stod(os.str()) == v) return os.str();
+    } catch (const std::exception&) {
+    }
+  }
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+}  // namespace
+
 CliFlags::CliFlags(std::string program) : program_(std::move(program)) {}
 
 void CliFlags::add_int(const std::string& name, long long def,
                        const std::string& help) {
-  flags_[name] = Flag{Type::kInt, std::to_string(def), help};
+  const std::string text = std::to_string(def);
+  flags_[name] = Flag{Type::kInt, text, text, help};
 }
 
 void CliFlags::add_double(const std::string& name, double def,
                           const std::string& help) {
-  std::ostringstream os;
-  os << def;
-  flags_[name] = Flag{Type::kDouble, os.str(), help};
+  const std::string text = format_double(def);
+  flags_[name] = Flag{Type::kDouble, text, text, help};
 }
 
 void CliFlags::add_string(const std::string& name, const std::string& def,
                           const std::string& help) {
-  flags_[name] = Flag{Type::kString, def, help};
+  flags_[name] = Flag{Type::kString, def, def, help};
 }
 
 void CliFlags::add_bool(const std::string& name, bool def,
                         const std::string& help) {
-  flags_[name] = Flag{Type::kBool, def ? "true" : "false", help};
+  const std::string text = def ? "true" : "false";
+  flags_[name] = Flag{Type::kBool, text, text, help};
 }
 
 bool CliFlags::parse(int argc, const char* const* argv) {
@@ -55,11 +82,22 @@ bool CliFlags::parse(int argc, const char* const* argv) {
     }
     Flag& f = it->second;
     if (f.type == Type::kBool && !has_value) {
-      f.value = "true";
+      // Accept the two-token form `--flag false` / `--flag true`; any
+      // other following token leaves the switch semantics intact (the
+      // token is NOT consumed, so `--fast --epochs 3` still works).
+      if (i + 1 < argc && (std::string(argv[i + 1]) == "true" ||
+                           std::string(argv[i + 1]) == "false")) {
+        f.value = argv[++i];
+      } else {
+        f.value = "true";
+      }
       continue;
     }
     if (!has_value) {
-      if (i + 1 >= argc) {
+      // A following token that is itself a flag means the value was
+      // forgotten — consuming it would silently swallow that flag (e.g.
+      // `--sweep-json --fast` turning "--fast" into a file name).
+      if (i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0) {
         throw std::invalid_argument("flag --" + name + " expects a value");
       }
       value = argv[++i];
@@ -113,7 +151,7 @@ std::string CliFlags::usage() const {
   std::ostringstream os;
   os << "usage: " << program_ << " [flags]\n";
   for (const auto& [name, f] : flags_) {
-    os << "  --" << name << " (default " << f.value << "): " << f.help << "\n";
+    os << "  --" << name << " (default " << f.def << "): " << f.help << "\n";
   }
   return os.str();
 }

@@ -43,7 +43,8 @@ class CliFlags {
   enum class Type { kInt, kDouble, kString, kBool };
   struct Flag {
     Type type;
-    std::string value;  // canonical textual value
+    std::string value;  // canonical textual value (mutated by parse)
+    std::string def;    // registered default, kept verbatim for usage()
     std::string help;
   };
   const Flag& find(const std::string& name, Type type) const;

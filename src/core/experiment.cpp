@@ -1,7 +1,9 @@
 #include "core/experiment.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <vector>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -66,24 +68,6 @@ data::DatasetSplit build_data(DatasetKind kind, bool fast,
   throw std::logic_error("build_data: bad kind");
 }
 
-snn::Network build_net(DatasetKind kind, const data::Dataset& train,
-                       std::uint64_t seed) {
-  snn::ZooConfig zc;
-  zc.seed = seed;
-  switch (kind) {
-    case DatasetKind::kMnist:
-    case DatasetKind::kNMnist:
-      return snn::make_digit_classifier(dataset_name(kind), train.channels(),
-                                        train.height(), train.num_classes(),
-                                        zc);
-    case DatasetKind::kDvsGesture:
-      return snn::make_gesture_classifier(dataset_name(kind),
-                                          train.channels(), train.height(),
-                                          train.num_classes(), zc);
-  }
-  throw std::logic_error("build_net: bad kind");
-}
-
 int baseline_epochs(DatasetKind kind, bool fast) {
   switch (kind) {
     case DatasetKind::kMnist:
@@ -101,6 +85,24 @@ int baseline_epochs(DatasetKind kind, bool fast) {
 constexpr double kBaselineLr = 2e-2;
 
 }  // namespace
+
+snn::Network build_network(DatasetKind kind, const data::Dataset& train,
+                           std::uint64_t seed) {
+  snn::ZooConfig zc;
+  zc.seed = seed;
+  switch (kind) {
+    case DatasetKind::kMnist:
+    case DatasetKind::kNMnist:
+      return snn::make_digit_classifier(dataset_name(kind), train.channels(),
+                                        train.height(), train.num_classes(),
+                                        zc);
+    case DatasetKind::kDvsGesture:
+      return snn::make_gesture_classifier(dataset_name(kind),
+                                          train.channels(), train.height(),
+                                          train.num_classes(), zc);
+  }
+  throw std::logic_error("build_network: bad kind");
+}
 
 std::string resolve_cache_dir(const WorkloadOptions& opts) {
   // Three cases, each honored: the sentinel defers to the environment
@@ -149,42 +151,69 @@ void save_params(snn::Network& net, const std::string& path) {
 }
 
 bool load_params(snn::Network& net, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return false;
+  // Every length field is validated against the bytes actually left in
+  // the file BEFORE any allocation or payload read, so a corrupt or
+  // truncated cache entry degrades to "no cache" (caller retrains and
+  // rewrites it) instead of throwing or allocating a garbage-sized
+  // buffer from a damaged length word.
+  std::uint64_t remaining = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
   std::uint32_t magic = 0;
   std::uint32_t count = 0;
+  if (remaining < sizeof(magic) + sizeof(count)) return false;
   in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   in.read(reinterpret_cast<char*>(&count), sizeof(count));
-  if (!in || magic != kMagic) {
-    throw std::runtime_error("load_params: bad file header in " + path);
-  }
+  remaining -= sizeof(magic) + sizeof(count);
+  if (!in || magic != kMagic) return false;
   const auto params = net.params();
   if (count != params.size()) {
     throw std::runtime_error("load_params: parameter count mismatch in " +
                              path);
   }
+  // Stage every payload first and commit only after the whole file
+  // validates — a failure halfway must not leave the network partially
+  // overwritten (the caller retrains from the current initialization).
+  std::vector<std::vector<float>> staged;
+  staged.reserve(params.size());
   for (snn::Param* p : params) {
     std::uint32_t name_len = 0;
+    if (remaining < sizeof(name_len)) return false;
     in.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+    remaining -= sizeof(name_len);
+    if (name_len > remaining) return false;
     std::string name(name_len, '\0');
     in.read(name.data(), name_len);
+    remaining -= name_len;
     std::uint32_t size = 0;
+    if (remaining < sizeof(size)) return false;
     in.read(reinterpret_cast<char*>(&size), sizeof(size));
-    if (!in || name != p->name || size != p->value.size()) {
+    remaining -= sizeof(size);
+    if (std::uint64_t{size} * sizeof(float) > remaining) return false;
+    if (!in) return false;
+    if (name != p->name || size != p->value.size()) {
       throw std::runtime_error("load_params: parameter mismatch at " +
                                p->name + " in " + path);
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
+    std::vector<float> payload(size);
+    in.read(reinterpret_cast<char*>(payload.data()),
             static_cast<std::streamsize>(size * sizeof(float)));
+    remaining -= std::uint64_t{size} * sizeof(float);
+    if (!in) return false;
+    staged.push_back(std::move(payload));
   }
-  return static_cast<bool>(in);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::copy(staged[i].begin(), staged[i].end(), params[i]->value.data());
+  }
+  return true;
 }
 
 Workload prepare_workload(DatasetKind kind, const WorkloadOptions& opts) {
   if (opts.threads > 0) compute::set_global_threads(opts.threads);
   Workload w{kind, build_data(kind, opts.fast, opts.seed),
              snn::Network(), 0.0, 0};
-  w.net = build_net(kind, w.data.train, opts.seed);
+  w.net = build_network(kind, w.data.train, opts.seed);
   w.baseline_epochs = baseline_epochs(kind, opts.fast);
 
   const std::string cache_dir = resolve_cache_dir(opts);
@@ -196,7 +225,15 @@ Workload prepare_workload(DatasetKind kind, const WorkloadOptions& opts) {
 
   bool loaded = false;
   if (!cache_file.empty() && !opts.ignore_cache) {
-    loaded = load_params(w.net, cache_file);
+    try {
+      loaded = load_params(w.net, cache_file);
+    } catch (const std::runtime_error&) {
+      // A cache entry that parses but disagrees with the network (rotted
+      // count/name bytes, or a stale file from an older architecture) is
+      // as useless as a truncated one: retrain and rewrite it. The throw
+      // stays in load_params for callers loading explicit checkpoints.
+      loaded = false;
+    }
   }
   if (!loaded) {
     snn::Adam opt(kBaselineLr);

@@ -45,6 +45,13 @@ struct WorkloadOptions {
   /// before training): 0 keeps the current pool ($FALVOLT_THREADS or the
   /// hardware concurrency on first use).
   int threads = 0;
+  /// Concurrent scenarios for core::SweepRunner: 1 runs the grid
+  /// serially (GEMM-level parallelism stays fully available), N > 1 runs
+  /// N scenarios at a time with their GEMMs inlined on the scenario
+  /// worker (so scenario- and GEMM-level parallelism never oversubscribe
+  /// the machine), and 0 picks $FALVOLT_SWEEP_PARALLEL or the hardware
+  /// concurrency.
+  int sweep_parallel = 1;
 };
 
 /// Resolve the effective cache directory from `opts` (see cache_dir);
@@ -60,6 +67,13 @@ std::string baseline_cache_file(const std::string& cache_dir,
 /// load) the baseline model.
 Workload prepare_workload(DatasetKind kind, const WorkloadOptions& opts = {});
 
+/// Construct the (untrained) paper architecture for `kind` on `train`
+/// with deterministic initialization. Restoring a snapshot taken from a
+/// prepare_workload() network onto this yields an independent clone of
+/// the trained baseline — the per-scenario copy SweepRunner hands out.
+snn::Network build_network(DatasetKind kind, const data::Dataset& train,
+                           std::uint64_t seed);
+
 /// Default number of retraining epochs used by the mitigation figures
 /// for this workload (DVS needs more, as in the paper).
 int default_retrain_epochs(DatasetKind kind, bool fast);
@@ -67,9 +81,14 @@ int default_retrain_epochs(DatasetKind kind, bool fast);
 /// Serialize all network parameters to a flat binary file.
 void save_params(snn::Network& net, const std::string& path);
 
-/// Load parameters saved by save_params; throws if the file does not
-/// match the network's parameter inventory. Returns false if the file
-/// does not exist.
+/// Load parameters saved by save_params. Returns false — meaning "no
+/// usable cache, retrain" — if the file is missing, has a bad header, or
+/// is corrupt/truncated (every length field is validated against the
+/// remaining file bytes before it is trusted). The load is atomic: on
+/// any failure the network's parameters are left untouched, so a
+/// subsequent retrain starts from the pristine initialization. Throws
+/// only when a structurally valid file disagrees with the network's
+/// parameter inventory (that is a caller bug, not cache rot).
 bool load_params(snn::Network& net, const std::string& path);
 
 }  // namespace falvolt::core

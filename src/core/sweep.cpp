@@ -1,0 +1,339 @@
+#include "core/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "common/csv.h"
+#include "common/env.h"
+#include "common/timer.h"
+#include "compute/thread_pool.h"
+
+namespace falvolt::core {
+
+namespace {
+
+// splitmix64 finalizer — turns the raw key hash into a well-mixed seed.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t scenario_seed(const Scenario& s) {
+  // FNV-1a over the key, then fold in the explicit fault seed so two
+  // scenarios differing only in fault_seed get distinct streams too.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s.key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return mix64(h + 0x9e3779b97f4a7c15ULL * (s.fault_seed + 1));
+}
+
+common::Rng scenario_rng(const Scenario& s) {
+  return common::Rng(scenario_seed(s));
+}
+
+// ------------------------------------------------------------ ResultTable
+
+void ResultTable::put(std::size_t index, ScenarioResult result) {
+  std::lock_guard<std::mutex> lock(*mu_);
+  rows_.at(index) = std::move(result);
+}
+
+const ScenarioResult& ResultTable::at(std::size_t index) const {
+  return rows_.at(index);
+}
+
+const ScenarioResult* ResultTable::find(const std::string& key) const {
+  for (const ScenarioResult& r : rows_) {
+    if (r.scenario.key == key) return &r;
+  }
+  return nullptr;
+}
+
+const ScenarioResult& ResultTable::get(const std::string& key) const {
+  const ScenarioResult* r = find(key);
+  if (!r) throw std::out_of_range("ResultTable: no scenario " + key);
+  return *r;
+}
+
+std::string ResultTable::to_csv() const {
+  // Columns are the union of all metric names in first-seen order, so
+  // sweeps with heterogeneous metrics (e.g. the ablation arms) still
+  // emit rectangular CSV — a scenario missing a metric gets an empty
+  // cell.
+  std::vector<std::string> columns;
+  for (const ScenarioResult& r : rows_) {
+    for (const auto& [name, value] : r.metrics) {
+      (void)value;
+      if (std::find(columns.begin(), columns.end(), name) ==
+          columns.end()) {
+        columns.push_back(name);
+      }
+    }
+  }
+  std::string out = "key,tag,dataset";
+  for (const std::string& name : columns) {
+    out += ',';
+    out += name;
+  }
+  out += '\n';
+  for (const ScenarioResult& r : rows_) {
+    out += r.scenario.key;
+    out += ',';
+    out += r.scenario.tag;
+    out += ',';
+    out += dataset_name(r.scenario.dataset);
+    for (const std::string& name : columns) {
+      out += ',';
+      for (const auto& [metric, value] : r.metrics) {
+        if (metric == name) {
+          out += common::CsvWriter::format(value);
+          break;
+        }
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string ResultTable::to_json(const std::string& bench_name) const {
+  std::string json = "{\n  \"bench\": \"" + json_escape(bench_name) +
+                     "\",\n  \"sweep_parallel\": " +
+                     std::to_string(sweep_parallel_) +
+                     ",\n  \"threads\": " + std::to_string(threads_) +
+                     ",\n  \"scenario_count\": " +
+                     std::to_string(rows_.size()) +
+                     ",\n  \"total_seconds\": " + json_number(total_seconds_) +
+                     ",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    const ScenarioResult& r = rows_[i];
+    json += "    {\"key\": \"" + json_escape(r.scenario.key) +
+            "\", \"tag\": \"" + json_escape(r.scenario.tag) +
+            "\", \"dataset\": \"" + dataset_name(r.scenario.dataset) +
+            "\", \"repeat\": " + std::to_string(r.scenario.repeat) +
+            ", \"retrain\": " +
+            (r.scenario.retrain ? "true" : "false") +
+            ", \"seconds\": " + json_number(r.seconds) +
+            ", \"metrics\": {";
+    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+      json += (m ? ", \"" : "\"") + json_escape(r.metrics[m].first) +
+              "\": " + json_number(r.metrics[m].second);
+    }
+    json += "}}";
+    json += i + 1 == rows_.size() ? "\n" : ",\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+void ResultTable::write_json(const std::string& path,
+                             const std::string& bench_name) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("ResultTable: cannot open " + path);
+  out << to_json(bench_name);
+}
+
+// ----------------------------------------------------------- SweepContext
+
+const Workload& SweepContext::workload(DatasetKind kind) const {
+  const auto it = baselines_.find(kind);
+  if (it == baselines_.end()) {
+    throw std::logic_error(std::string("SweepContext: workload ") +
+                           dataset_name(kind) + " was never prepared");
+  }
+  return it->second.workload;
+}
+
+snn::Network SweepContext::clone_network(DatasetKind kind) const {
+  const auto it = baselines_.find(kind);
+  if (it == baselines_.end()) {
+    throw std::logic_error(std::string("SweepContext: workload ") +
+                           dataset_name(kind) + " was never prepared");
+  }
+  snn::Network net =
+      build_network(kind, it->second.workload.data.train, opts_.seed);
+  net.restore_params(it->second.snapshot);
+  return net;
+}
+
+// ------------------------------------------------------------ SweepRunner
+
+SweepRunner::SweepRunner(WorkloadOptions opts) : opts_(std::move(opts)) {
+  ctx_.opts_ = opts_;
+}
+
+const SweepContext& SweepRunner::prepare(
+    const std::vector<Scenario>& scenarios) {
+  if (!prepare_baselines_) return ctx_;
+  for (const Scenario& s : scenarios) {
+    if (ctx_.baselines_.count(s.dataset)) continue;
+    Workload wl = prepare_workload(s.dataset, opts_);
+    std::vector<tensor::Tensor> snapshot = wl.net.snapshot_params();
+    if (on_baseline_) on_baseline_(wl);
+    ctx_.order_.push_back(s.dataset);
+    ctx_.baselines_.emplace(
+        s.dataset,
+        SweepContext::Baseline{std::move(wl), std::move(snapshot)});
+  }
+  return ctx_;
+}
+
+int SweepRunner::effective_parallel(std::size_t n) const {
+  int want = opts_.sweep_parallel;
+  if (want <= 0) {
+    const long long env = common::env_int_or("FALVOLT_SWEEP_PARALLEL", 0);
+    if (env > 0) {
+      want = static_cast<int>(
+          std::min<long long>(env, compute::ThreadPool::kMaxThreads));
+    } else {
+      const unsigned hw = std::thread::hardware_concurrency();
+      want = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+  }
+  want = std::min(want, compute::ThreadPool::kMaxThreads);
+  if (n > 0) {
+    want = std::min(want, static_cast<int>(
+                              std::min<std::size_t>(n, 1u << 16)));
+  }
+  return std::max(1, want);
+}
+
+ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
+                             const ScenarioFn& fn) {
+  {
+    std::set<std::string> keys;
+    for (const Scenario& s : scenarios) {
+      if (!keys.insert(s.key).second) {
+        throw std::invalid_argument("SweepRunner: duplicate scenario key " +
+                                    s.key);
+      }
+    }
+  }
+  prepare(scenarios);
+
+  const int n = static_cast<int>(scenarios.size());
+  const int parallel = effective_parallel(scenarios.size());
+  ResultTable table(scenarios.size());
+  table.sweep_parallel_ = parallel;
+  // Workload-free sweeps must not spawn the process-wide GEMM pool just
+  // to report its size in the JSON summary; when baselines were
+  // prepared the pool already exists (training ran on it).
+  table.threads_ = prepare_baselines_ ? compute::global_threads() : 0;
+
+  common::Timer timer;
+  std::mutex err_mu;
+  std::vector<std::string> errors;
+  std::atomic<int> done{0};
+  // A failed scenario stops further claims (in-flight scenarios finish,
+  // then run() throws) — a deterministic error affecting every cell
+  // must not burn hours draining the rest of the grid first.
+  std::atomic<bool> failed{false};
+  const auto run_one = [&](int i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    common::Timer t;
+    const char* status = "";
+    try {
+      ScenarioResult r = fn(scenarios[idx], ctx_);
+      r.scenario = scenarios[idx];
+      r.seconds = t.seconds();
+      table.put(idx, std::move(r));
+    } catch (const std::exception& e) {
+      failed.store(true);
+      status = " FAILED";
+      std::lock_guard<std::mutex> lock(err_mu);
+      errors.push_back(scenarios[idx].key + ": " + e.what());
+    }
+    // Live progress goes to stderr in completion order (retraining
+    // grids run for hours otherwise silent); the deterministic
+    // per-scenario logs still print to stdout in scenario order below.
+    std::fprintf(stderr, "[sweep %d/%d] %s (%.1f s)%s\n",
+                 done.fetch_add(1) + 1, n, scenarios[idx].key.c_str(),
+                 t.seconds(), status);
+  };
+
+  if (parallel <= 1) {
+    for (int i = 0; i < n && !failed.load(); ++i) run_one(i);
+  } else {
+    // Scenario bodies run on pool workers, so nested GEMM parallel_for
+    // calls execute inline — the sweep never runs more than `parallel`
+    // threads of compute at once. Scenarios are claimed one at a time
+    // through our own atomic counter (parallel_for only dispatches one
+    // worker slot per thread): its internal chunk heuristic would batch
+    // several scenarios per claim on large grids, and scenarios are far
+    // too coarse and heterogeneous for that — a cheap eval cell must
+    // not wait behind a slow retraining cell in the same chunk.
+    std::atomic<int> next{0};
+    compute::ThreadPool pool(parallel);
+    pool.parallel_for(0, parallel, 1, [&](int, int) {
+      while (!failed.load()) {
+        const int i = next.fetch_add(1);
+        if (i >= n) break;
+        run_one(i);
+      }
+    });
+  }
+  if (!errors.empty()) {
+    std::string what =
+        "sweep failed (" + std::to_string(errors.size()) + " scenario(s))";
+    for (const std::string& e : errors) {
+      what += "\n  ";
+      what += e;
+    }
+    throw std::runtime_error(what);
+  }
+  table.total_seconds_ = timer.seconds();
+
+  // Buffered logs, in scenario order: deterministic under any worker
+  // count.
+  for (const ScenarioResult& r : table.rows()) {
+    if (!r.log.empty()) std::fputs(r.log.c_str(), stdout);
+  }
+  return table;
+}
+
+}  // namespace falvolt::core

@@ -1,0 +1,208 @@
+#pragma once
+// Scenario-parallel sweep orchestration for the figure benches.
+//
+// Every figure in the paper is a grid of independent scenarios —
+// threshold-voltage points x fault maps x datasets. SweepRunner executes
+// such a grid concurrently on a compute::ThreadPool while keeping the
+// result tables byte-identical to a serial run:
+//
+//  - The baseline model of each dataset is trained (or cache-loaded)
+//    exactly once, serially, with full GEMM-level parallelism; every
+//    scenario then works on an independent clone restored from the
+//    immutable parameter snapshot.
+//  - All randomness inside a scenario is seeded from the scenario itself
+//    (its explicit `fault_seed`, or a stream derived from its `key` via
+//    scenario_rng), never from shared mutable state, so results do not
+//    depend on execution order or worker count.
+//  - Scenario- and GEMM-level parallelism compose without oversubscribing
+//    the machine: when scenarios run on pool workers, nested GEMM
+//    parallel_for calls degrade to inline execution (see ThreadPool), so
+//    a sweep uses `sweep_parallel` threads total; a serial sweep
+//    (`sweep_parallel == 1`) keeps the full `threads`-wide GEMM pool.
+//  - Results, per-scenario logs, and CSV rows are aggregated into a
+//    thread-safe ResultTable and emitted in scenario order.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/experiment.h"
+#include "fixed/stuck_bits.h"
+
+namespace falvolt::core {
+
+/// One cell of a figure's scenario grid. `key` must be unique within a
+/// sweep; the typed fields carry the grid coordinates a bench's scenario
+/// function needs (unused fields keep their defaults).
+struct Scenario {
+  std::string key;  ///< canonical id, e.g. "MNIST/rate=30/vth=0.45"
+  std::string tag;  ///< free-form label (mitigation method, ablation arm)
+  DatasetKind dataset = DatasetKind::kMnist;
+  double vth = 0.0;          ///< threshold-voltage point (fig2)
+  double fault_rate = 0.0;   ///< faulty-PE fraction (fig2/6/7, ablation)
+  int fault_count = -1;      ///< absolute faulty-PE count (fig5a/b/c)
+  int bit = -1;              ///< stuck bit position (fig5a)
+  fx::StuckType stuck = fx::StuckType::kStuckAt1;  ///< stuck level (fig5a)
+  int array_size = 0;        ///< NxN array override (fig5c); 0 = bench flag
+  int repeat = 0;            ///< fault-map iteration index
+  std::uint64_t fault_seed = 0;  ///< explicit fault-map RNG seed
+  bool retrain = false;      ///< scenario runs a retraining mitigation
+  int epochs = 0;            ///< retraining epochs when `retrain`
+};
+
+/// Deterministic seed derived from the scenario key and fault_seed
+/// (FNV-1a over the key, splitmix64-finalized). Independent of scenario
+/// order, worker count, and every other scenario in the grid.
+std::uint64_t scenario_seed(const Scenario& s);
+
+/// Fresh RNG stream for a scenario, seeded with scenario_seed().
+common::Rng scenario_rng(const Scenario& s);
+
+/// What one scenario produced. The scenario function fills metrics /
+/// csv_rows / log; SweepRunner attaches the scenario and its wall time.
+struct ScenarioResult {
+  Scenario scenario;
+  /// Ordered (name, value) pairs — the JSON summary and generic CSV
+  /// columns. Names should be stable across scenarios of one sweep.
+  std::vector<std::pair<std::string, double>> metrics;
+  /// Rows for the bench's own CSV schema, emitted in scenario order.
+  std::vector<std::vector<std::string>> csv_rows;
+  /// Buffered console output, printed in scenario order after the sweep
+  /// (so logs are deterministic under any worker count).
+  std::string log;
+  double seconds = 0.0;
+};
+
+/// Thread-safe, order-preserving aggregation of scenario results plus
+/// CSV / JSON emission. Slot `i` belongs to scenario `i` of the sweep.
+class ResultTable {
+ public:
+  ResultTable() : mu_(std::make_unique<std::mutex>()) {}
+  explicit ResultTable(std::size_t n) : ResultTable() { rows_.resize(n); }
+
+  /// Store `result` into slot `index` (thread-safe).
+  void put(std::size_t index, ScenarioResult result);
+
+  std::size_t size() const { return rows_.size(); }
+  const ScenarioResult& at(std::size_t index) const;
+  const std::vector<ScenarioResult>& rows() const { return rows_; }
+  /// First result whose scenario key matches, or nullptr.
+  const ScenarioResult* find(const std::string& key) const;
+  /// Like find(), but throws std::out_of_range on a missing key — the
+  /// lookup benches use to rebuild their tables, so a key-scheme edit
+  /// fails loudly instead of silently transposing figure cells.
+  const ScenarioResult& get(const std::string& key) const;
+
+  /// Wall-clock of the whole sweep and the parallelism it ran at (set by
+  /// SweepRunner; timing is reported in JSON only, never in CSV).
+  double total_seconds() const { return total_seconds_; }
+  int sweep_parallel() const { return sweep_parallel_; }
+
+  /// Generic CSV: key,tag,dataset + one column per metric name (the
+  /// union across all scenarios, first-seen order; a scenario missing a
+  /// metric leaves an empty cell). Deterministic (contains no timings).
+  std::string to_csv() const;
+
+  /// Machine-readable summary in the same spirit as the GEMM tier
+  /// sweep's JSON (bench name + per-entry metrics): bench name,
+  /// parallelism, total wall-clock, and one entry per scenario with its
+  /// key/tag/dataset/repeat/retrain/seconds/metrics.
+  std::string to_json(const std::string& bench_name) const;
+  void write_json(const std::string& path,
+                  const std::string& bench_name) const;
+
+ private:
+  friend class SweepRunner;
+  std::unique_ptr<std::mutex> mu_;
+  std::vector<ScenarioResult> rows_;
+  double total_seconds_ = 0.0;
+  int sweep_parallel_ = 1;
+  int threads_ = 0;
+};
+
+/// Shared immutable state scenarios read: per-dataset workloads (data +
+/// trained baseline) and the parameter snapshots used for cloning.
+class SweepContext {
+ public:
+  /// The prepared workload for `kind`; throws if it was never prepared.
+  /// Read-only by design: scenarios share it and must mutate only their
+  /// own clone_network() copies.
+  const Workload& workload(DatasetKind kind) const;
+
+  /// Dataset kinds prepared so far, in first-use order.
+  const std::vector<DatasetKind>& kinds() const { return order_; }
+
+  /// Independent copy of the trained baseline network for `kind`
+  /// (rebuilds the architecture deterministically, then restores the
+  /// trained parameter snapshot). Safe to call concurrently.
+  snn::Network clone_network(DatasetKind kind) const;
+
+ private:
+  friend class SweepRunner;
+  struct Baseline {
+    Workload workload;
+    std::vector<tensor::Tensor> snapshot;
+  };
+  WorkloadOptions opts_;
+  std::map<DatasetKind, Baseline> baselines_;
+  std::vector<DatasetKind> order_;
+};
+
+/// Executes a scenario grid, sharing baselines through a SweepContext.
+class SweepRunner {
+ public:
+  /// Computes ScenarioResult for one scenario. Runs concurrently with
+  /// other scenarios: it must only read the context (clone_network for a
+  /// private network) and derive randomness from the scenario.
+  using ScenarioFn =
+      std::function<ScenarioResult(const Scenario&, const SweepContext&)>;
+
+  explicit SweepRunner(WorkloadOptions opts);
+
+  /// Train/load the baseline of every dataset appearing in `scenarios`
+  /// (serial, full GEMM parallelism; each dataset prepared once).
+  /// `on_baseline` — when set via set_on_baseline — observes each
+  /// freshly prepared workload (benches print their baseline banner).
+  const SweepContext& prepare(const std::vector<Scenario>& scenarios);
+
+  void set_on_baseline(std::function<void(const Workload&)> cb) {
+    on_baseline_ = std::move(cb);
+  }
+
+  /// Skip workload preparation entirely — for grids whose scenario
+  /// function never touches a dataset or baseline network (pure cost
+  /// models, wall-clock harnesses). clone_network/workload then throw.
+  void set_prepare_baselines(bool enabled) {
+    prepare_baselines_ = enabled;
+  }
+
+  /// Resolved scenario-level worker count for a grid of `n` scenarios:
+  /// opts.sweep_parallel, with 0 meaning $FALVOLT_SWEEP_PARALLEL (else
+  /// the hardware concurrency), clamped to [1, min(n, kMaxThreads)].
+  int effective_parallel(std::size_t n) const;
+
+  /// Run the grid. Prepares missing baselines, executes every scenario
+  /// (concurrently when effective_parallel > 1), prints the buffered
+  /// per-scenario logs in scenario order, and returns the filled table.
+  /// A scenario that throws fails the sweep fast: no further scenarios
+  /// are claimed (in-flight ones finish), then run() throws a
+  /// runtime_error carrying every collected scenario error.
+  ResultTable run(const std::vector<Scenario>& scenarios,
+                  const ScenarioFn& fn);
+
+  const SweepContext& context() const { return ctx_; }
+
+ private:
+  WorkloadOptions opts_;
+  SweepContext ctx_;
+  std::function<void(const Workload&)> on_baseline_;
+  bool prepare_baselines_ = true;
+};
+
+}  // namespace falvolt::core

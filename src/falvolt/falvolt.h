@@ -76,3 +76,4 @@
 #include "core/fap.h"         // IWYU pragma: export
 #include "core/mitigation.h"  // IWYU pragma: export
 #include "core/retrain.h"     // IWYU pragma: export
+#include "core/sweep.h"       // IWYU pragma: export

@@ -77,9 +77,17 @@ FaultMap fault_map_from_text(const std::string& text) {
     }
     fx::StuckBits bits;
     std::string level;
-    int bit = 0;
     bool any = false;
-    while (ls >> level >> bit) {
+    while (ls >> level) {
+      // The level token was consumed, so a missing/garbled bit index is a
+      // malformed trailing token — NOT an empty fault list (the combined
+      // `ls >> level >> bit` extraction used to conflate the two and
+      // report `pe R C sa0` as "pe line without faults").
+      int bit = 0;
+      if (!(ls >> bit)) {
+        parse_error(lineno, "stuck level '" + level +
+                                "' missing a bit index: " + line);
+      }
       any = true;
       try {
         if (level == "sa0") {

@@ -72,6 +72,13 @@ TEST(Cli, MissingValueThrows) {
   EXPECT_THROW(cli.parse(2, argv), std::invalid_argument);
 }
 
+TEST(Cli, MissingValueBeforeAnotherFlagThrows) {
+  // `--dataset --fast` must not swallow --fast as the dataset value.
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--dataset", "--fast"};
+  EXPECT_THROW(cli.parse(3, argv), std::invalid_argument);
+}
+
 TEST(Cli, PositionalArgumentThrows) {
   CliFlags cli = make_flags();
   const char* argv[] = {"prog", "stray"};
@@ -91,6 +98,53 @@ TEST(Cli, TypeMismatchOnGetThrows) {
   EXPECT_THROW(cli.get_int("dataset"), std::invalid_argument);
   EXPECT_THROW(cli.get_bool("lr"), std::invalid_argument);
   EXPECT_THROW(cli.get_int("not-registered"), std::invalid_argument);
+}
+
+TEST(Cli, BoolTwoTokenForm) {
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--fast", "false"};
+  EXPECT_TRUE(cli.parse(3, argv));
+  EXPECT_FALSE(cli.get_bool("fast"));
+
+  CliFlags cli2 = make_flags();
+  const char* argv2[] = {"prog", "--fast", "true"};
+  EXPECT_TRUE(cli2.parse(3, argv2));
+  EXPECT_TRUE(cli2.get_bool("fast"));
+}
+
+TEST(Cli, BoolSwitchStillComposesWithFollowingFlags) {
+  // A following token that is not true/false must NOT be consumed.
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--fast", "--epochs", "3"};
+  EXPECT_TRUE(cli.parse(4, argv));
+  EXPECT_TRUE(cli.get_bool("fast"));
+  EXPECT_EQ(cli.get_int("epochs"), 3);
+}
+
+TEST(Cli, UsageReportsRegisteredDefaultAfterParse) {
+  // parse() mutates Flag::value; usage() must keep showing the default.
+  CliFlags cli = make_flags();
+  const char* argv[] = {"prog", "--epochs", "12", "--fast"};
+  EXPECT_TRUE(cli.parse(4, argv));
+  const std::string u = cli.usage();
+  EXPECT_NE(u.find("--epochs (default 8)"), std::string::npos) << u;
+  EXPECT_NE(u.find("--fast (default false)"), std::string::npos) << u;
+  // The parsed values are still what get_* returns.
+  EXPECT_EQ(cli.get_int("epochs"), 12);
+  EXPECT_TRUE(cli.get_bool("fast"));
+}
+
+TEST(Cli, DoubleDefaultRoundTripsExactly) {
+  // The default ostringstream precision (6 significant digits) used to
+  // truncate registered defaults like these.
+  const double values[] = {0.1234567890123456, 1e-7, 2.0 / 3.0, 1e-3};
+  for (const double v : values) {
+    CliFlags cli("prog");
+    cli.add_double("x", v, "value");
+    const char* argv[] = {"prog"};
+    EXPECT_TRUE(cli.parse(1, argv));
+    EXPECT_EQ(cli.get_double("x"), v);
+  }
 }
 
 TEST(Cli, UsageListsFlags) {

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "snn/model_zoo.h"
@@ -126,6 +128,94 @@ TEST(Experiment, LoadMissingFileReturnsFalse) {
   zc.channels = 4;
   snn::Network net = snn::make_digit_classifier("d", 1, 16, 10, zc);
   EXPECT_FALSE(load_params(net, "/nonexistent/params.bin"));
+}
+
+TEST(Experiment, LoadReturnsFalseOnTruncatedFile) {
+  snn::ZooConfig zc;
+  zc.channels = 4;
+  zc.fc_hidden = 16;
+  snn::Network a = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  const std::string path =
+      ::testing::TempDir() + "falvolt_params_truncated.bin";
+  save_params(a, path);
+  const auto full_size = std::filesystem::file_size(path);
+
+  // Truncation anywhere — mid-header, mid-name, mid-payload — must mean
+  // "no usable cache" (false), never a throw or a garbage allocation.
+  // Re-save before each cut: resize_file only truncates a fresh copy
+  // (growing a previously shrunk file would just zero-pad it).
+  for (const std::uintmax_t keep :
+       {std::uintmax_t{3}, std::uintmax_t{9}, full_size / 2,
+        full_size - 1}) {
+    save_params(a, path);
+    std::filesystem::resize_file(path, keep);
+    snn::Network b = snn::make_digit_classifier("d", 1, 16, 10, zc);
+    EXPECT_FALSE(load_params(b, path)) << "kept " << keep << " bytes";
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, LoadReturnsFalseOnCorruptHeaderAndLengths) {
+  snn::ZooConfig zc;
+  zc.channels = 4;
+  zc.fc_hidden = 16;
+  snn::Network a = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  const std::string path = ::testing::TempDir() + "falvolt_params_corrupt.bin";
+  save_params(a, path);
+
+  const auto clobber = [&](std::streamoff offset, std::uint32_t word) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(offset);
+    f.write(reinterpret_cast<const char*>(&word), sizeof(word));
+  };
+
+  // Bad magic: corrupt file, not an inventory bug — retrain.
+  clobber(0, 0xdeadbeef);
+  snn::Network b1 = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  EXPECT_FALSE(load_params(b1, path));
+
+  // Garbage first name_len far beyond the file size must not allocate a
+  // giant buffer or read past the end.
+  save_params(a, path);
+  clobber(8, 0xffffff00u);
+  snn::Network b2 = snn::make_digit_classifier("d", 1, 16, 10, zc);
+  EXPECT_FALSE(load_params(b2, path));
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, PrepareWorkloadRetrainsOverCorruptCache) {
+  const std::string cache =
+      ::testing::TempDir() + "falvolt_workload_cache_corrupt";
+  std::filesystem::remove_all(cache);
+  WorkloadOptions opts;
+  opts.fast = true;
+  opts.cache_dir = cache;
+
+  const Workload w1 = prepare_workload(DatasetKind::kMnist, opts);
+  const std::string file =
+      baseline_cache_file(cache, DatasetKind::kMnist, true, opts.seed);
+  ASSERT_TRUE(std::filesystem::exists(file));
+  std::filesystem::resize_file(file,
+                               std::filesystem::file_size(file) / 3);
+
+  // The corrupt entry is silently discarded: training reruns with the
+  // same seeds and reproduces the exact baseline (and rewrites the
+  // cache).
+  const Workload w2 = prepare_workload(DatasetKind::kMnist, opts);
+  EXPECT_DOUBLE_EQ(w1.baseline_accuracy, w2.baseline_accuracy);
+
+  // Rot in the count word passes the length checks and makes
+  // load_params throw (inventory mismatch) — prepare_workload must
+  // swallow that too and retrain rather than abort.
+  {
+    std::fstream f(file, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(4);
+    const std::uint32_t bad_count = 9999;
+    f.write(reinterpret_cast<const char*>(&bad_count), sizeof(bad_count));
+  }
+  const Workload w3 = prepare_workload(DatasetKind::kMnist, opts);
+  EXPECT_DOUBLE_EQ(w1.baseline_accuracy, w3.baseline_accuracy);
+  std::filesystem::remove_all(cache);
 }
 
 TEST(Experiment, LoadRejectsMismatchedArchitecture) {

@@ -90,6 +90,36 @@ TEST(FaultMapIo, MalformedInputsThrowWithLineNumbers) {
       std::runtime_error);
 }
 
+TEST(FaultMapIo, MissingBitIndexReportedAsMalformedNotEmpty) {
+  // `pe R C sa0` (level token without a bit index) used to be reported
+  // as "pe line without faults"; it must be diagnosed as a malformed
+  // trailing token instead.
+  try {
+    fault_map_from_text("falvolt-faultmap v1\ndims 4 4\npe 1 1 sa0\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing a bit index"), std::string::npos) << what;
+    EXPECT_EQ(what.find("without faults"), std::string::npos) << what;
+  }
+  // Same for a level whose bit index is garbled mid-list.
+  try {
+    fault_map_from_text("falvolt-faultmap v1\ndims 4 4\npe 1 1 sa0 x\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing a bit index"), std::string::npos) << what;
+  }
+  // A genuinely empty fault list keeps its dedicated diagnostic.
+  try {
+    fault_map_from_text("falvolt-faultmap v1\ndims 4 4\npe 1 1\n");
+    FAIL() << "expected a parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("without faults"),
+              std::string::npos);
+  }
+}
+
 TEST(FaultMapIo, FileRoundTrip) {
   common::Rng rng(2);
   const FaultMap m =
