@@ -115,16 +115,17 @@ int main(int argc, char** argv) {
     scenarios.push_back(s);
   }
 
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  runner.set_store(fb::store_options(cli, "ablation_falvolt"));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path("ablation_falvolt"),
+  common::CsvWriter csv(fb::csv_path(cli, "ablation_falvolt"),
                         {"ablation", "arm", "accuracy"});
   fb::probe_sweep_json(cli, "ablation_falvolt");
 
-  core::SweepRunner runner(fb::workload_options(cli));
-  runner.set_on_baseline(fb::print_baseline);
-  const core::SweepContext& ctx = runner.prepare(scenarios);
-  const data::Dataset eval_set =
-      fb::subset(ctx.workload(core::DatasetKind::kMnist).data.test, 96);
+  fb::EvalSets eval_sets(runner.context(), 96);
 
   const auto fn = [&](const core::Scenario& s,
                       const core::SweepContext& c) {
@@ -143,6 +144,7 @@ int main(int argc, char** argv) {
           a.rows, a.cols, 8, fault::worst_case_spec(fmt.total_bits()),
           map_rng);
       const fault::FaultMap clean(a.rows, a.cols);
+      const data::Dataset& eval_set = eval_sets.of(s.dataset);
       const double acc_clean = core::evaluate_with_faults(
           net, eval_set, a, clean,
           systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
@@ -192,6 +194,11 @@ int main(int argc, char** argv) {
   };
 
   const core::ResultTable results = runner.run(scenarios, fn);
+
+  if (!fb::sweep_complete(results)) {
+    fb::emit_sweep_summary(cli, "ablation_falvolt", results);
+    return 0;
+  }
 
   const auto acc_of = [&](const char* key) {
     return results.get(key).metrics.front().second;

@@ -6,8 +6,12 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -23,6 +27,7 @@
 #include "core/fap.h"
 #include "core/sweep.h"
 #include "fault/fault_generator.h"
+#include "store/result_store.h"
 
 namespace falvolt::bench {
 
@@ -51,7 +56,147 @@ inline void add_common_flags(common::CliFlags& cli) {
   cli.add_string("sweep-json", "",
                  "machine-readable sweep summary path ('' = "
                  "<bench>_sweep.json, none = disabled)");
+  cli.add_string("store", "",
+                 "content-addressed scenario result store directory ('' = "
+                 "$FALVOLT_STORE, else disabled; none = disabled). Cells "
+                 "already in the store are replayed instead of recomputed");
+  cli.add_bool("resume", true,
+               "replay cells already present in --store; 'false' "
+               "recomputes every owned cell and overwrites its record");
+  cli.add_string("shard", "",
+                 "deterministic grid partition 'i/n': this run computes "
+                 "only cells with grid index % n == i ('' = whole grid). "
+                 "Union the shard stores with the sweep_merge tool");
+  cli.add_bool("list-scenarios", false,
+               "print the scenario grid (index, owning shard, "
+               "fingerprint, store status) and exit without computing");
 }
+
+/// Flags that never change a cell's value — execution knobs and output
+/// paths. Everything else a bench registers is hashed into the cell
+/// fingerprints, so forgetting to list a new result-affecting flag here
+/// costs only spurious recomputes, never a stale hit.
+inline bool flag_affects_results(const std::string& name) {
+  static const std::set<std::string> kExecutionOnly = {
+      "threads",  "sweep-parallel", "sweep-json",     "datasets",
+      "repeats",  "store",          "resume",         "shard",
+      "list-scenarios"};
+  // --datasets subsets the grid and --repeats sizes it; neither changes
+  // what any one (dataset, ..., rep) cell computes, so shards/subsets
+  // of a grid share cache entries with the full run.
+  return kExecutionOnly.find(name) == kExecutionOnly.end();
+}
+
+/// The (flag, value) pairs hashed into every cell fingerprint.
+/// `aggregation_only` lets a bench exempt flags that shape only its
+/// post-sweep summary, never a cell value (e.g. fig8's --target-drop) —
+/// hashing those would recompute expensive cells to change a label.
+inline std::vector<std::pair<std::string, std::string>> fingerprint_config(
+    const common::CliFlags& cli,
+    const std::set<std::string>& aggregation_only = {}) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [name, value] : cli.items()) {
+    if (flag_affects_results(name) && !aggregation_only.count(name)) {
+      out.emplace_back(name, value);
+    }
+  }
+  return out;
+}
+
+/// Resolved --store directory; empty string disables the store.
+inline std::string resolve_store_dir(const common::CliFlags& cli) {
+  const std::string& dir = cli.get_string("store");
+  if (dir == "none") return "";
+  if (!dir.empty()) return dir;
+  return common::env_or("FALVOLT_STORE", "");
+}
+
+/// Build the SweepRunner store/shard configuration from the CLI.
+inline core::SweepStoreOptions store_options(
+    const common::CliFlags& cli, const std::string& bench_name,
+    const std::set<std::string>& aggregation_only = {}) {
+  core::SweepStoreOptions st;
+  st.dir = resolve_store_dir(cli);
+  st.bench = bench_name;
+  st.config = fingerprint_config(cli, aggregation_only);
+  st.resume = cli.get_bool("resume");
+  const auto [index, count] = core::parse_shard_spec(cli.get_string("shard"));
+  st.shard_index = index;
+  st.shard_count = count;
+  if (st.dir.empty() && count > 1) {
+    throw std::invalid_argument(
+        "--shard needs --store (or $FALVOLT_STORE): a shard's results "
+        "are only useful once published to a store");
+  }
+  return st;
+}
+
+/// Handle --list-scenarios: print the grid with fingerprints, owning
+/// shards, and store status (for shard planning), then tell the caller
+/// to exit. A pure dry run: computes nothing, writes no outputs, and —
+/// unlike an actual sweep — does not even create the store directories
+/// (a store that does not exist yet simply lists every cell as MISS).
+inline bool list_scenarios(const common::CliFlags& cli,
+                           const core::SweepRunner& runner,
+                           const std::vector<core::Scenario>& scenarios) {
+  if (!cli.get_bool("list-scenarios")) return false;
+  const core::SweepStoreOptions& st = runner.store();
+  std::unique_ptr<falvolt::store::ResultStore> rs;
+  if (!st.dir.empty() && std::filesystem::is_directory(st.dir)) {
+    rs = std::make_unique<falvolt::store::ResultStore>(st.dir);
+  }
+  std::printf("# %zu scenario(s), shard %d/%d%s%s\n", scenarios.size(),
+              st.shard_index, st.shard_count,
+              st.dir.empty() ? "" : ", store ", st.dir.c_str());
+  std::printf("%-5s %-6s %-6s %-16s %s\n", "idx", "shard", "store",
+              "fingerprint", "key");
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::string fp = runner.fingerprint(scenarios[i]);
+    const int owner =
+        static_cast<int>(i % static_cast<std::size_t>(st.shard_count));
+    const char* status = rs          ? (rs->contains(fp) ? "HIT" : "MISS")
+                         : st.dir.empty() ? "-"
+                                          : "MISS";
+    std::printf("%-5zu %-6d %-6s %-16s %s\n", i, owner, status,
+                fp.substr(0, 16).c_str(), scenarios[i].key.c_str());
+  }
+  return true;
+}
+
+/// True when the table covers the full grid; otherwise print the shard
+/// hand-off notice (the caller skips its figure aggregation — only
+/// sweep_merge, or a warm re-run against the merged store, can emit the
+/// complete table).
+inline bool sweep_complete(const core::ResultTable& results) {
+  if (results.complete()) return true;
+  std::printf(
+      "\n[sweep] shard %d/%d: %zu cell(s) computed, %zu replayed, %zu "
+      "left to other shards — figure tables are emitted by sweep_merge "
+      "(or a re-run against the merged store), not by a partial shard.\n",
+      results.shard_index(), results.shard_count(),
+      results.computed_cells(), results.cached_cells(),
+      results.absent_cells());
+  return false;
+}
+
+/// Shared, read-only per-dataset eval subsets, built lazily on first use
+/// by a scenario function. Lazy matters: on a warm store re-run no
+/// scenario computes, so no dataset is prepared and no subset is built —
+/// eagerly touching ctx.workload() there would either throw or force
+/// baseline preparation the sweep proved unnecessary.
+class EvalSets {
+ public:
+  EvalSets(const core::SweepContext& ctx, int n) : ctx_(ctx), n_(n) {}
+
+  /// Thread-safe: scenario functions call this concurrently.
+  const data::Dataset& of(core::DatasetKind kind);
+
+ private:
+  const core::SweepContext& ctx_;
+  int n_;
+  std::mutex mu_;
+  std::map<core::DatasetKind, data::Dataset> sets_;
+};
 
 /// The experiment array: paper-equivalent geometry at our network scale.
 inline systolic::ArrayConfig experiment_array(const common::CliFlags& cli) {
@@ -125,17 +270,29 @@ inline void logf(std::string& log, const char* fmt, ...) {
   log += buf;
 }
 
-/// CSV file next to the executable's working directory.
-inline std::string csv_path(const std::string& bench_name) {
-  return bench_name + ".csv";
+/// "" for a whole-grid run, ".shard<i>of<n>" for a shard — shard runs
+/// produce partial outputs and must never truncate a complete table a
+/// previous full run left in the CWD.
+inline std::string shard_suffix(const common::CliFlags& cli) {
+  const auto [index, count] = core::parse_shard_spec(cli.get_string("shard"));
+  if (count <= 1) return "";
+  return ".shard" + std::to_string(index) + "of" + std::to_string(count);
 }
 
-/// Resolved --sweep-json path; empty string disables the summary.
+/// CSV file next to the executable's working directory.
+inline std::string csv_path(const common::CliFlags& cli,
+                            const std::string& bench_name) {
+  return bench_name + shard_suffix(cli) + ".csv";
+}
+
+/// Resolved --sweep-json path; empty string disables the summary. The
+/// default path is shard-suffixed like the CSV; an explicit --sweep-json
+/// is the user's choice and used verbatim.
 inline std::string sweep_json_path(const common::CliFlags& cli,
                                    const std::string& bench_name) {
   const std::string& p = cli.get_string("sweep-json");
   if (p == "none") return "";
-  return p.empty() ? bench_name + "_sweep.json" : p;
+  return p.empty() ? bench_name + shard_suffix(cli) + "_sweep.json" : p;
 }
 
 /// Validate that the sweep JSON summary path is writable. Call BEFORE
@@ -188,24 +345,6 @@ inline void print_baseline(const core::Workload& w) {
               w.data.train.time_steps());
 }
 
-/// Restore a workload's network to its trained baseline parameters.
-class BaselineKeeper {
- public:
-  explicit BaselineKeeper(core::Workload& w)
-      : net_(w.net), snapshot_(w.net.snapshot_params()) {}
-  /// Reset weights AND thresholds to the trained baseline.
-  void restore() {
-    net_.restore_params(snapshot_);
-    for (snn::Plif* p : net_.spiking_layers()) {
-      p->set_train_vth(false);
-    }
-  }
-
- private:
-  snn::Network& net_;
-  std::vector<tensor::Tensor> snapshot_;
-};
-
 /// First `n` samples of a dataset (vulnerability sweeps evaluate through
 /// the bit-level engine, so a subset keeps runtimes reasonable; samples
 /// are class-round-robin, so any prefix is balanced).
@@ -217,16 +356,14 @@ inline data::Dataset subset(const data::Dataset& ds, int n) {
   return out;
 }
 
-/// Shared, read-only test-set subsets for every dataset a sweep
-/// prepared — built once on the main thread, then read concurrently by
-/// the scenario functions.
-inline std::map<core::DatasetKind, data::Dataset> eval_subsets(
-    const core::SweepContext& ctx, int n) {
-  std::map<core::DatasetKind, data::Dataset> out;
-  for (const auto kind : ctx.kinds()) {
-    out.emplace(kind, subset(ctx.workload(kind).data.test, n));
+inline const data::Dataset& EvalSets::of(core::DatasetKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sets_.find(kind);
+  if (it == sets_.end()) {
+    it = sets_.emplace(kind, subset(ctx_.workload(kind).data.test, n_))
+             .first;
   }
-  return out;
+  return it->second;
 }
 
 }  // namespace falvolt::bench

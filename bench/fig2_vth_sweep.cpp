@@ -62,13 +62,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path("fig2_vth_sweep"),
-                        {"dataset", "fault_rate_percent", "vth", "accuracy"});
-  fb::probe_sweep_json(cli, "fig2_vth_sweep");
-
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
+  runner.set_store(fb::store_options(cli, "fig2_vth_sweep"));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path(cli, "fig2_vth_sweep"),
+                        {"dataset", "fault_rate_percent", "vth", "accuracy"});
+  fb::probe_sweep_json(cli, "fig2_vth_sweep");
 
   const auto fn = [&](const core::Scenario& s,
                       const core::SweepContext& ctx) {
@@ -103,23 +105,27 @@ int main(int argc, char** argv) {
 
   fb::write_scenario_rows(csv, results);
 
-  std::vector<std::string> header = {"series"};
-  for (const float v : vths) header.push_back(common::TextTable::format(v, 2));
-  common::TextTable table(header);
-  for (const auto kind : kinds) {
-    for (const double rate : rates) {
-      std::vector<double> row;
-      for (const float vth : vths) {
-        row.push_back(
-            results.get(cell_key(kind, rate, vth)).metrics.front().second);
-      }
-      table.row_labeled(std::string(core::dataset_name(kind)) + "@" +
-                            common::TextTable::format(rate * 100, 0) + "%",
-                        row, 1);
+  if (fb::sweep_complete(results)) {
+    std::vector<std::string> header = {"series"};
+    for (const float v : vths) {
+      header.push_back(common::TextTable::format(v, 2));
     }
+    common::TextTable table(header);
+    for (const auto kind : kinds) {
+      for (const double rate : rates) {
+        std::vector<double> row;
+        for (const float vth : vths) {
+          row.push_back(
+              results.get(cell_key(kind, rate, vth)).metrics.front().second);
+        }
+        table.row_labeled(std::string(core::dataset_name(kind)) + "@" +
+                              common::TextTable::format(rate * 100, 0) + "%",
+                          row, 1);
+      }
+    }
+    std::printf("\nRetrained accuracy [%%] per fixed threshold voltage:\n");
+    table.print();
   }
-  std::printf("\nRetrained accuracy [%%] per fixed threshold voltage:\n");
-  table.print();
   fb::emit_sweep_summary(cli, "fig2_vth_sweep", results);
   std::printf("\nExpected shape (paper): best V_th differs per dataset and "
               "fault rate; a bad fixed pick loses tens of points.\n");

@@ -79,17 +79,17 @@ int main(int argc, char** argv) {
     }
   }
 
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  runner.set_store(fb::store_options(cli, "fig5a_bit_position"));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path("fig5a_bit_position"),
+  common::CsvWriter csv(fb::csv_path(cli, "fig5a_bit_position"),
                         {"dataset", "type", "bit", "accuracy"});
   fb::probe_sweep_json(cli, "fig5a_bit_position");
 
-  core::SweepRunner runner(fb::workload_options(cli));
-  runner.set_on_baseline(fb::print_baseline);
-  const core::SweepContext& ctx = runner.prepare(scenarios);
-
-  const std::map<core::DatasetKind, data::Dataset> eval_sets =
-      fb::eval_subsets(ctx, eval_n);
+  fb::EvalSets eval_sets(runner.context(), eval_n);
 
   const auto fn = [&](const core::Scenario& s,
                       const core::SweepContext& c) {
@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
     const fault::FaultMap map = fault::random_fault_map(
         array.rows, array.cols, s.fault_count, spec, rng);
     const double acc = core::evaluate_with_faults(
-        net, eval_sets.at(s.dataset), array, map,
+        net, eval_sets.of(s.dataset), array, map,
         systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
     core::ScenarioResult out;
     out.metrics = {{"accuracy", acc}};
@@ -111,33 +111,36 @@ int main(int argc, char** argv) {
 
   const core::ResultTable results = runner.run(scenarios, fn);
 
-  std::vector<std::string> header = {"series"};
-  for (const int b : bits) header.push_back("bit" + std::to_string(b));
-  common::TextTable table(header);
+  if (fb::sweep_complete(results)) {
+    std::vector<std::string> header = {"series"};
+    for (const int b : bits) header.push_back("bit" + std::to_string(b));
+    common::TextTable table(header);
 
-  for (const auto kind : kinds) {
-    for (const auto type : types) {
-      std::vector<double> row;
-      for (const int bit : bits) {
-        common::RunningStats acc;
-        for (int rep = 0; rep < repeats; ++rep) {
-          acc.add(results.get(cell_key(kind, type, bit, rep))
-                      .metrics.front()
-                      .second);
+    for (const auto kind : kinds) {
+      for (const auto type : types) {
+        std::vector<double> row;
+        for (const int bit : bits) {
+          common::RunningStats acc;
+          for (int rep = 0; rep < repeats; ++rep) {
+            acc.add(results.get(cell_key(kind, type, bit, rep))
+                        .metrics.front()
+                        .second);
+          }
+          row.push_back(acc.mean());
+          csv.row({std::string(core::dataset_name(kind)), type_name(type),
+                   std::to_string(bit),
+                   common::CsvWriter::format(acc.mean())});
         }
-        row.push_back(acc.mean());
-        csv.row({std::string(core::dataset_name(kind)), type_name(type),
-                 std::to_string(bit), common::CsvWriter::format(acc.mean())});
+        table.row_labeled(std::string(type_name(type)) + "-" +
+                              core::dataset_name(kind),
+                          row, 1);
       }
-      table.row_labeled(std::string(type_name(type)) + "-" +
-                            core::dataset_name(kind),
-                        row, 1);
     }
+    std::printf("\nAccuracy [%%] vs accumulator fault bit (%d faulty PEs, "
+                "%s array):\n",
+                n_faulty, array.to_string().c_str());
+    table.print();
   }
-  std::printf("\nAccuracy [%%] vs accumulator fault bit (%d faulty PEs, "
-              "%s array):\n",
-              n_faulty, array.to_string().c_str());
-  table.print();
   fb::emit_sweep_summary(cli, "fig5a_bit_position", results);
   std::printf("\nExpected shape (paper): accuracy near baseline at LSBs, "
               "collapse at MSBs; sa1 worse than sa0.\n");

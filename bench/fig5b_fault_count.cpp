@@ -61,18 +61,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  runner.set_store(fb::store_options(cli, "fig5b_fault_count"));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
   // Outputs open before the sweep so an unwritable CWD fails fast.
   common::CsvWriter csv(
-      fb::csv_path("fig5b_fault_count"),
+      fb::csv_path(cli, "fig5b_fault_count"),
       {"dataset", "faulty_pes", "fault_rate_percent", "accuracy", "stddev"});
   fb::probe_sweep_json(cli, "fig5b_fault_count");
 
-  core::SweepRunner runner(fb::workload_options(cli));
-  runner.set_on_baseline(fb::print_baseline);
-  const core::SweepContext& ctx = runner.prepare(scenarios);
-
-  const std::map<core::DatasetKind, data::Dataset> eval_sets =
-      fb::eval_subsets(ctx, eval_n);
+  fb::EvalSets eval_sets(runner.context(), eval_n);
 
   const auto fn = [&](const core::Scenario& s,
                       const core::SweepContext& c) {
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     const fault::FaultMap map = fault::random_fault_map(
         array.rows, array.cols, s.fault_count, spec, rng);
     const double acc = core::evaluate_with_faults(
-        net, eval_sets.at(s.dataset), array, map,
+        net, eval_sets.of(s.dataset), array, map,
         systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
     core::ScenarioResult out;
     out.metrics = {{"accuracy", acc}};
@@ -90,31 +90,35 @@ int main(int argc, char** argv) {
 
   const core::ResultTable results = runner.run(scenarios, fn);
 
-  std::vector<std::string> header = {"dataset"};
-  for (const int c : counts) header.push_back(std::to_string(c));
-  common::TextTable table(header);
+  if (fb::sweep_complete(results)) {
+    std::vector<std::string> header = {"dataset"};
+    for (const int c : counts) header.push_back(std::to_string(c));
+    common::TextTable table(header);
 
-  for (const auto kind : kinds) {
-    std::vector<double> row;
-    for (const int count : counts) {
-      common::RunningStats acc;
-      for (int rep = 0; rep < repeats; ++rep) {
-        acc.add(results.get(cell_key(kind, count, rep))
-                    .metrics.front()
-                    .second);
+    for (const auto kind : kinds) {
+      std::vector<double> row;
+      for (const int count : counts) {
+        common::RunningStats acc;
+        for (int rep = 0; rep < repeats; ++rep) {
+          acc.add(results.get(cell_key(kind, count, rep))
+                      .metrics.front()
+                      .second);
+        }
+        row.push_back(acc.mean());
+        csv.row({std::string(core::dataset_name(kind)),
+                 std::to_string(count),
+                 common::CsvWriter::format(100.0 * count /
+                                           array.total_pes()),
+                 common::CsvWriter::format(acc.mean()),
+                 common::CsvWriter::format(acc.stddev())});
       }
-      row.push_back(acc.mean());
-      csv.row({std::string(core::dataset_name(kind)), std::to_string(count),
-               common::CsvWriter::format(100.0 * count / array.total_pes()),
-               common::CsvWriter::format(acc.mean()),
-               common::CsvWriter::format(acc.stddev())});
+      table.row_labeled(core::dataset_name(kind), row, 1);
     }
-    table.row_labeled(core::dataset_name(kind), row, 1);
+    std::printf("\nAccuracy [%%] vs number of faulty PEs (avg over %d "
+                "fault maps):\n",
+                repeats);
+    table.print();
   }
-  std::printf("\nAccuracy [%%] vs number of faulty PEs (avg over %d fault "
-              "maps):\n",
-              repeats);
-  table.print();
   fb::emit_sweep_summary(cli, "fig5b_fault_count", results);
   std::printf("\nExpected shape (paper): steep collapse by ~8 faulty PEs "
               "(0.012%% of the array); DVS-Gesture lowest throughout.\n");

@@ -59,18 +59,18 @@ int main(int argc, char** argv) {
     }
   }
 
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  runner.set_store(fb::store_options(cli, "fig5c_array_size"));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path("fig5c_array_size"),
+  common::CsvWriter csv(fb::csv_path(cli, "fig5c_array_size"),
                         {"dataset", "array", "total_pes", "accuracy",
                          "stddev"});
   fb::probe_sweep_json(cli, "fig5c_array_size");
 
-  core::SweepRunner runner(fb::workload_options(cli));
-  runner.set_on_baseline(fb::print_baseline);
-  const core::SweepContext& ctx = runner.prepare(scenarios);
-
-  const std::map<core::DatasetKind, data::Dataset> eval_sets =
-      fb::eval_subsets(ctx, eval_n);
+  fb::EvalSets eval_sets(runner.context(), eval_n);
 
   const auto fn = [&](const core::Scenario& s,
                       const core::SweepContext& c) {
@@ -83,7 +83,7 @@ int main(int argc, char** argv) {
     const fault::FaultMap map = fault::random_fault_map(
         s.array_size, s.array_size, s.fault_count, spec, rng);
     const double acc = core::evaluate_with_faults(
-        net, eval_sets.at(s.dataset), array, map,
+        net, eval_sets.of(s.dataset), array, map,
         systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
     core::ScenarioResult out;
     out.metrics = {{"accuracy", acc}};
@@ -92,34 +92,36 @@ int main(int argc, char** argv) {
 
   const core::ResultTable results = runner.run(scenarios, fn);
 
-  std::vector<std::string> header = {"dataset"};
-  for (const int s : sizes) {
-    header.push_back(std::to_string(s * s));  // paper plots total PEs
-  }
-  common::TextTable table(header);
-
-  for (const auto kind : kinds) {
-    std::vector<double> row;
-    for (const int n : sizes) {
-      common::RunningStats acc;
-      for (int rep = 0; rep < repeats; ++rep) {
-        acc.add(results.get(cell_key(kind, n, rep))
-                    .metrics.front()
-                    .second);
-      }
-      row.push_back(acc.mean());
-      csv.row({std::string(core::dataset_name(kind)),
-               std::to_string(n) + "x" + std::to_string(n),
-               std::to_string(n * n),
-               common::CsvWriter::format(acc.mean()),
-               common::CsvWriter::format(acc.stddev())});
+  if (fb::sweep_complete(results)) {
+    std::vector<std::string> header = {"dataset"};
+    for (const int s : sizes) {
+      header.push_back(std::to_string(s * s));  // paper plots total PEs
     }
-    table.row_labeled(core::dataset_name(kind), row, 1);
+    common::TextTable table(header);
+
+    for (const auto kind : kinds) {
+      std::vector<double> row;
+      for (const int n : sizes) {
+        common::RunningStats acc;
+        for (int rep = 0; rep < repeats; ++rep) {
+          acc.add(results.get(cell_key(kind, n, rep))
+                      .metrics.front()
+                      .second);
+        }
+        row.push_back(acc.mean());
+        csv.row({std::string(core::dataset_name(kind)),
+                 std::to_string(n) + "x" + std::to_string(n),
+                 std::to_string(n * n),
+                 common::CsvWriter::format(acc.mean()),
+                 common::CsvWriter::format(acc.stddev())});
+      }
+      table.row_labeled(core::dataset_name(kind), row, 1);
+    }
+    std::printf("\nAccuracy [%%] vs total number of PEs (%d faulty PEs, "
+                "avg over %d maps):\n",
+                n_faulty, repeats);
+    table.print();
   }
-  std::printf("\nAccuracy [%%] vs total number of PEs (%d faulty PEs, avg "
-              "over %d maps):\n",
-              n_faulty, repeats);
-  table.print();
   fb::emit_sweep_summary(cli, "fig5c_array_size", results);
   std::printf("\nExpected shape (paper): small arrays suffer far more from "
               "the same absolute fault count (array reuse).\n");

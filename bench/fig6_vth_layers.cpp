@@ -54,14 +54,16 @@ int main(int argc, char** argv) {
     }
   }
 
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  runner.set_store(fb::store_options(cli, "fig6_vth_layers"));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path("fig6_vth_layers"),
+  common::CsvWriter csv(fb::csv_path(cli, "fig6_vth_layers"),
                         {"dataset", "fault_rate_percent", "layer", "vth",
                          "final_accuracy"});
   fb::probe_sweep_json(cli, "fig6_vth_layers");
-
-  core::SweepRunner runner(fb::workload_options(cli));
-  runner.set_on_baseline(fb::print_baseline);
 
   const auto fn = [&](const core::Scenario& s,
                       const core::SweepContext& ctx) {
@@ -101,27 +103,29 @@ int main(int argc, char** argv) {
 
   // One table per dataset: rows = fault rates, cols = hidden layers
   // (names recovered from the "vth:<layer>" metric labels).
-  for (const auto kind : kinds) {
-    std::vector<std::string> header = {"faulty"};
-    const auto& first_metrics =
-        results.get(cell_key(kind, rates.front())).metrics;
-    for (std::size_t m = 1; m < first_metrics.size(); ++m) {
-      header.push_back(first_metrics[m].first.substr(4));
-    }
-    common::TextTable table(header);
-    for (const double rate : rates) {
-      const core::ScenarioResult& r = results.get(cell_key(kind, rate));
-      std::vector<double> row;
-      for (std::size_t m = 1; m < r.metrics.size(); ++m) {
-        row.push_back(r.metrics[m].second);
+  if (fb::sweep_complete(results)) {
+    for (const auto kind : kinds) {
+      std::vector<std::string> header = {"faulty"};
+      const auto& first_metrics =
+          results.get(cell_key(kind, rates.front())).metrics;
+      for (std::size_t m = 1; m < first_metrics.size(); ++m) {
+        header.push_back(first_metrics[m].first.substr(4));
       }
-      table.row_labeled(common::TextTable::format(rate * 100, 0) + "%",
-                        row, 3);
+      common::TextTable table(header);
+      for (const double rate : rates) {
+        const core::ScenarioResult& r = results.get(cell_key(kind, rate));
+        std::vector<double> row;
+        for (std::size_t m = 1; m < r.metrics.size(); ++m) {
+          row.push_back(r.metrics[m].second);
+        }
+        table.row_labeled(common::TextTable::format(rate * 100, 0) + "%",
+                          row, 3);
+      }
+      std::printf("\nOptimized V_th per hidden layer — %s:\n",
+                  core::dataset_name(kind));
+      table.print();
+      std::printf("\n");
     }
-    std::printf("\nOptimized V_th per hidden layer — %s:\n",
-                core::dataset_name(kind));
-    table.print();
-    std::printf("\n");
   }
   fb::emit_sweep_summary(cli, "fig6_vth_layers", results);
   std::printf("Expected shape (paper): early conv / first FC layers keep "

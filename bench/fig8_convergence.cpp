@@ -4,11 +4,29 @@
 // accuracy of FaPIT (V_th = 1.0) and FalVolt. The paper's claim: FalVolt
 // reaches the baseline-accuracy band in about half the epochs of FaPIT
 // ("2x faster").
+//
+// Every (dataset, method) curve is an independent scenario on
+// core::SweepRunner (both methods of one dataset retrain an independent
+// clone against the SAME fault map, seeded from the scenario), so the
+// bench gets --sweep-parallel, --store caching, --shard, and --resume
+// like the grid figures. The per-epoch accuracies ride in the scenario
+// metrics ("epoch001", ...), the convergence summary is rebuilt from
+// them afterwards.
 
 #include "bench_common.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
+
+namespace {
+
+std::string epoch_metric(int epoch) {  // 1-based, zero-padded
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "epoch%03d", epoch);
+  return buf;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   common::CliFlags cli("fig8_convergence");
@@ -25,84 +43,143 @@ int main(int argc, char** argv) {
 
   const bool fast = cli.get_bool("fast");
   const double rate = cli.get_double("rate");
-  common::CsvWriter csv(fb::csv_path("fig8_convergence"),
+  const std::vector<std::string> methods = {"FaPIT", "FalVolt"};
+  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
+      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+            core::DatasetKind::kDvsGesture});
+
+  // Long enough horizon that the slower method also converges.
+  const auto horizon = [&](core::DatasetKind kind) {
+    return cli.get_int("epochs") > 0
+               ? static_cast<int>(cli.get_int("epochs"))
+               : 2 * core::default_retrain_epochs(kind, fast);
+  };
+
+  // Single source of truth for scenario keys: the same lambda builds
+  // the grid and rebuilds the tables, so they can never disagree.
+  const auto cell_key = [](core::DatasetKind kind,
+                           const std::string& method) {
+    return std::string(core::dataset_name(kind)) + "/" + method;
+  };
+
+  std::vector<core::Scenario> scenarios;
+  for (const auto kind : kinds) {
+    for (const std::string& method : methods) {
+      core::Scenario s;
+      s.key = cell_key(kind, method);
+      s.tag = method;
+      s.dataset = kind;
+      s.fault_rate = rate;
+      s.fault_seed = 7000;  // both methods retrain against the SAME map
+      s.retrain = true;
+      s.epochs = horizon(kind);
+      scenarios.push_back(s);
+    }
+  }
+
+  core::SweepRunner runner(fb::workload_options(cli));
+  runner.set_on_baseline(fb::print_baseline);
+  // --target-drop only moves the post-sweep epochs-to-target summary,
+  // never a curve value: exempting it keeps the expensive retraining
+  // cells cached while the convergence target is re-picked.
+  runner.set_store(
+      fb::store_options(cli, "fig8_convergence", {"target-drop"}));
+  if (fb::list_scenarios(cli, runner, scenarios)) return 0;
+
+  // Outputs open before the sweep so an unwritable CWD fails fast.
+  common::CsvWriter csv(fb::csv_path(cli, "fig8_convergence"),
                         {"dataset", "method", "epoch", "accuracy"});
+  fb::probe_sweep_json(cli, "fig8_convergence");
 
-  common::TextTable summary({"dataset", "FaPIT epochs-to-target",
-                             "FalVolt epochs-to-target", "speedup"});
-
-  // Unlike the grid figures, the convergence curves run serially per
-  // dataset (two long retraining runs each) — --datasets is honored,
-  // --sweep-parallel/--sweep-json are no-ops here.
-  for (const auto kind : fb::dataset_list(
-           cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-                 core::DatasetKind::kDvsGesture})) {
-    core::Workload wl =
-        core::prepare_workload(kind, fb::workload_options(cli));
-    fb::print_baseline(wl);
-    fb::BaselineKeeper keeper(wl);
-    // Long enough horizon that the slower method also converges.
-    const int epochs =
-        cli.get_int("epochs") > 0
-            ? static_cast<int>(cli.get_int("epochs"))
-            : 2 * core::default_retrain_epochs(kind, fast);
-
-    common::Rng rng(7000);
+  const auto fn = [&](const core::Scenario& s,
+                      const core::SweepContext& ctx) {
+    const core::Workload& wl = ctx.workload(s.dataset);
+    snn::Network net = ctx.clone_network(s.dataset);
+    common::Rng rng(s.fault_seed);
     const systolic::ArrayConfig array = fb::experiment_array(cli);
     const fault::FaultMap map = fault::fault_map_at_rate(
-        array.rows, array.cols, rate,
+        array.rows, array.cols, s.fault_rate,
         fault::worst_case_spec(array.format.total_bits()), rng);
     core::MitigationConfig cfg;
     cfg.array = array;
-    cfg.retrain_epochs = epochs;
+    cfg.retrain_epochs = s.epochs;
     cfg.eval_each_epoch = true;  // the whole point of this figure
 
-    keeper.restore();
-    const core::MitigationResult fapit =
-        core::run_fapit(wl.net, map, wl.data.train, wl.data.test, cfg);
-    keeper.restore();
-    const core::MitigationResult falvolt =
-        core::run_falvolt(wl.net, map, wl.data.train, wl.data.test, cfg);
+    const core::MitigationResult r =
+        s.tag == "FaPIT"
+            ? core::run_fapit(net, map, wl.data.train, wl.data.test, cfg)
+            : core::run_falvolt(net, map, wl.data.train, wl.data.test,
+                                cfg);
 
-    common::TextTable curve({"epoch", "FaPIT", "FalVolt"});
-    for (int e = 0; e < epochs; ++e) {
-      curve.row_labeled(std::to_string(e + 1),
-                        {fapit.curve[static_cast<std::size_t>(e)].test_accuracy,
-                         falvolt.curve[static_cast<std::size_t>(e)]
-                             .test_accuracy},
-                        1);
-      csv.row({std::string(core::dataset_name(kind)), "FaPIT",
-               std::to_string(e + 1),
-               common::CsvWriter::format(
-                   fapit.curve[static_cast<std::size_t>(e)].test_accuracy)});
-      csv.row({std::string(core::dataset_name(kind)), "FalVolt",
-               std::to_string(e + 1),
-               common::CsvWriter::format(
-                   falvolt.curve[static_cast<std::size_t>(e)]
-                       .test_accuracy)});
+    core::ScenarioResult out;
+    out.metrics = {{"baseline", wl.baseline_accuracy}};
+    for (int e = 0; e < s.epochs; ++e) {
+      const double acc =
+          r.curve[static_cast<std::size_t>(e)].test_accuracy;
+      out.metrics.emplace_back(epoch_metric(e + 1), acc);
+      out.csv_rows.push_back({std::string(core::dataset_name(s.dataset)),
+                              s.tag, std::to_string(e + 1),
+                              common::CsvWriter::format(acc)});
     }
-    std::printf("\nAccuracy [%%] per retraining epoch — %s:\n",
-                core::dataset_name(kind));
-    curve.print();
+    return out;
+  };
 
-    const double target =
-        wl.baseline_accuracy - cli.get_double("target-drop");
-    const int e_fapit = fapit.epochs_to_reach(target);
-    const int e_falvolt = falvolt.epochs_to_reach(target);
-    const std::string speedup =
-        (e_fapit > 0 && e_falvolt > 0)
-            ? common::TextTable::format(
-                  static_cast<double>(e_fapit) / e_falvolt, 2) + "x"
-            : "n/a";
-    summary.row({std::string(core::dataset_name(kind)),
-                 e_fapit > 0 ? std::to_string(e_fapit) : ">horizon",
-                 e_falvolt > 0 ? std::to_string(e_falvolt) : ">horizon",
-                 speedup});
-    std::printf("\n");
+  const core::ResultTable results = runner.run(scenarios, fn);
+
+  fb::write_scenario_rows(csv, results);
+
+  if (fb::sweep_complete(results)) {
+    common::TextTable summary({"dataset", "FaPIT epochs-to-target",
+                               "FalVolt epochs-to-target", "speedup"});
+    for (const auto kind : kinds) {
+      const core::ScenarioResult& fapit =
+          results.get(cell_key(kind, "FaPIT"));
+      const core::ScenarioResult& falvolt =
+          results.get(cell_key(kind, "FalVolt"));
+      const int epochs = horizon(kind);
+
+      // metrics[0] is "baseline", metrics[e] is epoch e (1-based) — the
+      // scenario function writes them in exactly that order.
+      const auto epoch_acc = [&](const core::ScenarioResult& r, int e) {
+        return r.metrics[static_cast<std::size_t>(e)].second;
+      };
+      common::TextTable curve({"epoch", "FaPIT", "FalVolt"});
+      for (int e = 1; e <= epochs; ++e) {
+        curve.row_labeled(std::to_string(e),
+                          {epoch_acc(fapit, e), epoch_acc(falvolt, e)}, 1);
+      }
+      std::printf("\nAccuracy [%%] per retraining epoch — %s:\n",
+                  core::dataset_name(kind));
+      curve.print();
+
+      // Same contract as MitigationResult::epochs_to_reach: first
+      // 1-based epoch at or above the target, -1 when never reached.
+      const double target =
+          fapit.metrics.front().second - cli.get_double("target-drop");
+      const auto epochs_to_reach = [&](const core::ScenarioResult& r) {
+        for (int e = 1; e <= epochs; ++e) {
+          if (epoch_acc(r, e) >= target) return e;
+        }
+        return -1;
+      };
+      const int e_fapit = epochs_to_reach(fapit);
+      const int e_falvolt = epochs_to_reach(falvolt);
+      const std::string speedup =
+          (e_fapit > 0 && e_falvolt > 0)
+              ? common::TextTable::format(
+                    static_cast<double>(e_fapit) / e_falvolt, 2) + "x"
+              : "n/a";
+      summary.row({std::string(core::dataset_name(kind)),
+                   e_fapit > 0 ? std::to_string(e_fapit) : ">horizon",
+                   e_falvolt > 0 ? std::to_string(e_falvolt) : ">horizon",
+                   speedup});
+      std::printf("\n");
+    }
+    std::printf("Epochs to reach (baseline - %.1f) points:\n",
+                cli.get_double("target-drop"));
+    summary.print();
   }
-  std::printf("Epochs to reach (baseline - %.1f) points:\n",
-              cli.get_double("target-drop"));
-  summary.print();
+  fb::emit_sweep_summary(cli, "fig8_convergence", results);
   std::printf("\nExpected shape (paper): FalVolt converges in about half "
               "the epochs of FaPIT.\n");
   return 0;

@@ -1,0 +1,198 @@
+// sweep_merge — union sharded scenario-result stores and emit the final
+// figure tables.
+//
+// A multi-machine sweep runs `fig<X> --shard i/n --store <dir_i>` once
+// per shard; each shard publishes its cells (content-addressed) and the
+// full grid manifest into its own store. This tool then:
+//
+//   1. unions the shard stores into --into (records are re-validated
+//      before import; a corrupt shard record is skipped and reported,
+//      manifests are carried over),
+//   2. rebuilds the complete grid in manifest order from the merged
+//      store, and
+//   3. emits the generic figure table (--csv) — byte-identical to what
+//      a single unsharded sweep of the same grid produces, because every
+//      cell value is content-addressed by everything that determines
+//      it — and the machine-readable summary (--json), whose per-cell
+//      metrics/fingerprints match the unsharded run's but whose timing
+//      fields (per-cell seconds, the "run" line) reflect the shard runs
+//      that actually computed the cells.
+//
+// The bench's own figure CSV/stdout tables can afterwards be produced
+// with zero recomputation by re-running the bench against the merged
+// store (all cells hit).
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/sweep.h"
+#include "store/manifest.h"
+#include "store/result_store.h"
+
+using namespace falvolt;
+
+namespace {
+
+std::vector<std::string> split_commas(const std::string& spec) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok = spec.substr(
+        pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  common::CliFlags cli("sweep_merge");
+  cli.add_string("into", "",
+                 "destination store directory (created if missing)");
+  cli.add_string("from", "",
+                 "comma list of shard store directories to union into "
+                 "--into ('' = only emit tables from --into)");
+  cli.add_string("bench", "",
+                 "bench whose grid to emit (selects the manifest; "
+                 "required with --csv/--json unless --manifest is given)");
+  cli.add_string("manifest", "",
+                 "explicit manifest file defining the grid and its order "
+                 "(overrides --bench manifest discovery)");
+  cli.add_string("csv", "", "write the merged generic figure table here");
+  cli.add_string("json", "", "write the merged sweep JSON summary here");
+  cli.add_bool("list", false,
+               "print the merged store's record count and manifests");
+  if (!cli.parse(argc, argv)) return 0;
+
+  if (cli.get_string("into").empty()) {
+    std::fprintf(stderr, "sweep_merge: --into is required\n%s",
+                 cli.usage().c_str());
+    return 1;
+  }
+  store::ResultStore dst(cli.get_string("into"));
+
+  for (const std::string& dir : split_commas(cli.get_string("from"))) {
+    const store::ResultStore src(dir);
+    const store::ResultStore::MergeStats stats = dst.merge_from(src);
+    int manifests = 0;
+    for (const std::string& path : store::list_manifests(src)) {
+      if (const auto m = store::read_manifest(path)) {
+        store::write_manifest(dst, *m);
+        ++manifests;
+      }
+    }
+    std::printf("[merge] %s: %d record(s) imported, %d already present, "
+                "%d corrupt skipped, %d manifest(s)\n",
+                dir.c_str(), stats.copied, stats.present, stats.corrupt,
+                manifests);
+  }
+
+  if (cli.get_bool("list")) {
+    std::printf("[store] %s: %zu record(s)\n", dst.root().c_str(),
+                dst.fingerprints().size());
+    for (const std::string& path : store::list_manifests(dst)) {
+      const auto m = store::read_manifest(path);
+      std::printf("[store]   manifest %s (%s, %zu cell(s))\n", path.c_str(),
+                  m ? m->bench.c_str() : "UNREADABLE",
+                  m ? m->entries.size() : 0);
+    }
+  }
+
+  const std::string csv_path = cli.get_string("csv");
+  const std::string json_path = cli.get_string("json");
+  if (csv_path.empty() && json_path.empty()) return 0;
+
+  // Locate the grid definition.
+  std::optional<store::Manifest> manifest;
+  if (!cli.get_string("manifest").empty()) {
+    manifest = store::read_manifest(cli.get_string("manifest"));
+    if (!manifest) {
+      std::fprintf(stderr, "sweep_merge: cannot read manifest %s\n",
+                   cli.get_string("manifest").c_str());
+      return 1;
+    }
+  } else {
+    if (cli.get_string("bench").empty()) {
+      std::fprintf(stderr,
+                   "sweep_merge: --csv/--json need --bench or "
+                   "--manifest to define the grid\n");
+      return 1;
+    }
+    const std::vector<std::string> candidates =
+        store::list_manifests(dst, cli.get_string("bench"));
+    if (candidates.empty()) {
+      std::fprintf(stderr,
+                   "sweep_merge: no manifest for bench '%s' in %s (did "
+                   "the shards run with --store?)\n",
+                   cli.get_string("bench").c_str(), dst.root().c_str());
+      return 1;
+    }
+    if (candidates.size() > 1) {
+      std::fprintf(stderr,
+                   "sweep_merge: %zu grids for bench '%s' — pick one "
+                   "with --manifest:\n",
+                   candidates.size(), cli.get_string("bench").c_str());
+      for (const std::string& c : candidates) {
+        std::fprintf(stderr, "  %s\n", c.c_str());
+      }
+      return 1;
+    }
+    manifest = store::read_manifest(candidates.front());
+    if (!manifest) {
+      std::fprintf(stderr, "sweep_merge: cannot read manifest %s\n",
+                   candidates.front().c_str());
+      return 1;
+    }
+  }
+
+  // Rebuild the complete grid, in manifest (= grid) order.
+  core::ResultTable table(manifest->entries.size());
+  std::vector<std::string> missing;
+  for (std::size_t i = 0; i < manifest->entries.size(); ++i) {
+    const auto& [fp, key] = manifest->entries[i];
+    const std::optional<std::string> payload = dst.get(fp);
+    core::ScenarioResult r;
+    if (!payload || !core::decode_scenario_result(*payload, r) ||
+        r.scenario.key != key) {
+      missing.push_back(key + " (" + fp.substr(0, 16) + "...)");
+      continue;
+    }
+    table.put_cached(i, std::move(r));
+  }
+  if (!missing.empty()) {
+    std::fprintf(stderr,
+                 "sweep_merge: grid '%s' is missing %zu of %zu cell(s) — "
+                 "did every shard run and merge?\n",
+                 manifest->bench.c_str(), missing.size(),
+                 manifest->entries.size());
+    for (const std::string& m : missing) {
+      std::fprintf(stderr, "  %s\n", m.c_str());
+    }
+    return 2;
+  }
+
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) {
+      std::fprintf(stderr, "sweep_merge: cannot open %s\n",
+                   csv_path.c_str());
+      return 1;
+    }
+    out << table.to_csv();
+    std::printf("[merge] %s: %zu-cell table written to %s\n",
+                manifest->bench.c_str(), table.size(), csv_path.c_str());
+  }
+  if (!json_path.empty()) {
+    table.write_json(json_path, manifest->bench);
+    std::printf("[merge] %s: JSON summary written to %s\n",
+                manifest->bench.c_str(), json_path.c_str());
+  }
+  return 0;
+}

@@ -147,6 +147,13 @@ bool CliFlags::get_bool(const std::string& name) const {
   return find(name, Type::kBool).value == "true";
 }
 
+std::vector<std::pair<std::string, std::string>> CliFlags::items() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(flags_.size());
+  for (const auto& [name, f] : flags_) out.emplace_back(name, f.value);
+  return out;  // flags_ is an ordered map: already sorted by name
+}
+
 std::string CliFlags::usage() const {
   std::ostringstream os;
   os << "usage: " << program_ << " [flags]\n";

@@ -6,6 +6,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace falvolt::common {
@@ -36,6 +37,12 @@ class CliFlags {
   double get_double(const std::string& name) const;
   const std::string& get_string(const std::string& name) const;
   bool get_bool(const std::string& name) const;
+
+  /// Every registered flag as (name, canonical value), sorted by name.
+  /// Values reflect the parsed command line (defaults where unset) in
+  /// the same canonical text form usage() prints — the input the result
+  /// store fingerprints a bench invocation by.
+  std::vector<std::pair<std::string, std::string>> items() const;
 
   std::string usage() const;
 

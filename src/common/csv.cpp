@@ -6,13 +6,28 @@
 
 namespace falvolt::common {
 
+std::string csv_escape(const std::string& field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\r\n") != std::string::npos;
+  if (!needs_quoting) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out += '"';
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : path_(path), out_(path), columns_(header.size()) {
   if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
   for (std::size_t i = 0; i < header.size(); ++i) {
     if (i) out_ << ',';
-    out_ << header[i];
+    out_ << csv_escape(header[i]);
   }
   out_ << '\n';
 }
@@ -23,7 +38,7 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
   }
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i) out_ << ',';
-    out_ << cells[i];
+    out_ << csv_escape(cells[i]);
   }
   out_ << '\n';
 }

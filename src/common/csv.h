@@ -8,8 +8,15 @@
 
 namespace falvolt::common {
 
+/// RFC-4180 field escaping: a field containing a comma, double quote,
+/// CR, or LF is wrapped in double quotes with embedded quotes doubled;
+/// every other field passes through unchanged (so existing numeric
+/// output stays byte-identical).
+std::string csv_escape(const std::string& field);
+
 /// Streams rows to a CSV file. The header is written on construction.
 /// Values are formatted with enough precision to round-trip floats.
+/// Every cell (header included) is RFC-4180-escaped on write.
 class CsvWriter {
  public:
   CsvWriter(const std::string& path, const std::vector<std::string>& header);

@@ -112,6 +112,11 @@ std::string resolve_cache_dir(const WorkloadOptions& opts) {
   return common::env_or("FALVOLT_CACHE_DIR", "falvolt_cache");
 }
 
+std::string workload_id(DatasetKind kind, const WorkloadOptions& opts) {
+  return std::string(dataset_name(kind)) + "/fast=" +
+         (opts.fast ? "1" : "0") + "/seed=" + std::to_string(opts.seed);
+}
+
 std::string baseline_cache_file(const std::string& cache_dir,
                                 DatasetKind kind, bool fast,
                                 std::uint64_t seed) {

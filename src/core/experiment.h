@@ -58,6 +58,14 @@ struct WorkloadOptions {
 /// returns an empty string when caching is disabled.
 std::string resolve_cache_dir(const WorkloadOptions& opts);
 
+/// Canonical identity of a prepared workload: the dataset plus every
+/// WorkloadOptions field that changes the data or the trained baseline
+/// (fast scaling, seed). Execution knobs (threads, sweep_parallel,
+/// cache location) are deliberately absent — they never change results.
+/// This string is one of the fields a scenario's store fingerprint
+/// hashes, so editing what it covers invalidates affected cache entries.
+std::string workload_id(DatasetKind kind, const WorkloadOptions& opts);
+
 /// Path of the cached baseline-weights file inside `cache_dir`.
 std::string baseline_cache_file(const std::string& cache_dir,
                                 DatasetKind kind, bool fast,

@@ -4,8 +4,8 @@
 #include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
-#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -13,6 +13,9 @@
 #include "common/env.h"
 #include "common/timer.h"
 #include "compute/thread_pool.h"
+#include "store/fingerprint.h"
+#include "store/manifest.h"
+#include "store/result_store.h"
 
 namespace falvolt::core {
 
@@ -59,7 +62,213 @@ std::string json_number(double v) {
   return buf;
 }
 
+// --------------------------------------------- ScenarioResult byte codec
+//
+// Little-endian, length-prefixed throughout. The store frame around the
+// payload already carries magic/epoch/checksum (ResultStore), so the
+// codec only needs a version word of its own plus per-field lengths that
+// the reader validates against the remaining bytes.
+
+constexpr std::uint32_t kCodecVersion = 1;
+
+void put_u32(std::string& b, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    b += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void put_u64(std::string& b, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    b += static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void put_i32(std::string& b, std::int32_t v) {
+  put_u32(b, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::string& b, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(b, bits);
+}
+
+void put_str(std::string& b, const std::string& s) {
+  put_u32(b, static_cast<std::uint32_t>(s.size()));
+  b += s;
+}
+
+// Cursor over the payload; every read checks the remaining byte count
+// first, so a truncated or garbage record can only ever fail a read,
+// never over-read or allocate from a damaged length word.
+struct ByteReader {
+  const std::string& bytes;
+  std::size_t pos = 0;
+
+  std::size_t remaining() const { return bytes.size() - pos; }
+
+  bool u32(std::uint32_t& out) {
+    if (remaining() < 4) return false;
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= std::uint32_t{static_cast<unsigned char>(bytes[pos + i])}
+             << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+
+  bool u64(std::uint64_t& out) {
+    if (remaining() < 8) return false;
+    out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= std::uint64_t{static_cast<unsigned char>(bytes[pos + i])}
+             << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+
+  bool i32(std::int32_t& out) {
+    std::uint32_t raw = 0;
+    if (!u32(raw)) return false;
+    out = static_cast<std::int32_t>(raw);
+    return true;
+  }
+
+  bool f64(double& out) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&out, &bits, sizeof(out));
+    return true;
+  }
+
+  bool str(std::string& out) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (len > remaining()) return false;
+    out.assign(bytes, pos, len);
+    pos += len;
+    return true;
+  }
+};
+
 }  // namespace
+
+std::string encode_scenario_result(const ScenarioResult& r) {
+  std::string b;
+  put_u32(b, kCodecVersion);
+  put_str(b, r.scenario.key);
+  put_str(b, r.scenario.tag);
+  put_u32(b, static_cast<std::uint32_t>(r.scenario.dataset));
+  put_f64(b, r.scenario.vth);
+  put_f64(b, r.scenario.fault_rate);
+  put_i32(b, r.scenario.fault_count);
+  put_i32(b, r.scenario.bit);
+  put_u32(b, static_cast<std::uint32_t>(r.scenario.stuck));
+  put_i32(b, r.scenario.array_size);
+  put_i32(b, r.scenario.repeat);
+  put_u64(b, r.scenario.fault_seed);
+  put_u32(b, r.scenario.retrain ? 1 : 0);
+  put_i32(b, r.scenario.epochs);
+  put_str(b, r.fingerprint);
+  put_u32(b, static_cast<std::uint32_t>(r.metrics.size()));
+  for (const auto& [name, value] : r.metrics) {
+    put_str(b, name);
+    put_f64(b, value);
+  }
+  put_u32(b, static_cast<std::uint32_t>(r.csv_rows.size()));
+  for (const auto& row : r.csv_rows) {
+    put_u32(b, static_cast<std::uint32_t>(row.size()));
+    for (const std::string& cell : row) put_str(b, cell);
+  }
+  put_str(b, r.log);
+  put_f64(b, r.seconds);
+  return b;
+}
+
+bool decode_scenario_result(const std::string& bytes, ScenarioResult& out) {
+  ByteReader in{bytes};
+  std::uint32_t version = 0;
+  if (!in.u32(version) || version != kCodecVersion) return false;
+  ScenarioResult r;
+  std::uint32_t dataset = 0;
+  std::uint32_t stuck = 0;
+  std::uint32_t retrain = 0;
+  if (!in.str(r.scenario.key) || !in.str(r.scenario.tag) ||
+      !in.u32(dataset) || !in.f64(r.scenario.vth) ||
+      !in.f64(r.scenario.fault_rate) || !in.i32(r.scenario.fault_count) ||
+      !in.i32(r.scenario.bit) || !in.u32(stuck) ||
+      !in.i32(r.scenario.array_size) || !in.i32(r.scenario.repeat) ||
+      !in.u64(r.scenario.fault_seed) || !in.u32(retrain) ||
+      !in.i32(r.scenario.epochs) || !in.str(r.fingerprint)) {
+    return false;
+  }
+  if (dataset > static_cast<std::uint32_t>(DatasetKind::kDvsGesture) ||
+      stuck > 1 || retrain > 1) {
+    return false;
+  }
+  r.scenario.dataset = static_cast<DatasetKind>(dataset);
+  r.scenario.stuck = static_cast<fx::StuckType>(stuck);
+  r.scenario.retrain = retrain != 0;
+
+  std::uint32_t metric_count = 0;
+  if (!in.u32(metric_count)) return false;
+  r.metrics.reserve(std::min<std::size_t>(metric_count, in.remaining()));
+  for (std::uint32_t m = 0; m < metric_count; ++m) {
+    std::string name;
+    double value = 0.0;
+    if (!in.str(name) || !in.f64(value)) return false;
+    r.metrics.emplace_back(std::move(name), value);
+  }
+  std::uint32_t row_count = 0;
+  if (!in.u32(row_count)) return false;
+  for (std::uint32_t i = 0; i < row_count; ++i) {
+    std::uint32_t cell_count = 0;
+    if (!in.u32(cell_count)) return false;
+    std::vector<std::string> row;
+    row.reserve(std::min<std::size_t>(cell_count, in.remaining()));
+    for (std::uint32_t c = 0; c < cell_count; ++c) {
+      std::string cell;
+      if (!in.str(cell)) return false;
+      row.push_back(std::move(cell));
+    }
+    r.csv_rows.push_back(std::move(row));
+  }
+  if (!in.str(r.log) || !in.f64(r.seconds)) return false;
+  // Trailing garbage means the record is not what encode() wrote.
+  if (in.remaining() != 0) return false;
+  out = std::move(r);
+  return true;
+}
+
+std::pair<int, int> parse_shard_spec(const std::string& spec) {
+  if (spec.empty()) return {0, 1};
+  const std::size_t slash = spec.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= spec.size()) {
+    throw std::invalid_argument("shard spec must be 'i/n', got '" + spec +
+                                "'");
+  }
+  int index = 0;
+  int count = 0;
+  try {
+    std::size_t used = 0;
+    index = std::stoi(spec.substr(0, slash), &used);
+    if (used != slash) throw std::invalid_argument("trailing junk");
+    const std::string count_part = spec.substr(slash + 1);
+    count = std::stoi(count_part, &used);
+    if (used != count_part.size()) throw std::invalid_argument("junk");
+  } catch (const std::exception&) {
+    throw std::invalid_argument("shard spec must be 'i/n', got '" + spec +
+                                "'");
+  }
+  if (count < 1 || index < 0 || index >= count) {
+    throw std::invalid_argument("shard spec '" + spec +
+                                "' needs 0 <= i < n");
+  }
+  return {index, count};
+}
 
 std::uint64_t scenario_seed(const Scenario& s) {
   // FNV-1a over the key, then fold in the explicit fault seed so two
@@ -78,9 +287,39 @@ common::Rng scenario_rng(const Scenario& s) {
 
 // ------------------------------------------------------------ ResultTable
 
-void ResultTable::put(std::size_t index, ScenarioResult result) {
+void ResultTable::set_slot(std::size_t index, ScenarioResult result,
+                           SlotState state) {
   std::lock_guard<std::mutex> lock(*mu_);
   rows_.at(index) = std::move(result);
+  state_.at(index) = state;
+}
+
+void ResultTable::put(std::size_t index, ScenarioResult result) {
+  set_slot(index, std::move(result), kComputed);
+}
+
+void ResultTable::put_cached(std::size_t index, ScenarioResult result) {
+  set_slot(index, std::move(result), kCached);
+}
+
+std::size_t ResultTable::count(SlotState state) const {
+  std::size_t n = 0;
+  for (const char s : state_) {
+    if (s == state) ++n;
+  }
+  return n;
+}
+
+bool ResultTable::is_filled(std::size_t index) const {
+  return state_.at(index) != kAbsent;
+}
+
+bool ResultTable::is_cached(std::size_t index) const {
+  return state_.at(index) == kCached;
+}
+
+bool ResultTable::complete() const {
+  return count(kAbsent) == 0;
 }
 
 const ScenarioResult& ResultTable::at(std::size_t index) const {
@@ -88,8 +327,10 @@ const ScenarioResult& ResultTable::at(std::size_t index) const {
 }
 
 const ScenarioResult* ResultTable::find(const std::string& key) const {
-  for (const ScenarioResult& r : rows_) {
-    if (r.scenario.key == key) return &r;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (state_[i] != kAbsent && rows_[i].scenario.key == key) {
+      return &rows_[i];
+    }
   }
   return nullptr;
 }
@@ -104,10 +345,11 @@ std::string ResultTable::to_csv() const {
   // Columns are the union of all metric names in first-seen order, so
   // sweeps with heterogeneous metrics (e.g. the ablation arms) still
   // emit rectangular CSV — a scenario missing a metric gets an empty
-  // cell.
+  // cell. Absent slots (cells of other shards) are skipped.
   std::vector<std::string> columns;
-  for (const ScenarioResult& r : rows_) {
-    for (const auto& [name, value] : r.metrics) {
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (state_[i] == kAbsent) continue;
+    for (const auto& [name, value] : rows_[i].metrics) {
       (void)value;
       if (std::find(columns.begin(), columns.end(), name) ==
           columns.end()) {
@@ -118,15 +360,17 @@ std::string ResultTable::to_csv() const {
   std::string out = "key,tag,dataset";
   for (const std::string& name : columns) {
     out += ',';
-    out += name;
+    out += common::csv_escape(name);
   }
   out += '\n';
-  for (const ScenarioResult& r : rows_) {
-    out += r.scenario.key;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (state_[i] == kAbsent) continue;
+    const ScenarioResult& r = rows_[i];
+    out += common::csv_escape(r.scenario.key);
     out += ',';
-    out += r.scenario.tag;
+    out += common::csv_escape(r.scenario.tag);
     out += ',';
-    out += dataset_name(r.scenario.dataset);
+    out += common::csv_escape(dataset_name(r.scenario.dataset));
     for (const std::string& name : columns) {
       out += ',';
       for (const auto& [metric, value] : r.metrics) {
@@ -142,29 +386,56 @@ std::string ResultTable::to_csv() const {
 }
 
 std::string ResultTable::to_json(const std::string& bench_name) const {
-  std::string json = "{\n  \"bench\": \"" + json_escape(bench_name) +
-                     "\",\n  \"sweep_parallel\": " +
-                     std::to_string(sweep_parallel_) +
-                     ",\n  \"threads\": " + std::to_string(threads_) +
-                     ",\n  \"scenario_count\": " +
-                     std::to_string(rows_.size()) +
-                     ",\n  \"total_seconds\": " + json_number(total_seconds_) +
-                     ",\n  \"scenarios\": [\n";
+  // The per-scenario entries below are deterministic for a given set of
+  // computed cell values (replayed cells reproduce the compute seconds
+  // stored in their record); everything run-specific stays on the
+  // single "run" line so warm/cold runs diff clean without it.
+  std::string computed_keys = "[";
+  bool first = true;
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (state_[i] != kComputed) continue;
+    computed_keys += first ? "\"" : ", \"";
+    computed_keys += json_escape(rows_[i].scenario.key);
+    computed_keys += '"';
+    first = false;
+  }
+  computed_keys += ']';
+
+  std::string json =
+      "{\n  \"bench\": \"" + json_escape(bench_name) +
+      "\",\n  \"scenario_count\": " + std::to_string(rows_.size()) +
+      ",\n  \"run\": {\"sweep_parallel\": " +
+      std::to_string(sweep_parallel_) +
+      ", \"threads\": " + std::to_string(threads_) +
+      ", \"total_seconds\": " + json_number(total_seconds_) +
+      ", \"shard_index\": " + std::to_string(shard_index_) +
+      ", \"shard_count\": " + std::to_string(shard_count_) +
+      ", \"cells_computed\": " + std::to_string(computed_cells()) +
+      ", \"cells_cached\": " + std::to_string(cached_cells()) +
+      ", \"cells_absent\": " + std::to_string(absent_cells()) +
+      ", \"computed_keys\": " + computed_keys + "},\n  \"scenarios\": [\n";
   for (std::size_t i = 0; i < rows_.size(); ++i) {
     const ScenarioResult& r = rows_[i];
-    json += "    {\"key\": \"" + json_escape(r.scenario.key) +
-            "\", \"tag\": \"" + json_escape(r.scenario.tag) +
-            "\", \"dataset\": \"" + dataset_name(r.scenario.dataset) +
-            "\", \"repeat\": " + std::to_string(r.scenario.repeat) +
-            ", \"retrain\": " +
-            (r.scenario.retrain ? "true" : "false") +
-            ", \"seconds\": " + json_number(r.seconds) +
-            ", \"metrics\": {";
-    for (std::size_t m = 0; m < r.metrics.size(); ++m) {
-      json += (m ? ", \"" : "\"") + json_escape(r.metrics[m].first) +
-              "\": " + json_number(r.metrics[m].second);
+    if (state_[i] == kAbsent) {
+      json += "    {\"key\": \"" + json_escape(r.scenario.key) +
+              "\", \"fingerprint\": \"" + json_escape(r.fingerprint) +
+              "\", \"absent\": true}";
+    } else {
+      json += "    {\"key\": \"" + json_escape(r.scenario.key) +
+              "\", \"tag\": \"" + json_escape(r.scenario.tag) +
+              "\", \"dataset\": \"" + dataset_name(r.scenario.dataset) +
+              "\", \"repeat\": " + std::to_string(r.scenario.repeat) +
+              ", \"retrain\": " +
+              (r.scenario.retrain ? "true" : "false") +
+              ", \"fingerprint\": \"" + json_escape(r.fingerprint) +
+              "\", \"seconds\": " + json_number(r.seconds) +
+              ", \"metrics\": {";
+      for (std::size_t m = 0; m < r.metrics.size(); ++m) {
+        json += (m ? ", \"" : "\"") + json_escape(r.metrics[m].first) +
+                "\": " + json_number(r.metrics[m].second);
+      }
+      json += "}}";
     }
-    json += "}}";
     json += i + 1 == rows_.size() ? "\n" : ",\n";
   }
   json += "  ]\n}\n";
@@ -207,18 +478,62 @@ SweepRunner::SweepRunner(WorkloadOptions opts) : opts_(std::move(opts)) {
   ctx_.opts_ = opts_;
 }
 
+void SweepRunner::set_store(SweepStoreOptions store) {
+  if (store.shard_count < 1 || store.shard_index < 0 ||
+      store.shard_index >= store.shard_count) {
+    throw std::invalid_argument("SweepRunner: shard index " +
+                                std::to_string(store.shard_index) +
+                                " out of range for " +
+                                std::to_string(store.shard_count) +
+                                " shard(s)");
+  }
+  store_ = std::move(store);
+}
+
+std::string SweepRunner::fingerprint(const Scenario& s) const {
+  // Everything that determines the cell's output, nothing that is
+  // execution-only. Field ORDER is part of the hash — append new fields
+  // at the end (any change here re-addresses the whole store, which is
+  // safe but discards every cached cell).
+  store::Fingerprinter fp;
+  fp.add("bench", store_.bench);
+  for (const auto& [name, value] : store_.config) {
+    fp.add("cfg:" + name, value);
+  }
+  fp.add("workload", workload_id(s.dataset, opts_));
+  fp.add("key", s.key);
+  fp.add("tag", s.tag);
+  fp.add("vth", s.vth);
+  fp.add("fault_rate", s.fault_rate);
+  fp.add("fault_count", static_cast<std::int64_t>(s.fault_count));
+  fp.add("bit", static_cast<std::int64_t>(s.bit));
+  fp.add("stuck", static_cast<std::int64_t>(s.stuck));
+  fp.add("array_size", static_cast<std::int64_t>(s.array_size));
+  fp.add("repeat", static_cast<std::int64_t>(s.repeat));
+  fp.add("fault_seed", std::uint64_t{s.fault_seed});
+  fp.add("retrain", s.retrain);
+  fp.add("epochs", static_cast<std::int64_t>(s.epochs));
+  return fp.digest();
+}
+
+void SweepRunner::prepare_kinds(const std::set<DatasetKind>& kinds) {
+  for (const DatasetKind kind : kinds) {
+    if (ctx_.baselines_.count(kind)) continue;
+    Workload wl = prepare_workload(kind, opts_);
+    std::vector<tensor::Tensor> snapshot = wl.net.snapshot_params();
+    if (on_baseline_) on_baseline_(wl);
+    ctx_.order_.push_back(kind);
+    ctx_.baselines_.emplace(
+        kind, SweepContext::Baseline{std::move(wl), std::move(snapshot)});
+  }
+}
+
 const SweepContext& SweepRunner::prepare(
     const std::vector<Scenario>& scenarios) {
   if (!prepare_baselines_) return ctx_;
+  // Preserve first-use order: walk scenarios, not a sorted set.
   for (const Scenario& s : scenarios) {
-    if (ctx_.baselines_.count(s.dataset)) continue;
-    Workload wl = prepare_workload(s.dataset, opts_);
-    std::vector<tensor::Tensor> snapshot = wl.net.snapshot_params();
-    if (on_baseline_) on_baseline_(wl);
-    ctx_.order_.push_back(s.dataset);
-    ctx_.baselines_.emplace(
-        s.dataset,
-        SweepContext::Baseline{std::move(wl), std::move(snapshot)});
+    prepare_kinds({s.dataset});
   }
   return ctx_;
 }
@@ -254,16 +569,86 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
       }
     }
   }
-  prepare(scenarios);
+  const std::size_t total = scenarios.size();
+  ResultTable table(total);
+  table.shard_index_ = store_.shard_index;
+  table.shard_count_ = store_.shard_count;
 
-  const int n = static_cast<int>(scenarios.size());
-  const int parallel = effective_parallel(scenarios.size());
-  ResultTable table(scenarios.size());
+  const bool use_store = !store_.dir.empty();
+  std::unique_ptr<store::ResultStore> result_store;
+  std::vector<std::string> fps(total);
+  if (use_store) {
+    result_store = std::make_unique<store::ResultStore>(store_.dir);
+    for (std::size_t i = 0; i < total; ++i) {
+      fps[i] = fingerprint(scenarios[i]);
+    }
+    // The manifest lists the FULL grid (all shards) and is identical
+    // across the shards of one grid; written before any compute so a
+    // killed sweep still leaves the merge/plan tooling its grid.
+    store::Manifest manifest;
+    manifest.bench = store_.bench.empty() ? "sweep" : store_.bench;
+    for (std::size_t i = 0; i < total; ++i) {
+      manifest.entries.emplace_back(fps[i], scenarios[i].key);
+    }
+    store::write_manifest(*result_store, manifest);
+  }
+
+  // Triage every cell: replay a valid cached record (any shard's),
+  // otherwise compute it if this shard owns it, otherwise leave the
+  // slot absent for sweep_merge to fill from the other shards' stores.
+  std::vector<int> pending;
+  pending.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    table.rows_[i].scenario = scenarios[i];
+    table.rows_[i].fingerprint = fps[i];
+    if (use_store && store_.resume) {
+      const std::optional<std::string> payload = result_store->get(fps[i]);
+      if (payload) {
+        ScenarioResult cached;
+        if (decode_scenario_result(*payload, cached) &&
+            cached.scenario.key == scenarios[i].key) {
+          cached.scenario = scenarios[i];
+          cached.fingerprint = fps[i];
+          table.set_slot(i, std::move(cached), ResultTable::kCached);
+          continue;
+        }
+        // Fingerprint collision with a foreign key, or a record the
+        // codec rejects: both read as a miss.
+      }
+    }
+    if (static_cast<int>(i % static_cast<std::size_t>(
+                                 store_.shard_count)) == store_.shard_index) {
+      pending.push_back(static_cast<int>(i));
+    }
+  }
+  if (use_store) {
+    std::fprintf(stderr,
+                 "[sweep] store %s: %zu cached, %zu to compute, %zu "
+                 "foreign-shard cell(s) (shard %d/%d)\n",
+                 store_.dir.c_str(), table.cached_cells(), pending.size(),
+                 total - table.cached_cells() - pending.size(),
+                 store_.shard_index, store_.shard_count);
+  }
+
+  // Baselines only for datasets this run actually computes: a fully
+  // warm re-run trains/loads nothing at all.
+  if (prepare_baselines_ && !pending.empty()) {
+    std::set<DatasetKind> kinds;
+    for (const int i : pending) {
+      kinds.insert(scenarios[static_cast<std::size_t>(i)].dataset);
+    }
+    prepare_kinds(kinds);
+  }
+
+  const int np = static_cast<int>(pending.size());
+  const int parallel = np == 0 ? 1 : effective_parallel(pending.size());
   table.sweep_parallel_ = parallel;
-  // Workload-free sweeps must not spawn the process-wide GEMM pool just
-  // to report its size in the JSON summary; when baselines were
-  // prepared the pool already exists (training ran on it).
-  table.threads_ = prepare_baselines_ ? compute::global_threads() : 0;
+  // Workload-free and fully-cached sweeps must not spawn the
+  // process-wide GEMM pool just to report its size in the JSON summary;
+  // when baselines were prepared the pool already exists (training ran
+  // on it).
+  table.threads_ =
+      prepare_baselines_ && np > 0 ? compute::global_threads() : 0;
 
   common::Timer timer;
   std::mutex err_mu;
@@ -273,14 +658,19 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
   // then run() throws) — a deterministic error affecting every cell
   // must not burn hours draining the rest of the grid first.
   std::atomic<bool> failed{false};
-  const auto run_one = [&](int i) {
-    const std::size_t idx = static_cast<std::size_t>(i);
+  const auto run_one = [&](int slot) {
+    const std::size_t idx =
+        static_cast<std::size_t>(pending[static_cast<std::size_t>(slot)]);
     common::Timer t;
     const char* status = "";
     try {
       ScenarioResult r = fn(scenarios[idx], ctx_);
       r.scenario = scenarios[idx];
+      r.fingerprint = fps[idx];
       r.seconds = t.seconds();
+      if (use_store) {
+        result_store->put(fps[idx], encode_scenario_result(r));
+      }
       table.put(idx, std::move(r));
     } catch (const std::exception& e) {
       failed.store(true);
@@ -292,12 +682,12 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
     // grids run for hours otherwise silent); the deterministic
     // per-scenario logs still print to stdout in scenario order below.
     std::fprintf(stderr, "[sweep %d/%d] %s (%.1f s)%s\n",
-                 done.fetch_add(1) + 1, n, scenarios[idx].key.c_str(),
+                 done.fetch_add(1) + 1, np, scenarios[idx].key.c_str(),
                  t.seconds(), status);
   };
 
   if (parallel <= 1) {
-    for (int i = 0; i < n && !failed.load(); ++i) run_one(i);
+    for (int i = 0; i < np && !failed.load(); ++i) run_one(i);
   } else {
     // Scenario bodies run on pool workers, so nested GEMM parallel_for
     // calls execute inline — the sweep never runs more than `parallel`
@@ -312,7 +702,7 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
     pool.parallel_for(0, parallel, 1, [&](int, int) {
       while (!failed.load()) {
         const int i = next.fetch_add(1);
-        if (i >= n) break;
+        if (i >= np) break;
         run_one(i);
       }
     });
@@ -329,9 +719,12 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
   table.total_seconds_ = timer.seconds();
 
   // Buffered logs, in scenario order: deterministic under any worker
-  // count.
-  for (const ScenarioResult& r : table.rows()) {
-    if (!r.log.empty()) std::fputs(r.log.c_str(), stdout);
+  // count (replayed cells print the log recorded when they were first
+  // computed).
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table.is_filled(i) && !table.rows()[i].log.empty()) {
+      std::fputs(table.rows()[i].log.c_str(), stdout);
+    }
   }
   return table;
 }

@@ -21,12 +21,23 @@
 //    (`sweep_parallel == 1`) keeps the full `threads`-wide GEMM pool.
 //  - Results, per-scenario logs, and CSV rows are aggregated into a
 //    thread-safe ResultTable and emitted in scenario order.
+//
+// On top of that, a sweep can run against a persistent content-addressed
+// result store (store::ResultStore). Every cell is fingerprinted by
+// everything that determines its output (see SweepRunner::fingerprint);
+// a hit replays the stored result into the table, a miss computes and
+// publishes it. Because a cell is only ever skipped when its fingerprint
+// matches, cache hits are correct by construction — and re-running a
+// killed sweep resumes with only the missing cells. A `shard i/n` spec
+// partitions the grid deterministically for multi-machine runs whose
+// stores are later unioned by the sweep_merge tool.
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -65,9 +76,13 @@ std::uint64_t scenario_seed(const Scenario& s);
 common::Rng scenario_rng(const Scenario& s);
 
 /// What one scenario produced. The scenario function fills metrics /
-/// csv_rows / log; SweepRunner attaches the scenario and its wall time.
+/// csv_rows / log; SweepRunner attaches the scenario, its store
+/// fingerprint, and its wall time.
 struct ScenarioResult {
   Scenario scenario;
+  /// Content-address of this cell in the result store (64 hex chars);
+  /// empty when the sweep ran without a store.
+  std::string fingerprint;
   /// Ordered (name, value) pairs — the JSON summary and generic CSV
   /// columns. Names should be stable across scenarios of one sweep.
   std::vector<std::pair<std::string, double>> metrics;
@@ -76,54 +91,122 @@ struct ScenarioResult {
   /// Buffered console output, printed in scenario order after the sweep
   /// (so logs are deterministic under any worker count).
   std::string log;
+  /// Compute wall time of this cell. Replayed cells carry the seconds
+  /// recorded when the cell was originally computed, so a warm re-run
+  /// reproduces the cold run's per-cell timings byte for byte.
   double seconds = 0.0;
 };
 
+/// Serialize a ScenarioResult into the store's payload bytes. The frame
+/// is length-prefixed throughout; decode validates every length against
+/// the remaining bytes and returns false on any malformation (the store
+/// then treats the record as a miss — recompute, never throw).
+std::string encode_scenario_result(const ScenarioResult& result);
+bool decode_scenario_result(const std::string& bytes, ScenarioResult& out);
+
+/// How a sweep uses the persistent result store.
+struct SweepStoreOptions {
+  /// Store root directory; empty disables the store entirely.
+  std::string dir;
+  /// Grid owner — the bench name; part of every cell fingerprint.
+  std::string bench;
+  /// Bench configuration that affects cell values (flag name/value
+  /// pairs, canonical text). Execution-only knobs (threads, parallelism,
+  /// output paths, shard spec) must NOT be listed: they would split the
+  /// cache without changing any result.
+  std::vector<std::pair<std::string, std::string>> config;
+  /// Replay cells already present in the store (true) or recompute and
+  /// overwrite them (false).
+  bool resume = true;
+  /// Deterministic grid partition: this run computes cells whose grid
+  /// index i satisfies i % shard_count == shard_index. Cached cells of
+  /// other shards are still replayed when available.
+  int shard_index = 0;
+  int shard_count = 1;
+};
+
+/// Parse a "i/n" shard spec (e.g. "0/4") into {index, count}. An empty
+/// spec means the whole grid ({0, 1}). Throws std::invalid_argument on
+/// malformed specs or i >= n.
+std::pair<int, int> parse_shard_spec(const std::string& spec);
+
 /// Thread-safe, order-preserving aggregation of scenario results plus
 /// CSV / JSON emission. Slot `i` belongs to scenario `i` of the sweep.
+/// Each slot tracks its provenance: computed this run, replayed from
+/// the store, or absent (owned by another shard and not yet cached).
 class ResultTable {
  public:
   ResultTable() : mu_(std::make_unique<std::mutex>()) {}
-  explicit ResultTable(std::size_t n) : ResultTable() { rows_.resize(n); }
+  explicit ResultTable(std::size_t n) : ResultTable() {
+    rows_.resize(n);
+    state_.assign(n, kAbsent);
+  }
 
-  /// Store `result` into slot `index` (thread-safe).
+  /// Store a freshly computed `result` into slot `index` (thread-safe).
   void put(std::size_t index, ScenarioResult result);
+  /// Store a result replayed from the store into slot `index`.
+  void put_cached(std::size_t index, ScenarioResult result);
 
   std::size_t size() const { return rows_.size(); }
   const ScenarioResult& at(std::size_t index) const;
   const std::vector<ScenarioResult>& rows() const { return rows_; }
-  /// First result whose scenario key matches, or nullptr.
+  /// First filled result whose scenario key matches, or nullptr.
   const ScenarioResult* find(const std::string& key) const;
   /// Like find(), but throws std::out_of_range on a missing key — the
   /// lookup benches use to rebuild their tables, so a key-scheme edit
-  /// fails loudly instead of silently transposing figure cells.
+  /// (or aggregating a shard-partial table) fails loudly instead of
+  /// silently transposing figure cells.
   const ScenarioResult& get(const std::string& key) const;
+
+  /// Slot provenance.
+  bool is_filled(std::size_t index) const;
+  bool is_cached(std::size_t index) const;
+  /// True when every slot is filled — i.e. this table is the full grid,
+  /// not one shard's slice. Benches aggregate only complete tables.
+  bool complete() const;
+  std::size_t computed_cells() const { return count(kComputed); }
+  std::size_t cached_cells() const { return count(kCached); }
+  std::size_t absent_cells() const { return count(kAbsent); }
 
   /// Wall-clock of the whole sweep and the parallelism it ran at (set by
   /// SweepRunner; timing is reported in JSON only, never in CSV).
   double total_seconds() const { return total_seconds_; }
   int sweep_parallel() const { return sweep_parallel_; }
+  int shard_index() const { return shard_index_; }
+  int shard_count() const { return shard_count_; }
 
   /// Generic CSV: key,tag,dataset + one column per metric name (the
-  /// union across all scenarios, first-seen order; a scenario missing a
-  /// metric leaves an empty cell). Deterministic (contains no timings).
+  /// union across all filled scenarios, first-seen order; a scenario
+  /// missing a metric leaves an empty cell). Absent slots are skipped.
+  /// Fields are RFC-4180-escaped. Deterministic (contains no timings).
   std::string to_csv() const;
 
-  /// Machine-readable summary in the same spirit as the GEMM tier
-  /// sweep's JSON (bench name + per-entry metrics): bench name,
-  /// parallelism, total wall-clock, and one entry per scenario with its
-  /// key/tag/dataset/repeat/retrain/seconds/metrics.
+  /// Machine-readable summary. The per-scenario entries are fully
+  /// deterministic for a given set of computed values (replayed cells
+  /// reproduce their original compute seconds), while everything
+  /// run-specific — parallelism, total wall-clock, shard spec, and the
+  /// cache-hit/computed accounting — lives in a single-line "run"
+  /// object, so warm/cold runs of one grid can be diffed by dropping
+  /// that one line.
   std::string to_json(const std::string& bench_name) const;
   void write_json(const std::string& path,
                   const std::string& bench_name) const;
 
  private:
   friend class SweepRunner;
+  enum SlotState : char { kAbsent = 0, kComputed = 1, kCached = 2 };
+
+  void set_slot(std::size_t index, ScenarioResult result, SlotState state);
+  std::size_t count(SlotState state) const;
+
   std::unique_ptr<std::mutex> mu_;
   std::vector<ScenarioResult> rows_;
+  std::vector<char> state_;
   double total_seconds_ = 0.0;
   int sweep_parallel_ = 1;
   int threads_ = 0;
+  int shard_index_ = 0;
+  int shard_count_ = 1;
 };
 
 /// Shared immutable state scenarios read: per-dataset workloads (data +
@@ -167,8 +250,10 @@ class SweepRunner {
 
   /// Train/load the baseline of every dataset appearing in `scenarios`
   /// (serial, full GEMM parallelism; each dataset prepared once).
-  /// `on_baseline` — when set via set_on_baseline — observes each
-  /// freshly prepared workload (benches print their baseline banner).
+  /// run() prepares lazily — only the datasets of cells it actually
+  /// computes — so calling this up front forfeits the store's
+  /// zero-work warm re-runs; prefer building dataset-dependent state
+  /// lazily inside the scenario function (bench::EvalSets).
   const SweepContext& prepare(const std::vector<Scenario>& scenarios);
 
   void set_on_baseline(std::function<void(const Workload&)> cb) {
@@ -182,14 +267,30 @@ class SweepRunner {
     prepare_baselines_ = enabled;
   }
 
+  /// Attach the persistent result store / shard spec. Must be set
+  /// before run(). An empty dir leaves the sweep store-less.
+  void set_store(SweepStoreOptions store);
+  const SweepStoreOptions& store() const { return store_; }
+
+  /// Content-address of one cell: SHA-256 over the store format epoch,
+  /// the bench name, the bench config, the workload identity
+  /// (dataset/fast/seed), and every Scenario field. Anything that can
+  /// change the cell's output is in here — a hit is therefore safe to
+  /// replay — and nothing execution-only is (thread counts, shard spec,
+  /// output paths), so reruns on other machines still hit.
+  std::string fingerprint(const Scenario& s) const;
+
   /// Resolved scenario-level worker count for a grid of `n` scenarios:
   /// opts.sweep_parallel, with 0 meaning $FALVOLT_SWEEP_PARALLEL (else
   /// the hardware concurrency), clamped to [1, min(n, kMaxThreads)].
   int effective_parallel(std::size_t n) const;
 
-  /// Run the grid. Prepares missing baselines, executes every scenario
-  /// (concurrently when effective_parallel > 1), prints the buffered
-  /// per-scenario logs in scenario order, and returns the filled table.
+  /// Run the grid. Replays every store hit, prepares the baselines of
+  /// the datasets that still have cells to compute, executes those
+  /// cells (concurrently when effective_parallel > 1) and publishes
+  /// each to the store, writes the grid manifest, prints the buffered
+  /// per-scenario logs in scenario order, and returns the filled table
+  /// (complete unless sharded with uncached foreign cells).
   /// A scenario that throws fails the sweep fast: no further scenarios
   /// are claimed (in-flight ones finish), then run() throws a
   /// runtime_error carrying every collected scenario error.
@@ -199,8 +300,11 @@ class SweepRunner {
   const SweepContext& context() const { return ctx_; }
 
  private:
+  void prepare_kinds(const std::set<DatasetKind>& kinds);
+
   WorkloadOptions opts_;
   SweepContext ctx_;
+  SweepStoreOptions store_;
   std::function<void(const Workload&)> on_baseline_;
   bool prepare_baselines_ = true;
 };

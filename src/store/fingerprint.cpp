@@ -1,0 +1,69 @@
+#include "store/fingerprint.h"
+
+#include <cstdio>
+
+namespace falvolt::store {
+
+Fingerprinter::Fingerprinter() {
+  // The epoch is part of every fingerprint, so bumping it re-addresses
+  // the whole store.
+  frame("store_epoch", 'u', std::to_string(kStoreFormatEpoch));
+}
+
+void Fingerprinter::frame(const std::string& name, char tag,
+                          const std::string& value) {
+  // name_len ':' name tag value_len ':' value — the explicit lengths
+  // make the stream prefix-free, so ("ab","c") never collides with
+  // ("a","bc").
+  std::string framed = std::to_string(name.size());
+  framed += ':';
+  framed += name;
+  framed += tag;
+  framed += std::to_string(value.size());
+  framed += ':';
+  framed += value;
+  hasher_.update(framed);
+}
+
+Fingerprinter& Fingerprinter::add(const std::string& name,
+                                  const std::string& value) {
+  frame(name, 's', value);
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::add(const std::string& name,
+                                  std::int64_t value) {
+  frame(name, 'i', std::to_string(value));
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::add(const std::string& name,
+                                  std::uint64_t value) {
+  frame(name, 'u', std::to_string(value));
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::add(const std::string& name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  frame(name, 'd', buf);
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::add(const std::string& name, bool value) {
+  frame(name, 'b', value ? "1" : "0");
+  return *this;
+}
+
+std::string Fingerprinter::digest() { return hasher_.hex(); }
+
+bool is_fingerprint(const std::string& fp) {
+  if (fp.size() != 64) return false;
+  for (const char c : fp) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace falvolt::store

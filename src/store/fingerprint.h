@@ -1,0 +1,51 @@
+#pragma once
+// Canonical fingerprinting for the content-addressed result store.
+//
+// A fingerprint is the SHA-256 of an unambiguous serialization of every
+// (name, value) pair fed to the Fingerprinter, prefixed with the store
+// format epoch. Callers list everything that determines a result — a
+// missing field risks a stale hit, an extra field only costs a spurious
+// recompute, so when in doubt a field is added. Field order matters (the
+// serialization is a stream, not a set); callers must feed fields in a
+// fixed, documented order.
+
+#include <cstdint>
+#include <string>
+
+#include "store/hash.h"
+
+namespace falvolt::store {
+
+/// Version of the store's on-disk record format AND of the semantics of
+/// the computations behind it. Bumping it invalidates every existing
+/// store entry at once — the escape hatch when a result-affecting
+/// algorithm changes without any fingerprinted input changing.
+inline constexpr std::uint32_t kStoreFormatEpoch = 1;
+
+/// Accumulates typed, named fields into a SHA-256 fingerprint. Every
+/// field is framed with its name and byte length, so no two distinct
+/// field sequences can serialize to the same byte stream.
+class Fingerprinter {
+ public:
+  Fingerprinter();
+
+  Fingerprinter& add(const std::string& name, const std::string& value);
+  Fingerprinter& add(const std::string& name, std::int64_t value);
+  Fingerprinter& add(const std::string& name, std::uint64_t value);
+  /// Doubles are canonicalized with "%.17g" — enough digits to
+  /// round-trip, so bitwise-equal doubles always fingerprint equally.
+  Fingerprinter& add(const std::string& name, double value);
+  Fingerprinter& add(const std::string& name, bool value);
+
+  /// Finalize: 64 lowercase hex characters. Call exactly once.
+  std::string digest();
+
+ private:
+  void frame(const std::string& name, char tag, const std::string& value);
+  Sha256 hasher_;
+};
+
+/// True iff `fp` is a well-formed fingerprint (64 lowercase hex chars).
+bool is_fingerprint(const std::string& fp);
+
+}  // namespace falvolt::store

@@ -1,0 +1,47 @@
+#pragma once
+// Streaming SHA-256 for the content-addressed result store. A scenario's
+// store address and every record checksum are SHA-256 digests, so a hit
+// is correct by construction (the Nix store idiom): two cells collide
+// only if everything that determines their output is identical.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace falvolt::store {
+
+/// Incremental SHA-256 (FIPS 180-4). Feed bytes with update(), then call
+/// digest()/hex() exactly once.
+class Sha256 {
+ public:
+  using Digest = std::array<std::uint8_t, 32>;
+
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  void update(const std::string& s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-byte digest. The hasher must not be
+  /// updated afterwards.
+  Digest digest();
+
+  /// Finalize and return the digest as 64 lowercase hex characters.
+  std::string hex();
+
+  static std::string to_hex(const Digest& d);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience: SHA-256 of `data` as lowercase hex.
+std::string sha256_hex(const std::string& data);
+
+}  // namespace falvolt::store

@@ -1,0 +1,147 @@
+#include "store/manifest.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "store/fingerprint.h"
+#include "store/hash.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::store {
+
+// Text format (one record per line, '\n' separated):
+//
+//   falvolt-manifest <epoch>
+//   bench <name>
+//   cells <n>
+//   <fingerprint> <key>        x n, grid order
+//
+// Keys may contain spaces (everything after the first space of a cell
+// line); fingerprints are fixed-width hex so the split is unambiguous.
+
+std::string Manifest::grid_digest() const {
+  Sha256 h;
+  for (const auto& [fp, key] : entries) {
+    h.update(fp);
+    h.update("\n");
+  }
+  return h.hex();
+}
+
+std::string Manifest::to_text() const {
+  std::string out = "falvolt-manifest " +
+                    std::to_string(kStoreFormatEpoch) + "\nbench " + bench +
+                    "\ncells " + std::to_string(entries.size()) + "\n";
+  for (const auto& [fp, key] : entries) {
+    out += fp;
+    out += ' ';
+    out += key;
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<Manifest> parse_manifest(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) ||
+      line != "falvolt-manifest " + std::to_string(kStoreFormatEpoch)) {
+    return std::nullopt;
+  }
+  Manifest m;
+  if (!std::getline(in, line) || line.rfind("bench ", 0) != 0) {
+    return std::nullopt;
+  }
+  m.bench = line.substr(6);
+  if (!std::getline(in, line) || line.rfind("cells ", 0) != 0) {
+    return std::nullopt;
+  }
+  std::size_t cells = 0;
+  try {
+    cells = std::stoul(line.substr(6));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) return std::nullopt;
+    std::string fp = line.substr(0, space);
+    if (!is_fingerprint(fp)) return std::nullopt;
+    m.entries.emplace_back(std::move(fp), line.substr(space + 1));
+  }
+  // A truncated manifest (fewer cells than declared) must not silently
+  // shrink a grid.
+  if (m.entries.size() != cells) return std::nullopt;
+  return m;
+}
+
+std::string manifest_path(const ResultStore& store, const Manifest& m) {
+  return (fs::path(store.root()) / "manifests" /
+          (m.bench + "-" + m.grid_digest().substr(0, 12) + ".manifest"))
+      .string();
+}
+
+void write_manifest(const ResultStore& store, const Manifest& m) {
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      (fs::path(store.root()) / "tmp" /
+       ("manifest." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1)) + ".tmp"))
+          .string();
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("write_manifest: cannot stage " + tmp);
+    }
+    out << m.to_text();
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("write_manifest: short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, manifest_path(store, m), ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("write_manifest: cannot publish manifest for " +
+                             m.bench);
+  }
+}
+
+std::optional<Manifest> read_manifest(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_manifest(buf.str());
+}
+
+std::vector<std::string> list_manifests(const ResultStore& store,
+                                        const std::string& bench) {
+  std::vector<std::string> out;
+  const fs::path dir = fs::path(store.root()) / "manifests";
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".manifest") continue;
+    if (!bench.empty()) {
+      const std::optional<Manifest> m = read_manifest(it->path().string());
+      if (!m || m->bench != bench) continue;
+    }
+    out.push_back(it->path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace falvolt::store

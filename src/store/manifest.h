@@ -1,0 +1,53 @@
+#pragma once
+// Grid manifests: the ordered (fingerprint, scenario key) list of one
+// bench's full scenario grid.
+//
+// Every sweep that runs against a store writes its grid's manifest —
+// including sharded runs, which list ALL cells, not just their own
+// slice. Shards of one grid therefore write byte-identical manifests,
+// and `sweep-merge` can rebuild the complete figure table in grid order
+// from any one of them plus the union of the shard stores.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/result_store.h"
+
+namespace falvolt::store {
+
+struct Manifest {
+  std::string bench;
+  /// (fingerprint, scenario key) per cell, in grid order.
+  std::vector<std::pair<std::string, std::string>> entries;
+
+  /// SHA-256 over the ordered fingerprints — identifies the grid itself
+  /// (two runs of one bench with different flags get different grids,
+  /// and therefore distinct manifest files in one store).
+  std::string grid_digest() const;
+
+  /// Serialized text form (see manifest.cpp for the format).
+  std::string to_text() const;
+};
+
+/// Parse a serialized manifest; nullopt on any malformation (bad header,
+/// foreign version, cell-count mismatch, malformed fingerprint).
+std::optional<Manifest> parse_manifest(const std::string& text);
+
+/// Path this manifest lives at inside `store`:
+///   <root>/manifests/<bench>-<grid_digest[0:12]>.manifest
+std::string manifest_path(const ResultStore& store, const Manifest& m);
+
+/// Atomically write `m` into `store` (stage + rename, like records).
+void write_manifest(const ResultStore& store, const Manifest& m);
+
+/// Read one manifest file; nullopt if missing or malformed.
+std::optional<Manifest> read_manifest(const std::string& path);
+
+/// All manifest files in `store`, optionally filtered to one bench
+/// (matching the `bench` header field, not the file name). Sorted paths.
+std::vector<std::string> list_manifests(const ResultStore& store,
+                                        const std::string& bench = "");
+
+}  // namespace falvolt::store

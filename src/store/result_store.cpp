@@ -1,0 +1,198 @@
+#include "store/result_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "store/fingerprint.h"
+#include "store/hash.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::store {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x46565253;  // "FVRS"
+
+// Frame header preceding every payload: magic u32, format epoch u32,
+// payload length u64 — all explicitly little-endian so stores move
+// between machines regardless of host byte order — then the 32-byte
+// SHA-256 of the payload.
+constexpr std::size_t kHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) + 32;
+
+void encode_le(std::uint8_t* out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t decode_le(const std::uint8_t* in, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= std::uint64_t{in[i]} << (8 * i);
+  }
+  return v;
+}
+
+void require_fingerprint(const std::string& fp) {
+  if (!is_fingerprint(fp)) {
+    throw std::invalid_argument("ResultStore: malformed fingerprint '" + fp +
+                                "'");
+  }
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root)) {
+  if (root_.empty()) {
+    throw std::invalid_argument("ResultStore: empty root directory");
+  }
+  std::error_code ec;
+  fs::create_directories(fs::path(root_) / "objects", ec);
+  fs::create_directories(fs::path(root_) / "manifests", ec);
+  fs::create_directories(fs::path(root_) / "tmp", ec);
+  if (ec) {
+    throw std::runtime_error("ResultStore: cannot create " + root_ + ": " +
+                             ec.message());
+  }
+}
+
+std::string ResultStore::object_path(const std::string& fingerprint) const {
+  require_fingerprint(fingerprint);
+  return (fs::path(root_) / "objects" / fingerprint.substr(0, 2) /
+          (fingerprint + ".rec"))
+      .string();
+}
+
+bool ResultStore::contains(const std::string& fingerprint) const {
+  std::error_code ec;
+  return fs::exists(object_path(fingerprint), ec);
+}
+
+std::string ResultStore::stage(const std::string& payload) const {
+  // Unique staging name: pid + a process-wide counter. Concurrent
+  // writers (threads of one sweep, or several shard processes sharing a
+  // store) each stage privately and race only on the final rename,
+  // which is atomic.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      (fs::path(root_) / "tmp" /
+       ("rec." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1)) + ".tmp"))
+          .string();
+
+  Sha256 h;
+  h.update(payload);
+  const Sha256::Digest checksum = h.digest();
+  std::uint8_t header[kHeaderBytes];
+  encode_le(header, kRecordMagic, 4);
+  encode_le(header + 4, kStoreFormatEpoch, 4);
+  encode_le(header + 8, payload.size(), 8);
+  std::memcpy(header + 16, checksum.data(), checksum.size());
+
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("ResultStore: cannot stage " + tmp);
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+  if (!out) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw std::runtime_error("ResultStore: short write staging " + tmp);
+  }
+  out.close();
+  return tmp;
+}
+
+void ResultStore::put(const std::string& fingerprint,
+                      const std::string& payload) const {
+  const std::string final_path = object_path(fingerprint);
+  std::error_code ec;
+  fs::create_directories(fs::path(final_path).parent_path(), ec);
+  if (ec) {
+    throw std::runtime_error("ResultStore: cannot create shard dir for " +
+                             fingerprint + ": " + ec.message());
+  }
+  const std::string tmp = stage(payload);
+  fs::rename(tmp, final_path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("ResultStore: cannot publish " + final_path);
+  }
+}
+
+std::optional<std::string> ResultStore::get(
+    const std::string& fingerprint) const {
+  const std::string path = object_path(fingerprint);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  if (file_size < kHeaderBytes) return std::nullopt;
+
+  std::uint8_t header[kHeaderBytes];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || decode_le(header, 4) != kRecordMagic ||
+      decode_le(header + 4, 4) != kStoreFormatEpoch) {
+    return std::nullopt;
+  }
+  // The length must match the file exactly: a truncated payload AND a
+  // record with trailing garbage both read as a miss.
+  const std::uint64_t payload_len = decode_le(header + 8, 8);
+  if (payload_len != file_size - kHeaderBytes) return std::nullopt;
+
+  std::string payload(payload_len, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!in) return std::nullopt;
+
+  Sha256 h;
+  h.update(payload);
+  const Sha256::Digest digest = h.digest();
+  if (std::memcmp(digest.data(), header + 16, digest.size()) != 0) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+std::vector<std::string> ResultStore::fingerprints() const {
+  std::vector<std::string> out;
+  const fs::path objects = fs::path(root_) / "objects";
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(objects, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path p = it->path();
+    if (p.extension() != ".rec") continue;
+    const std::string fp = p.stem().string();
+    if (is_fingerprint(fp)) out.push_back(fp);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+ResultStore::MergeStats ResultStore::merge_from(const ResultStore& src) const {
+  MergeStats stats;
+  for (const std::string& fp : src.fingerprints()) {
+    if (contains(fp)) {
+      ++stats.present;
+      continue;
+    }
+    const std::optional<std::string> payload = src.get(fp);
+    if (!payload) {
+      ++stats.corrupt;
+      continue;
+    }
+    put(fp, *payload);
+    ++stats.copied;
+  }
+  return stats;
+}
+
+}  // namespace falvolt::store

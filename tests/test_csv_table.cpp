@@ -50,6 +50,33 @@ TEST(CsvWriterErrors, UnwritablePathThrows) {
                std::runtime_error);
 }
 
+TEST(CsvEscape, Rfc4180) {
+  // Plain fields pass through untouched — existing numeric output stays
+  // byte-identical.
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("42.5"), "42.5");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("semi;colon"), "semi;colon");
+  // Commas, quotes and newlines force quoting; quotes double.
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape(","), "\",\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+TEST_F(CsvTest, WriterEscapesCellsAndHeader) {
+  {
+    CsvWriter w(path_, {"key", "error,detail"});
+    w.row(std::vector<std::string>{"MNIST/vth=0.45", "bad value: \"x,y\""});
+    w.close();
+  }
+  EXPECT_EQ(read_file(path_),
+            "key,\"error,detail\"\n"
+            "MNIST/vth=0.45,\"bad value: \"\"x,y\"\"\"\n");
+}
+
 TEST(TextTable, AlignsColumns) {
   TextTable t({"name", "acc"});
   t.row({"mnist", "99.1"});

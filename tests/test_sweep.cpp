@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <set>
+#include <sstream>
 #include <thread>
 
 #include "common/timer.h"
@@ -14,6 +15,8 @@
 #include "core/mitigation.h"
 #include "data/dataset.h"
 #include "fault/fault_generator.h"
+#include "store/manifest.h"
+#include "store/result_store.h"
 #include "tensor/tensor_ops.h"
 
 namespace falvolt::core {
@@ -60,6 +63,35 @@ TEST(Sweep, ResultTableAggregatesInScenarioOrder) {
             "k0,,MNIST,0,\n"
             "k1,,MNIST,10,\n"
             "k2,,MNIST,20,1\n");
+}
+
+TEST(Sweep, ResultTableCsvEscapesKeysTagsAndMetricNames) {
+  ResultTable table(1);
+  ScenarioResult r;
+  r.scenario.key = "MNIST/odd,key";
+  r.scenario.tag = "say \"hi\"";
+  r.metrics = {{"acc,uracy", 1.5}};
+  table.put(0, std::move(r));
+  EXPECT_EQ(table.to_csv(),
+            "key,tag,dataset,\"acc,uracy\"\n"
+            "\"MNIST/odd,key\",\"say \"\"hi\"\"\",MNIST,1.5\n");
+}
+
+TEST(Sweep, ShardPartialTableSkipsAbsentRowsAndFailsLookups) {
+  ResultTable table(3);
+  ScenarioResult r;
+  r.scenario.key = "k1";
+  r.metrics = {{"v", 2.0}};
+  table.put_cached(1, std::move(r));
+  EXPECT_FALSE(table.complete());
+  EXPECT_EQ(table.cached_cells(), 1u);
+  EXPECT_EQ(table.absent_cells(), 2u);
+  EXPECT_TRUE(table.is_cached(1));
+  EXPECT_FALSE(table.is_filled(0));
+  // Absent rows are invisible to CSV and key lookups.
+  EXPECT_EQ(table.to_csv(), "key,tag,dataset,v\nk1,,MNIST,2\n");
+  EXPECT_EQ(table.find(""), nullptr);
+  EXPECT_THROW(table.get("k0"), std::out_of_range);
 }
 
 TEST(Sweep, DuplicateScenarioKeyThrows) {
@@ -307,6 +339,179 @@ TEST_F(SweepWorkloadTest, RetrainScenariosAreByteIdenticalAcrossParallelism) {
     csvs.push_back(table.to_csv());
   }
   EXPECT_EQ(csvs[0], csvs[1]);
+}
+
+// The store acceptance contract on a real (fig5b-shaped) eval grid:
+// a sharded-and-merged run is byte-identical to one unsharded sweep,
+// and a warm-store re-run computes zero scenarios while producing
+// identical CSV (and JSON, modulo the volatile "run" line).
+TEST_F(SweepWorkloadTest, StoreShardsMergeAndWarmRunsAreByteIdentical) {
+  const std::vector<Scenario> scenarios = small_grid();
+  const std::string store_root = ::testing::TempDir() + "falvolt_ev_store";
+  std::filesystem::remove_all(store_root + "_u");
+  std::filesystem::remove_all(store_root + "_a");
+  std::filesystem::remove_all(store_root + "_b");
+  std::filesystem::remove_all(store_root + "_m");
+
+  std::atomic<int> computed{0};
+  // Scenario function of the shape every eval bench uses; the eval
+  // subset is derived lazily from the context so warm runs touch no
+  // workload at all.
+  const auto fn = [&](const Scenario& s, const SweepContext& ctx) {
+    ++computed;
+    ScenarioResult out;
+    out.metrics = {
+        {"accuracy",
+         eval_scenario(s, ctx.clone_network(s.dataset),
+                       eval_subset(ctx.workload(s.dataset), 16))}};
+    return out;
+  };
+  const auto store_opts = [&](const std::string& dir, int index,
+                              int count) {
+    SweepStoreOptions st;
+    st.dir = dir;
+    st.bench = "fig5b_like";
+    st.config = {{"eval-samples", "16"}};
+    st.shard_index = index;
+    st.shard_count = count;
+    return st;
+  };
+  const auto run_with = [&](const std::string& dir, int index, int count) {
+    WorkloadOptions opts = options();
+    opts.sweep_parallel = 2;
+    SweepRunner runner(opts);
+    runner.set_store(store_opts(dir, index, count));
+    return runner.run(scenarios, fn);
+  };
+
+  const ResultTable full = run_with(store_root + "_u", 0, 1);
+  const int cold_computed = computed.load();
+  EXPECT_EQ(cold_computed, static_cast<int>(scenarios.size()));
+
+  // Warm re-run: zero scenarios computed, identical CSV and JSON.
+  const ResultTable warm = run_with(store_root + "_u", 0, 1);
+  EXPECT_EQ(computed.load(), cold_computed);
+  EXPECT_EQ(warm.computed_cells(), 0u);
+  EXPECT_EQ(warm.to_csv(), full.to_csv());
+  const auto strip_run = [](const std::string& json) {
+    std::string out;
+    std::istringstream in(json);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"run\": {") == std::string::npos) out += line + "\n";
+    }
+    return out;
+  };
+  EXPECT_EQ(strip_run(warm.to_json("fig5b_like")),
+            strip_run(full.to_json("fig5b_like")));
+
+  // Two shards into separate stores, then a sweep_merge-style union.
+  const ResultTable t0 = run_with(store_root + "_a", 0, 2);
+  const ResultTable t1 = run_with(store_root + "_b", 1, 2);
+  EXPECT_EQ(t0.computed_cells() + t1.computed_cells(), scenarios.size());
+  EXPECT_FALSE(t0.complete());
+
+  const store::ResultStore merged(store_root + "_m");
+  merged.merge_from(store::ResultStore(store_root + "_a"));
+  merged.merge_from(store::ResultStore(store_root + "_b"));
+  const auto manifest = store::read_manifest(
+      store::list_manifests(store::ResultStore(store_root + "_a"),
+                            "fig5b_like")
+          .front());
+  ASSERT_TRUE(manifest.has_value());
+  ResultTable rebuilt(manifest->entries.size());
+  for (std::size_t i = 0; i < manifest->entries.size(); ++i) {
+    const auto payload = merged.get(manifest->entries[i].first);
+    ASSERT_TRUE(payload.has_value());
+    ScenarioResult r;
+    ASSERT_TRUE(decode_scenario_result(*payload, r));
+    rebuilt.put_cached(i, std::move(r));
+  }
+  EXPECT_TRUE(rebuilt.complete());
+  EXPECT_EQ(rebuilt.to_csv(), full.to_csv());
+
+  for (const char* suffix : {"_u", "_a", "_b", "_m"}) {
+    std::filesystem::remove_all(store_root + suffix);
+  }
+}
+
+// Same contract for a retraining figure (the fig2 shape): concurrent
+// retraining cells round-trip through the store bit for bit.
+TEST_F(SweepWorkloadTest, RetrainGridShardsAndWarmRunsAreByteIdentical) {
+  std::vector<Scenario> scenarios;
+  for (const double vth : {0.5, 1.0}) {
+    Scenario s;
+    s.key = std::string("MNIST/vth=") + std::to_string(vth);
+    s.dataset = DatasetKind::kMnist;
+    s.vth = vth;
+    s.fault_rate = 0.30;
+    s.fault_seed = 4030;
+    s.retrain = true;
+    s.epochs = 1;
+    scenarios.push_back(s);
+  }
+  const std::string store_root = ::testing::TempDir() + "falvolt_rt_store";
+  std::filesystem::remove_all(store_root + "_u");
+  std::filesystem::remove_all(store_root + "_a");
+  std::filesystem::remove_all(store_root + "_b");
+
+  std::atomic<int> computed{0};
+  const auto fn = [&](const Scenario& s, const SweepContext& ctx) {
+    ++computed;
+    const Workload& wl = ctx.workload(s.dataset);
+    snn::Network net = ctx.clone_network(s.dataset);
+    common::Rng rng(s.fault_seed);
+    systolic::ArrayConfig array;
+    array.rows = array.cols = 16;
+    const fault::FaultMap map = fault::fault_map_at_rate(
+        array.rows, array.cols, s.fault_rate,
+        fault::worst_case_spec(array.format.total_bits()), rng);
+    MitigationConfig cfg;
+    cfg.array = array;
+    cfg.retrain_epochs = s.epochs;
+    cfg.eval_each_epoch = false;
+    const MitigationResult r = run_fixed_vth_retraining(
+        net, map, wl.data.train, wl.data.test, cfg,
+        static_cast<float>(s.vth));
+    ScenarioResult out;
+    out.metrics = {{"accuracy", r.final_accuracy},
+                   {"pruned", r.pruned_accuracy}};
+    return out;
+  };
+  const auto run_with = [&](const std::string& dir, int index, int count) {
+    SweepRunner runner(options());
+    SweepStoreOptions st;
+    st.dir = dir;
+    st.bench = "fig2_like";
+    st.shard_index = index;
+    st.shard_count = count;
+    runner.set_store(st);
+    return runner.run(scenarios, fn);
+  };
+
+  const ResultTable full = run_with(store_root + "_u", 0, 1);
+  EXPECT_EQ(computed.load(), 2);
+
+  // Warm: zero retraining runs, identical table.
+  const ResultTable warm = run_with(store_root + "_u", 0, 1);
+  EXPECT_EQ(computed.load(), 2);
+  EXPECT_EQ(warm.computed_cells(), 0u);
+  EXPECT_EQ(warm.to_csv(), full.to_csv());
+
+  // Shard, merge into shard A's store, and replay the merged store.
+  run_with(store_root + "_a", 0, 2);
+  run_with(store_root + "_b", 1, 2);
+  EXPECT_EQ(computed.load(), 4);
+  store::ResultStore(store_root + "_a")
+      .merge_from(store::ResultStore(store_root + "_b"));
+  const ResultTable merged = run_with(store_root + "_a", 0, 1);
+  EXPECT_EQ(computed.load(), 4) << "merged store must satisfy every cell";
+  EXPECT_EQ(merged.computed_cells(), 0u);
+  EXPECT_EQ(merged.to_csv(), full.to_csv());
+
+  for (const char* suffix : {"_u", "_a", "_b"}) {
+    std::filesystem::remove_all(store_root + suffix);
+  }
 }
 
 TEST_F(SweepWorkloadTest, CloneNetworkGivesIndependentBaselineCopies) {

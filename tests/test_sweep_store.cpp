@@ -1,0 +1,343 @@
+// SweepRunner x ResultStore integration: resume/warm-run semantics,
+// deterministic sharding, fingerprint invalidation, and the codec the
+// records travel through. Uses workload-free scenario functions so the
+// store machinery is exercised without training anything.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/sweep.h"
+#include "store/manifest.h"
+#include "store/result_store.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::core {
+namespace {
+
+// Strip the volatile single-line "run" object: everything else in the
+// sweep JSON is deterministic for a fixed set of computed cell values.
+std::string without_run_line(const std::string& json) {
+  std::istringstream in(json);
+  std::string out, line;
+  while (std::getline(in, line)) {
+    if (line.find("\"run\": {") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+class SweepStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "falvolt_sweep_store_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  static std::vector<Scenario> grid(int n = 6) {
+    std::vector<Scenario> scenarios;
+    for (int i = 0; i < n; ++i) {
+      Scenario s;
+      s.key = "cell=" + std::to_string(i);
+      s.fault_count = i;
+      s.fault_seed = 100 + static_cast<std::uint64_t>(i);
+      scenarios.push_back(s);
+    }
+    return scenarios;
+  }
+
+  static SweepStoreOptions store_opts(const std::string& dir,
+                                      int shard_index = 0,
+                                      int shard_count = 1) {
+    SweepStoreOptions st;
+    st.dir = dir;
+    st.bench = "grid_test";
+    st.config = {{"epochs", "4"}};
+    st.shard_index = shard_index;
+    st.shard_count = shard_count;
+    return st;
+  }
+
+  // Deterministic cell computation whose invocations we can count.
+  SweepRunner::ScenarioFn counting_fn(std::atomic<int>& computed) {
+    return [&computed](const Scenario& s, const SweepContext&) {
+      ++computed;
+      ScenarioResult out;
+      out.metrics = {
+          {"value", 10.0 * static_cast<double>(s.fault_count)}};
+      out.csv_rows = {{s.key, "row"}};
+      out.log = "log " + s.key + "\n";
+      return out;
+    };
+  }
+
+  SweepRunner runner(const SweepStoreOptions& st) {
+    SweepRunner r{WorkloadOptions{}};
+    r.set_prepare_baselines(false);
+    r.set_store(st);
+    return r;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(SweepStoreTest, WarmRerunComputesNothingAndIsByteIdentical) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+
+  SweepRunner cold = runner(store_opts(dir_));
+  const ResultTable t_cold = cold.run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+  EXPECT_TRUE(t_cold.complete());
+  EXPECT_EQ(t_cold.computed_cells(), 6u);
+  EXPECT_EQ(t_cold.cached_cells(), 0u);
+
+  SweepRunner warm = runner(store_opts(dir_));
+  const ResultTable t_warm = warm.run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6) << "warm run must not recompute";
+  EXPECT_TRUE(t_warm.complete());
+  EXPECT_EQ(t_warm.computed_cells(), 0u);
+  EXPECT_EQ(t_warm.cached_cells(), 6u);
+
+  EXPECT_EQ(t_cold.to_csv(), t_warm.to_csv());
+  EXPECT_EQ(without_run_line(t_cold.to_json("grid_test")),
+            without_run_line(t_warm.to_json("grid_test")));
+  // Replayed cells reproduce the original compute seconds exactly.
+  for (std::size_t i = 0; i < t_cold.size(); ++i) {
+    EXPECT_EQ(t_cold.at(i).seconds, t_warm.at(i).seconds);
+    EXPECT_EQ(t_cold.at(i).log, t_warm.at(i).log);
+    EXPECT_EQ(t_cold.at(i).csv_rows, t_warm.at(i).csv_rows);
+  }
+}
+
+TEST_F(SweepStoreTest, ResumeFalseRecomputesEverything) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  runner(store_opts(dir_)).run(scenarios, counting_fn(computed));
+  SweepStoreOptions st = store_opts(dir_);
+  st.resume = false;
+  const ResultTable t = runner(st).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 12);
+  EXPECT_EQ(t.computed_cells(), 6u);
+}
+
+TEST_F(SweepStoreTest, ShardsPartitionDeterministicallyAndMergeExactly) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+
+  // The unsharded reference table.
+  const ResultTable t_full =
+      runner(store_opts(dir_ + "_u")).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+
+  // Two shards, separate stores (separate machines).
+  const ResultTable t0 = runner(store_opts(dir_ + "_a", 0, 2))
+                             .run(scenarios, counting_fn(computed));
+  const ResultTable t1 = runner(store_opts(dir_ + "_b", 1, 2))
+                             .run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6 + 6);  // each shard computed half
+  EXPECT_FALSE(t0.complete());
+  EXPECT_FALSE(t1.complete());
+  EXPECT_EQ(t0.computed_cells(), 3u);  // indices 0, 2, 4
+  EXPECT_EQ(t1.computed_cells(), 3u);  // indices 1, 3, 5
+  EXPECT_EQ(t0.absent_cells(), 3u);
+  EXPECT_TRUE(t0.is_filled(0));
+  EXPECT_FALSE(t0.is_filled(1));
+
+  // Union the shard stores and rebuild the grid from the manifest —
+  // exactly what the sweep_merge tool does.
+  const store::ResultStore merged(dir_ + "_m");
+  const store::ResultStore a(dir_ + "_a"), b(dir_ + "_b");
+  merged.merge_from(a);
+  merged.merge_from(b);
+  const auto manifest =
+      store::read_manifest(store::list_manifests(a, "grid_test").front());
+  ASSERT_TRUE(manifest.has_value());
+  ASSERT_EQ(manifest->entries.size(), scenarios.size());
+
+  ResultTable rebuilt(manifest->entries.size());
+  for (std::size_t i = 0; i < manifest->entries.size(); ++i) {
+    const std::optional<std::string> payload =
+        merged.get(manifest->entries[i].first);
+    ASSERT_TRUE(payload.has_value()) << manifest->entries[i].second;
+    ScenarioResult r;
+    ASSERT_TRUE(decode_scenario_result(*payload, r));
+    rebuilt.put_cached(i, std::move(r));
+  }
+  EXPECT_TRUE(rebuilt.complete());
+  EXPECT_EQ(rebuilt.to_csv(), t_full.to_csv());
+
+  for (const std::string suffix : {"_u", "_a", "_b", "_m"}) {
+    fs::remove_all(dir_ + suffix);
+  }
+}
+
+TEST_F(SweepStoreTest, ResumeComputesOnlyTheMissingCells) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  // A "killed" sweep: only shard 0/2's cells made it into the store.
+  runner(store_opts(dir_, 0, 2)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 3);
+  // The rerun resumes: replays the 3 cached cells, computes the rest.
+  const ResultTable t =
+      runner(store_opts(dir_)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.cached_cells(), 3u);
+  EXPECT_EQ(t.computed_cells(), 3u);
+}
+
+TEST_F(SweepStoreTest, ForeignShardCachedCellsAreReplayed) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  // Shard 1's cells land in the SHARED store first...
+  runner(store_opts(dir_, 1, 2)).run(scenarios, counting_fn(computed));
+  // ...so shard 0 pointed at the same store replays them for free and
+  // its table is already complete.
+  const ResultTable t =
+      runner(store_opts(dir_, 0, 2)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.cached_cells(), 3u);
+}
+
+TEST_F(SweepStoreTest, FingerprintInvalidationOnConfigAndRetrainChange) {
+  std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  runner(store_opts(dir_)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+
+  // Result-affecting bench config changed (e.g. --epochs 4 -> 8): every
+  // cell re-addresses, nothing stale hits.
+  SweepStoreOptions st = store_opts(dir_);
+  st.config = {{"epochs", "8"}};
+  runner(st).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 12);
+
+  // Per-scenario retrain config changed: only via the fingerprint.
+  SweepRunner probe = runner(store_opts(dir_));
+  Scenario s = scenarios[0];
+  const std::string base = probe.fingerprint(s);
+  s.epochs = 9;
+  EXPECT_NE(probe.fingerprint(s), base);
+  s = scenarios[0];
+  s.retrain = true;
+  EXPECT_NE(probe.fingerprint(s), base);
+  s = scenarios[0];
+  s.vth = 0.55;
+  EXPECT_NE(probe.fingerprint(s), base);
+  EXPECT_EQ(probe.fingerprint(scenarios[0]), base);
+
+  // Workload seed is part of the address too (it retrains the baseline).
+  WorkloadOptions other_seed;
+  other_seed.seed = 8;
+  SweepRunner seeded{other_seed};
+  seeded.set_prepare_baselines(false);
+  seeded.set_store(store_opts(dir_));
+  EXPECT_NE(seeded.fingerprint(scenarios[0]), base);
+}
+
+TEST_F(SweepStoreTest, CorruptRecordIsRecomputedNotTrusted) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  SweepRunner cold = runner(store_opts(dir_));
+  cold.run(scenarios, counting_fn(computed));
+
+  // Truncate one record in place (mid-download crash, disk rot...).
+  const store::ResultStore rs(dir_);
+  const std::string fp = cold.fingerprint(scenarios[2]);
+  ASSERT_TRUE(rs.contains(fp));
+  fs::resize_file(rs.object_path(fp), 20);
+
+  const ResultTable t =
+      runner(store_opts(dir_)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 7);  // exactly the damaged cell
+  EXPECT_TRUE(t.complete());
+  EXPECT_EQ(t.cached_cells(), 5u);
+  EXPECT_EQ(t.computed_cells(), 1u);
+  EXPECT_TRUE(rs.get(fp).has_value()) << "record must be healed";
+}
+
+TEST(SweepStoreCodec, RoundTripsEveryField) {
+  ScenarioResult r;
+  r.scenario.key = "MNIST/rate=30/vth=0.45";
+  r.scenario.tag = "FalVolt";
+  r.scenario.dataset = DatasetKind::kDvsGesture;
+  r.scenario.vth = 0.45;
+  r.scenario.fault_rate = 0.30;
+  r.scenario.fault_count = 8;
+  r.scenario.bit = 15;
+  r.scenario.stuck = fx::StuckType::kStuckAt0;
+  r.scenario.array_size = 64;
+  r.scenario.repeat = 3;
+  r.scenario.fault_seed = 0xdeadbeefcafeULL;
+  r.scenario.retrain = true;
+  r.scenario.epochs = 8;
+  r.fingerprint = std::string(64, 'a');
+  r.metrics = {{"accuracy", 97.25}, {"vth:conv1", 0.5}};
+  r.csv_rows = {{"a", "b,c", "d\"e"}, {}};
+  r.log = "line1\nline2\n";
+  r.seconds = 12.5;
+
+  ScenarioResult back;
+  ASSERT_TRUE(decode_scenario_result(encode_scenario_result(r), back));
+  EXPECT_EQ(back.scenario.key, r.scenario.key);
+  EXPECT_EQ(back.scenario.tag, r.scenario.tag);
+  EXPECT_EQ(back.scenario.dataset, r.scenario.dataset);
+  EXPECT_EQ(back.scenario.vth, r.scenario.vth);
+  EXPECT_EQ(back.scenario.fault_rate, r.scenario.fault_rate);
+  EXPECT_EQ(back.scenario.fault_count, r.scenario.fault_count);
+  EXPECT_EQ(back.scenario.bit, r.scenario.bit);
+  EXPECT_EQ(back.scenario.stuck, r.scenario.stuck);
+  EXPECT_EQ(back.scenario.array_size, r.scenario.array_size);
+  EXPECT_EQ(back.scenario.repeat, r.scenario.repeat);
+  EXPECT_EQ(back.scenario.fault_seed, r.scenario.fault_seed);
+  EXPECT_EQ(back.scenario.retrain, r.scenario.retrain);
+  EXPECT_EQ(back.scenario.epochs, r.scenario.epochs);
+  EXPECT_EQ(back.fingerprint, r.fingerprint);
+  EXPECT_EQ(back.metrics, r.metrics);
+  EXPECT_EQ(back.csv_rows, r.csv_rows);
+  EXPECT_EQ(back.log, r.log);
+  EXPECT_EQ(back.seconds, r.seconds);
+}
+
+TEST(SweepStoreCodec, RejectsDamageInsteadOfThrowing) {
+  ScenarioResult r;
+  r.scenario.key = "k";
+  r.metrics = {{"m", 1.0}};
+  const std::string bytes = encode_scenario_result(r);
+  ScenarioResult out;
+  EXPECT_FALSE(decode_scenario_result("", out));
+  EXPECT_FALSE(decode_scenario_result("garbage", out));
+  for (const std::size_t keep : {bytes.size() - 1, bytes.size() / 2,
+                                 std::size_t{5}}) {
+    EXPECT_FALSE(decode_scenario_result(bytes.substr(0, keep), out))
+        << "kept " << keep;
+  }
+  EXPECT_FALSE(decode_scenario_result(bytes + "x", out));  // trailing
+  // Foreign codec version.
+  std::string wrong_version = bytes;
+  wrong_version[0] = static_cast<char>(99);
+  EXPECT_FALSE(decode_scenario_result(wrong_version, out));
+}
+
+TEST(SweepShard, ParseShardSpec) {
+  EXPECT_EQ(parse_shard_spec(""), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(parse_shard_spec("0/1"), (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(parse_shard_spec("2/4"), (std::pair<int, int>{2, 4}));
+  EXPECT_THROW(parse_shard_spec("2"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("4/4"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("-1/4"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("0/0"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("a/b"), std::invalid_argument);
+  EXPECT_THROW(parse_shard_spec("1/2x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace falvolt::core
