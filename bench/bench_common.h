@@ -31,6 +31,23 @@
 
 namespace falvolt::bench {
 
+/// Split a separator-joined list, dropping empty tokens — the one
+/// tokenizer behind --datasets, --grids, --set, and --from.
+inline std::vector<std::string> split_list(const std::string& spec,
+                                           char sep = ',') {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t next = spec.find(sep, pos);
+    const std::string tok =
+        spec.substr(pos, next == std::string::npos ? next : next - pos);
+    if (!tok.empty()) out.push_back(tok);
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
 /// Standard flags shared by every figure bench.
 inline void add_common_flags(common::CliFlags& cli) {
   cli.add_bool("fast", common::fast_mode(),
@@ -131,6 +148,36 @@ inline core::SweepStoreOptions store_options(
   return st;
 }
 
+/// Print one grid's --list-scenarios rows (the row format shared by the
+/// bench dry run and sweep_fleet's cross-bench listing). `fp_of`
+/// computes the cell fingerprint; `rs` is null when the store does not
+/// exist yet (every cell then lists as MISS, or "-" with no store at
+/// all). Cross-grid listings pass a bench `label` (rows print as
+/// "bench:key") and thread a running `start_index` through so every row
+/// of the combined listing has a unique index. Returns the index after
+/// the last row.
+inline std::size_t list_scenario_rows(
+    const core::SweepStoreOptions& st,
+    const std::vector<core::Scenario>& scenarios,
+    const std::function<std::string(const core::Scenario&)>& fp_of,
+    const falvolt::store::ResultStore* rs, const std::string& label = "",
+    std::size_t start_index = 0) {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const std::string fp = fp_of(scenarios[i]);
+    const int owner =
+        static_cast<int>(i % static_cast<std::size_t>(st.shard_count));
+    const char* status = rs          ? (rs->contains(fp) ? "HIT" : "MISS")
+                         : st.dir.empty() ? "-"
+                                          : "MISS";
+    const std::string key = label.empty()
+                                ? scenarios[i].key
+                                : label + ":" + scenarios[i].key;
+    std::printf("%-5zu %-6d %-6s %-16s %s\n", start_index + i, owner,
+                status, fp.substr(0, 16).c_str(), key.c_str());
+  }
+  return start_index + scenarios.size();
+}
+
 /// Handle --list-scenarios: print the grid with fingerprints, owning
 /// shards, and store status (for shard planning), then tell the caller
 /// to exit. A pure dry run: computes nothing, writes no outputs, and —
@@ -150,16 +197,10 @@ inline bool list_scenarios(const common::CliFlags& cli,
               st.dir.empty() ? "" : ", store ", st.dir.c_str());
   std::printf("%-5s %-6s %-6s %-16s %s\n", "idx", "shard", "store",
               "fingerprint", "key");
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const std::string fp = runner.fingerprint(scenarios[i]);
-    const int owner =
-        static_cast<int>(i % static_cast<std::size_t>(st.shard_count));
-    const char* status = rs          ? (rs->contains(fp) ? "HIT" : "MISS")
-                         : st.dir.empty() ? "-"
-                                          : "MISS";
-    std::printf("%-5zu %-6d %-6s %-16s %s\n", i, owner, status,
-                fp.substr(0, 16).c_str(), scenarios[i].key.c_str());
-  }
+  list_scenario_rows(
+      st, scenarios,
+      [&runner](const core::Scenario& s) { return runner.fingerprint(s); },
+      rs.get());
   return true;
 }
 
@@ -223,11 +264,7 @@ inline std::vector<core::DatasetKind> dataset_list(
   const std::string& spec = cli.get_string("datasets");
   if (spec.empty() || spec == "all") return def;
   std::vector<core::DatasetKind> requested;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string tok =
-        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+  for (const std::string& tok : split_list(spec)) {
     if (tok == "mnist") {
       requested.push_back(core::DatasetKind::kMnist);
     } else if (tok == "nmnist") {
@@ -238,8 +275,9 @@ inline std::vector<core::DatasetKind> dataset_list(
       throw std::invalid_argument("--datasets: unknown dataset '" + tok +
                                   "' (want mnist,nmnist,dvs)");
     }
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
+  }
+  if (requested.empty()) {
+    throw std::invalid_argument("--datasets: no datasets in '" + spec + "'");
   }
   for (const auto kind : requested) {
     if (std::find(def.begin(), def.end(), kind) == def.end()) {

@@ -8,115 +8,60 @@
 // fault rate, and a wrong pick costs tens of accuracy points — which is
 // what motivates learning V_th (FalVolt).
 //
-// Every (dataset, rate, vth) cell is an independent scenario on
-// core::SweepRunner; --sweep-parallel N runs N cells at a time with
-// byte-identical tables.
+// The grid and scenario function live in bench/grids/fig2_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main adds the figure's own table
+// aggregation.
 
 #include "bench_common.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig2_vth_sweep");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig2_vth_sweep");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("epochs", 0, "retraining epochs (0 = per-dataset default)");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 2",
-             "Retraining accuracy vs fixed threshold voltage at 30% / 60% "
-             "faulty PEs (motivates FalVolt)");
+  fb::banner("Fig. 2", def.title);
 
-  const bool fast = cli.get_bool("fast");
-  const std::vector<float> vths = {0.45f, 0.5f, 0.55f, 0.7f, 1.0f};
-  const std::vector<double> rates = {0.30, 0.60};
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kDvsGesture});
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [](core::DatasetKind kind, double rate, float vth) {
-    return std::string(core::dataset_name(kind)) + "/rate=" +
-           common::TextTable::format(rate * 100, 0) + "/vth=" +
-           common::TextTable::format(vth, 2);
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    const int epochs =
-        cli.get_int("epochs") > 0
-            ? static_cast<int>(cli.get_int("epochs"))
-            : core::default_retrain_epochs(kind, fast);
-    for (const double rate : rates) {
-      for (const float vth : vths) {
-        core::Scenario s;
-        s.key = cell_key(kind, rate, vth);
-        s.dataset = kind;
-        s.vth = vth;
-        s.fault_rate = rate;
-        s.fault_seed = 4000 + static_cast<std::uint64_t>(rate * 100);
-        s.retrain = true;
-        s.epochs = epochs;
-        scenarios.push_back(s);
-      }
-    }
-  }
+  const std::vector<core::DatasetKind> kinds = fb::fig2::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "fig2_vth_sweep"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "fig2_vth_sweep"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"dataset", "fault_rate_percent", "vth", "accuracy"});
-  fb::probe_sweep_json(cli, "fig2_vth_sweep");
+  fb::probe_sweep_json(cli, def.name);
 
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& ctx) {
-    const core::Workload& wl = ctx.workload(s.dataset);
-    snn::Network net = ctx.clone_network(s.dataset);
-    common::Rng rng(s.fault_seed);
-    const systolic::ArrayConfig array = fb::experiment_array(cli);
-    const fault::FaultMap map = fault::fault_map_at_rate(
-        array.rows, array.cols, s.fault_rate,
-        fault::worst_case_spec(array.format.total_bits()), rng);
-    core::MitigationConfig cfg;
-    cfg.array = array;
-    cfg.retrain_epochs = s.epochs;
-    cfg.eval_each_epoch = false;
-    const core::MitigationResult r = core::run_fixed_vth_retraining(
-        net, map, wl.data.train, wl.data.test, cfg,
-        static_cast<float>(s.vth));
-
-    core::ScenarioResult out;
-    out.metrics = {{"accuracy", r.final_accuracy}};
-    out.csv_rows = {{std::string(core::dataset_name(s.dataset)),
-                     common::CsvWriter::format(s.fault_rate * 100),
-                     common::CsvWriter::format(s.vth),
-                     common::CsvWriter::format(r.final_accuracy)}};
-    fb::logf(out.log, "  %-15s rate=%2.0f%% vth=%.2f -> %.1f%%\n",
-             core::dataset_name(s.dataset), s.fault_rate * 100, s.vth,
-             r.final_accuracy);
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   fb::write_scenario_rows(csv, results);
 
   if (fb::sweep_complete(results)) {
     std::vector<std::string> header = {"series"};
-    for (const float v : vths) {
+    for (const float v : fb::fig2::vths()) {
       header.push_back(common::TextTable::format(v, 2));
     }
     common::TextTable table(header);
     for (const auto kind : kinds) {
-      for (const double rate : rates) {
+      for (const double rate : fb::fig2::rates()) {
         std::vector<double> row;
-        for (const float vth : vths) {
-          row.push_back(
-              results.get(cell_key(kind, rate, vth)).metrics.front().second);
+        for (const float vth : fb::fig2::vths()) {
+          row.push_back(results.get(fb::fig2::cell_key(kind, rate, vth))
+                            .metrics.front()
+                            .second);
         }
         table.row_labeled(std::string(core::dataset_name(kind)) + "@" +
                               common::TextTable::format(rate * 100, 0) + "%",
@@ -126,7 +71,7 @@ int main(int argc, char** argv) {
     std::printf("\nRetrained accuracy [%%] per fixed threshold voltage:\n");
     table.print();
   }
-  fb::emit_sweep_summary(cli, "fig2_vth_sweep", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("\nExpected shape (paper): best V_th differs per dataset and "
               "fault rate; a bad fixed pick loses tens of points.\n");
   return 0;

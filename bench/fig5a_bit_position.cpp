@@ -6,110 +6,48 @@
 // DVS-Gesture. The paper's finding: MSB faults (especially stuck-at-1 in
 // the sign bit) collapse accuracy, LSB faults are nearly harmless.
 //
-// Every (dataset, stuck level, bit, fault map) cell is an independent
-// scenario on core::SweepRunner; the per-repeat accuracies are averaged
-// in repeat order afterwards, so tables are byte-identical at any
-// --sweep-parallel.
+// The grid and scenario function live in bench/grids/fig5a_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main adds the figure's own table
+// aggregation and CSV schema.
 
 #include "bench_common.h"
-#include "core/mitigation.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig5a_bit_position");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig5a_bit_position");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("faulty-pes", 8, "number of faulty PEs");
-  cli.add_int("eval-samples", 96, "test samples per evaluation");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 5a",
-             "Accuracy vs fault bit location (sa0/sa1, unmitigated "
-             "inference on the fixed-point systolic engine)");
+  fb::banner("Fig. 5a", def.title);
 
   const systolic::ArrayConfig array = fb::experiment_array(cli);
-  const int word = array.format.total_bits();
-  const int repeats =
-      cli.get_int("repeats") > 0 ? static_cast<int>(cli.get_int("repeats"))
-                                 : (cli.get_bool("fast") ? 1 : 2);
+  const std::vector<int> bits = fb::fig5a::bits(array.format.total_bits());
+  const int repeats = fb::fig5a::repeats(cli);
   const int n_faulty = static_cast<int>(cli.get_int("faulty-pes"));
-  const int eval_n = static_cast<int>(cli.get_int("eval-samples"));
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-            core::DatasetKind::kDvsGesture});
-
-  std::vector<int> bits;
-  for (int b = 0; b < word; b += 2) bits.push_back(b);
-  if (bits.back() != word - 1) bits.push_back(word - 1);  // always the MSB
-
-  const std::vector<fx::StuckType> types = {fx::StuckType::kStuckAt0,
-                                            fx::StuckType::kStuckAt1};
-  const auto type_name = [](fx::StuckType t) {
-    return t == fx::StuckType::kStuckAt0 ? "sa0" : "sa1";
-  };
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [&](core::DatasetKind kind, fx::StuckType type,
-                            int bit, int rep) {
-    return std::string(core::dataset_name(kind)) + "/" + type_name(type) +
-           "/bit=" + std::to_string(bit) + "/rep=" + std::to_string(rep);
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    for (const auto type : types) {
-      for (const int bit : bits) {
-        for (int rep = 0; rep < repeats; ++rep) {
-          core::Scenario s;
-          s.key = cell_key(kind, type, bit, rep);
-          s.dataset = kind;
-          s.stuck = type;
-          s.bit = bit;
-          s.fault_count = n_faulty;
-          s.repeat = rep;
-          // Seeded per repeat only: every bit position and stuck level is
-          // evaluated on the SAME faulty-PE locations, so the x-axis
-          // isolates the bit effect (as in the paper's setup).
-          s.fault_seed = 1000 + static_cast<std::uint64_t>(rep);
-          scenarios.push_back(s);
-        }
-      }
-    }
-  }
+  const std::vector<core::DatasetKind> kinds = fb::fig5a::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "fig5a_bit_position"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "fig5a_bit_position"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"dataset", "type", "bit", "accuracy"});
-  fb::probe_sweep_json(cli, "fig5a_bit_position");
+  fb::probe_sweep_json(cli, def.name);
 
-  fb::EvalSets eval_sets(runner.context(), eval_n);
-
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& c) {
-    snn::Network net = c.clone_network(s.dataset);
-    common::Rng rng(s.fault_seed);
-    fault::FaultSpec spec;
-    spec.bit = s.bit;
-    spec.word_bits = word;
-    spec.type = s.stuck;
-    const fault::FaultMap map = fault::random_fault_map(
-        array.rows, array.cols, s.fault_count, spec, rng);
-    const double acc = core::evaluate_with_faults(
-        net, eval_sets.of(s.dataset), array, map,
-        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-    core::ScenarioResult out;
-    out.metrics = {{"accuracy", acc}};
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   if (fb::sweep_complete(results)) {
     std::vector<std::string> header = {"series"};
@@ -117,21 +55,21 @@ int main(int argc, char** argv) {
     common::TextTable table(header);
 
     for (const auto kind : kinds) {
-      for (const auto type : types) {
+      for (const auto type : fb::fig5a::types()) {
         std::vector<double> row;
         for (const int bit : bits) {
           common::RunningStats acc;
           for (int rep = 0; rep < repeats; ++rep) {
-            acc.add(results.get(cell_key(kind, type, bit, rep))
+            acc.add(results.get(fb::fig5a::cell_key(kind, type, bit, rep))
                         .metrics.front()
                         .second);
           }
           row.push_back(acc.mean());
-          csv.row({std::string(core::dataset_name(kind)), type_name(type),
-                   std::to_string(bit),
+          csv.row({std::string(core::dataset_name(kind)),
+                   fb::fig5a::type_name(type), std::to_string(bit),
                    common::CsvWriter::format(acc.mean())});
         }
-        table.row_labeled(std::string(type_name(type)) + "-" +
+        table.row_labeled(std::string(fb::fig5a::type_name(type)) + "-" +
                               core::dataset_name(kind),
                           row, 1);
       }
@@ -141,7 +79,7 @@ int main(int argc, char** argv) {
                 n_faulty, array.to_string().c_str());
     table.print();
   }
-  fb::emit_sweep_summary(cli, "fig5a_bit_position", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("\nExpected shape (paper): accuracy near baseline at LSBs, "
               "collapse at MSBs; sa1 worse than sa0.\n");
   return 0;

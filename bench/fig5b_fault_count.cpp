@@ -6,101 +6,61 @@
 // iterations per point). Headline number: 8 faulty PEs — 0.012% of the
 // array — already halves the accuracy.
 //
-// Every (dataset, fault count, fault map) cell is an independent scenario
-// on core::SweepRunner; per-repeat accuracies are averaged in repeat
-// order afterwards, so tables are byte-identical at any --sweep-parallel.
+// The grid and scenario function live in bench/grids/fig5b_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main adds the figure's own table
+// aggregation and CSV schema.
 
 #include "bench_common.h"
-#include "core/mitigation.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig5b_fault_count");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig5b_fault_count");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("eval-samples", 96, "test samples per evaluation");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 5b",
-             "Accuracy vs number of faulty PEs (MSB sa1 worst case, "
-             "unmitigated inference)");
+  fb::banner("Fig. 5b", def.title);
 
   const systolic::ArrayConfig array = fb::experiment_array(cli);
-  const int repeats =
-      cli.get_int("repeats") > 0 ? static_cast<int>(cli.get_int("repeats"))
-                                 : (cli.get_bool("fast") ? 2 : 4);
-  const int eval_n = static_cast<int>(cli.get_int("eval-samples"));
-  const std::vector<int> counts = {0, 4, 8, 16, 32, 40, 48, 56, 64};
-  const fault::FaultSpec spec =
-      fault::worst_case_spec(array.format.total_bits());
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-            core::DatasetKind::kDvsGesture});
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [](core::DatasetKind kind, int count, int rep) {
-    return std::string(core::dataset_name(kind)) + "/faulty=" +
-           std::to_string(count) + "/rep=" + std::to_string(rep);
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    for (const int count : counts) {
-      for (int rep = 0; rep < repeats; ++rep) {
-        core::Scenario s;
-        s.key = cell_key(kind, count, rep);
-        s.dataset = kind;
-        s.fault_count = count;
-        s.repeat = rep;
-        s.fault_seed =
-            2000 + static_cast<std::uint64_t>(31 * count + rep);
-        scenarios.push_back(s);
-      }
-    }
-  }
+  const int repeats = fb::fig5b::repeats(cli);
+  const std::vector<core::DatasetKind> kinds = fb::fig5b::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "fig5b_fault_count"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
   common::CsvWriter csv(
-      fb::csv_path(cli, "fig5b_fault_count"),
+      fb::csv_path(cli, def.name),
       {"dataset", "faulty_pes", "fault_rate_percent", "accuracy", "stddev"});
-  fb::probe_sweep_json(cli, "fig5b_fault_count");
+  fb::probe_sweep_json(cli, def.name);
 
-  fb::EvalSets eval_sets(runner.context(), eval_n);
-
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& c) {
-    snn::Network net = c.clone_network(s.dataset);
-    common::Rng rng(s.fault_seed);
-    const fault::FaultMap map = fault::random_fault_map(
-        array.rows, array.cols, s.fault_count, spec, rng);
-    const double acc = core::evaluate_with_faults(
-        net, eval_sets.of(s.dataset), array, map,
-        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-    core::ScenarioResult out;
-    out.metrics = {{"accuracy", acc}};
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   if (fb::sweep_complete(results)) {
     std::vector<std::string> header = {"dataset"};
-    for (const int c : counts) header.push_back(std::to_string(c));
+    for (const int c : fb::fig5b::counts()) {
+      header.push_back(std::to_string(c));
+    }
     common::TextTable table(header);
 
     for (const auto kind : kinds) {
       std::vector<double> row;
-      for (const int count : counts) {
+      for (const int count : fb::fig5b::counts()) {
         common::RunningStats acc;
         for (int rep = 0; rep < repeats; ++rep) {
-          acc.add(results.get(cell_key(kind, count, rep))
+          acc.add(results.get(fb::fig5b::cell_key(kind, count, rep))
                       .metrics.front()
                       .second);
         }
@@ -119,7 +79,7 @@ int main(int argc, char** argv) {
                 repeats);
     table.print();
   }
-  fb::emit_sweep_summary(cli, "fig5b_fault_count", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("\nExpected shape (paper): steep collapse by ~8 faulty PEs "
               "(0.012%% of the array); DVS-Gesture lowest throughout.\n");
   return 0;

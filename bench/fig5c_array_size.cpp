@@ -5,106 +5,61 @@
 // absolute number of faults does far more damage — the paper's
 // array-reuse argument.
 //
-// Every (dataset, array size, fault map) cell is an independent scenario
-// on core::SweepRunner; per-repeat accuracies are averaged in repeat
-// order afterwards, so tables are byte-identical at any --sweep-parallel.
+// The grid and scenario function live in bench/grids/fig5c_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main adds the figure's own table
+// aggregation and CSV schema.
 
 #include "bench_common.h"
-#include "core/mitigation.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig5c_array_size");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig5c_array_size");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("faulty-pes", 4, "number of faulty PEs (paper: 4)");
-  cli.add_int("eval-samples", 96, "test samples per evaluation");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 5c",
-             "Accuracy vs total array size at a fixed number of faulty "
-             "PEs (MSB sa1, unmitigated)");
+  fb::banner("Fig. 5c", def.title);
 
-  const int repeats =
-      cli.get_int("repeats") > 0 ? static_cast<int>(cli.get_int("repeats"))
-                                 : (cli.get_bool("fast") ? 2 : 3);
+  const int repeats = fb::fig5c::repeats(cli);
   const int n_faulty = static_cast<int>(cli.get_int("faulty-pes"));
-  const int eval_n = static_cast<int>(cli.get_int("eval-samples"));
-  const std::vector<int> sizes = {4, 8, 16, 32, 64, 256};
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-            core::DatasetKind::kDvsGesture});
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [](core::DatasetKind kind, int n, int rep) {
-    return std::string(core::dataset_name(kind)) + "/array=" +
-           std::to_string(n) + "/rep=" + std::to_string(rep);
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    for (const int n : sizes) {
-      for (int rep = 0; rep < repeats; ++rep) {
-        core::Scenario s;
-        s.key = cell_key(kind, n, rep);
-        s.dataset = kind;
-        s.array_size = n;
-        s.fault_count = n_faulty;
-        s.repeat = rep;
-        s.fault_seed = 3000 + static_cast<std::uint64_t>(7 * n + rep);
-        scenarios.push_back(s);
-      }
-    }
-  }
+  const std::vector<core::DatasetKind> kinds = fb::fig5c::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "fig5c_array_size"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "fig5c_array_size"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"dataset", "array", "total_pes", "accuracy",
                          "stddev"});
-  fb::probe_sweep_json(cli, "fig5c_array_size");
+  fb::probe_sweep_json(cli, def.name);
 
-  fb::EvalSets eval_sets(runner.context(), eval_n);
-
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& c) {
-    snn::Network net = c.clone_network(s.dataset);
-    systolic::ArrayConfig array;
-    array.rows = array.cols = s.array_size;
-    const fault::FaultSpec spec =
-        fault::worst_case_spec(array.format.total_bits());
-    common::Rng rng(s.fault_seed);
-    const fault::FaultMap map = fault::random_fault_map(
-        s.array_size, s.array_size, s.fault_count, spec, rng);
-    const double acc = core::evaluate_with_faults(
-        net, eval_sets.of(s.dataset), array, map,
-        systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-    core::ScenarioResult out;
-    out.metrics = {{"accuracy", acc}};
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   if (fb::sweep_complete(results)) {
     std::vector<std::string> header = {"dataset"};
-    for (const int s : sizes) {
+    for (const int s : fb::fig5c::sizes()) {
       header.push_back(std::to_string(s * s));  // paper plots total PEs
     }
     common::TextTable table(header);
 
     for (const auto kind : kinds) {
       std::vector<double> row;
-      for (const int n : sizes) {
+      for (const int n : fb::fig5c::sizes()) {
         common::RunningStats acc;
         for (int rep = 0; rep < repeats; ++rep) {
-          acc.add(results.get(cell_key(kind, n, rep))
+          acc.add(results.get(fb::fig5c::cell_key(kind, n, rep))
                       .metrics.front()
                       .second);
         }
@@ -122,7 +77,7 @@ int main(int argc, char** argv) {
                 n_faulty, repeats);
     table.print();
   }
-  fb::emit_sweep_summary(cli, "fig5c_array_size", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("\nExpected shape (paper): small arrays suffer far more from "
               "the same absolute fault count (array reuse).\n");
   return 0;

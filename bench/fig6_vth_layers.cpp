@@ -4,100 +4,45 @@
 // array) for all three datasets; reports the learned V_th of every hidden
 // convolutional and fully connected spiking layer.
 //
-// Every (dataset, rate) cell is an independent FalVolt run on
-// core::SweepRunner; --sweep-parallel N runs N cells at a time with
-// byte-identical tables.
+// The grid and scenario function live in bench/grids/fig6_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main adds the figure's own table
+// aggregation.
 
 #include "bench_common.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig6_vth_layers");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig6_vth_layers");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("epochs", 0, "retraining epochs (0 = per-dataset default)");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 6",
-             "Optimized per-layer threshold voltage after FalVolt at "
-             "10%/30%/60% faulty PEs");
+  fb::banner("Fig. 6", def.title);
 
-  const bool fast = cli.get_bool("fast");
-  const std::vector<double> rates = {0.10, 0.30, 0.60};
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-            core::DatasetKind::kDvsGesture});
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [](core::DatasetKind kind, double rate) {
-    return std::string(core::dataset_name(kind)) + "/rate=" +
-           common::TextTable::format(rate * 100, 0);
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    const int epochs =
-        cli.get_int("epochs") > 0
-            ? static_cast<int>(cli.get_int("epochs"))
-            : core::default_retrain_epochs(kind, fast);
-    for (const double rate : rates) {
-      core::Scenario s;
-      s.key = cell_key(kind, rate);
-      s.dataset = kind;
-      s.fault_rate = rate;
-      s.fault_seed = 5000 + static_cast<std::uint64_t>(rate * 100);
-      s.retrain = true;
-      s.epochs = epochs;
-      scenarios.push_back(s);
-    }
-  }
+  const std::vector<core::DatasetKind> kinds = fb::fig6::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "fig6_vth_layers"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "fig6_vth_layers"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"dataset", "fault_rate_percent", "layer", "vth",
                          "final_accuracy"});
-  fb::probe_sweep_json(cli, "fig6_vth_layers");
+  fb::probe_sweep_json(cli, def.name);
 
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& ctx) {
-    const core::Workload& wl = ctx.workload(s.dataset);
-    snn::Network net = ctx.clone_network(s.dataset);
-    common::Rng rng(s.fault_seed);
-    const systolic::ArrayConfig array = fb::experiment_array(cli);
-    const fault::FaultMap map = fault::fault_map_at_rate(
-        array.rows, array.cols, s.fault_rate,
-        fault::worst_case_spec(array.format.total_bits()), rng);
-    core::MitigationConfig cfg;
-    cfg.array = array;
-    cfg.retrain_epochs = s.epochs;
-    cfg.eval_each_epoch = false;
-    const core::MitigationResult r =
-        core::run_falvolt(net, map, wl.data.train, wl.data.test, cfg);
-
-    core::ScenarioResult out;
-    out.metrics = {{"accuracy", r.final_accuracy}};
-    for (const auto& v : r.vth_per_layer) {
-      out.metrics.emplace_back("vth:" + v.layer, v.vth);
-      out.csv_rows.push_back(
-          {std::string(core::dataset_name(s.dataset)),
-           common::CsvWriter::format(s.fault_rate * 100), v.layer,
-           common::CsvWriter::format(v.vth),
-           common::CsvWriter::format(r.final_accuracy)});
-    }
-    fb::logf(out.log, "  %-15s rate=%2.0f%% -> accuracy %.1f%%\n",
-             core::dataset_name(s.dataset), s.fault_rate * 100,
-             r.final_accuracy);
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   fb::write_scenario_rows(csv, results);
 
@@ -107,13 +52,15 @@ int main(int argc, char** argv) {
     for (const auto kind : kinds) {
       std::vector<std::string> header = {"faulty"};
       const auto& first_metrics =
-          results.get(cell_key(kind, rates.front())).metrics;
+          results.get(fb::fig6::cell_key(kind, fb::fig6::rates().front()))
+              .metrics;
       for (std::size_t m = 1; m < first_metrics.size(); ++m) {
         header.push_back(first_metrics[m].first.substr(4));
       }
       common::TextTable table(header);
-      for (const double rate : rates) {
-        const core::ScenarioResult& r = results.get(cell_key(kind, rate));
+      for (const double rate : fb::fig6::rates()) {
+        const core::ScenarioResult& r =
+            results.get(fb::fig6::cell_key(kind, rate));
         std::vector<double> row;
         for (std::size_t m = 1; m < r.metrics.size(); ++m) {
           row.push_back(r.metrics[m].second);
@@ -127,7 +74,7 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
-  fb::emit_sweep_summary(cli, "fig6_vth_layers", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("Expected shape (paper): early conv / first FC layers keep "
               "higher thresholds than later layers so redundant spikes do "
               "not reach the output.\n");

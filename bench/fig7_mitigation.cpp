@@ -6,133 +6,70 @@
 // partially, and only FalVolt stays at (near-)baseline accuracy up to
 // 60% faults.
 //
-// Every (dataset, rate, method) cell is an independent scenario on
-// core::SweepRunner — all three mitigations of one rate share the same
-// fault map (seeded from the rate, as before) but run on independent
-// clones of the trained baseline.
+// The grid and scenario function live in bench/grids/fig7_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main adds the figure's own table
+// aggregation.
 
 #include "bench_common.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig7_mitigation");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig7_mitigation");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("epochs", 0, "retraining epochs (0 = per-dataset default)");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 7",
-             "FaP vs FaPIT vs FalVolt accuracy at 10%/30%/60% faulty PEs");
+  fb::banner("Fig. 7", def.title);
 
-  const bool fast = cli.get_bool("fast");
-  const std::vector<double> rates = {0.10, 0.30, 0.60};
-  const std::vector<std::string> methods = {"FaP", "FaPIT", "FalVolt"};
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-            core::DatasetKind::kDvsGesture});
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [](core::DatasetKind kind, double rate,
-                           const std::string& method) {
-    return std::string(core::dataset_name(kind)) + "/rate=" +
-           common::TextTable::format(rate * 100, 0) + "/" + method;
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    const int epochs =
-        cli.get_int("epochs") > 0
-            ? static_cast<int>(cli.get_int("epochs"))
-            : core::default_retrain_epochs(kind, fast);
-    for (const double rate : rates) {
-      for (const std::string& method : methods) {
-        core::Scenario s;
-        s.key = cell_key(kind, rate, method);
-        s.tag = method;
-        s.dataset = kind;
-        s.fault_rate = rate;
-        s.fault_seed = 6000 + static_cast<std::uint64_t>(rate * 100);
-        s.retrain = method != "FaP";
-        s.epochs = epochs;
-        scenarios.push_back(s);
-      }
-    }
-  }
+  const std::vector<core::DatasetKind> kinds = fb::fig7::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "fig7_mitigation"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "fig7_mitigation"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"dataset", "fault_rate_percent", "method",
                          "best_accuracy", "baseline"});
-  fb::probe_sweep_json(cli, "fig7_mitigation");
+  fb::probe_sweep_json(cli, def.name);
 
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& ctx) {
-    const core::Workload& wl = ctx.workload(s.dataset);
-    snn::Network net = ctx.clone_network(s.dataset);
-    common::Rng rng(s.fault_seed);
-    const systolic::ArrayConfig array = fb::experiment_array(cli);
-    const fault::FaultMap map = fault::fault_map_at_rate(
-        array.rows, array.cols, s.fault_rate,
-        fault::worst_case_spec(array.format.total_bits()), rng);
-    core::MitigationConfig cfg;
-    cfg.array = array;
-    cfg.retrain_epochs = s.epochs;
-    // Per-epoch evaluation so we can report the best checkpoint — the
-    // weights a deployment flow would actually keep (retraining SNNs
-    // with surrogate gradients is noisy epoch to epoch).
-    cfg.eval_each_epoch = true;
-
-    double acc = 0.0;
-    if (s.tag == "FaP") {
-      acc = core::run_fap(net, map, wl.data.test).final_accuracy;
-    } else if (s.tag == "FaPIT") {
-      acc = core::run_fapit(net, map, wl.data.train, wl.data.test, cfg)
-                .best_accuracy;
-    } else {
-      acc = core::run_falvolt(net, map, wl.data.train, wl.data.test, cfg)
-                .best_accuracy;
-    }
-
-    core::ScenarioResult out;
-    out.metrics = {{"best_accuracy", acc},
-                   {"baseline", wl.baseline_accuracy}};
-    out.csv_rows = {{std::string(core::dataset_name(s.dataset)),
-                     common::CsvWriter::format(s.fault_rate * 100), s.tag,
-                     common::CsvWriter::format(acc),
-                     common::CsvWriter::format(wl.baseline_accuracy)}};
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   fb::write_scenario_rows(csv, results);
 
   if (fb::sweep_complete(results)) {
+    const std::vector<double>& rates = fb::fig7::rates();
     for (const auto kind : kinds) {
       // Baseline accuracy comes from the cells' own "baseline" metric,
       // not runner.context(): on a warm-store re-run no workload was
       // ever prepared, yet the replayed cells still carry it.
       const double baseline =
-          results.get(cell_key(kind, rates.front(), "FaP"))
+          results.get(fb::fig7::cell_key(kind, rates.front(), "FaP"))
               .metrics.back()
               .second;
       common::TextTable table({"faulty", "FaP", "FaPIT", "FalVolt"});
       for (const double rate : rates) {
         const double fap =
-            results.get(cell_key(kind, rate, "FaP")).metrics.front().second;
+            results.get(fb::fig7::cell_key(kind, rate, "FaP"))
+                .metrics.front()
+                .second;
         const double fapit =
-            results.get(cell_key(kind, rate, "FaPIT"))
+            results.get(fb::fig7::cell_key(kind, rate, "FaPIT"))
                 .metrics.front()
                 .second;
         const double falvolt =
-            results.get(cell_key(kind, rate, "FalVolt"))
+            results.get(fb::fig7::cell_key(kind, rate, "FalVolt"))
                 .metrics.front()
                 .second;
         table.row_labeled(common::TextTable::format(rate * 100, 0) + "%",
@@ -148,7 +85,7 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
-  fb::emit_sweep_summary(cli, "fig7_mitigation", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("Reported values are best checkpoints over the retraining run.\nExpected shape (paper): FaP degrades rapidly with rate; "
               "FaPIT recovers partially; FalVolt reaches (near-)baseline "
               "even at 60%%.\n");

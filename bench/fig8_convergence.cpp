@@ -5,126 +5,44 @@
 // reaches the baseline-accuracy band in about half the epochs of FaPIT
 // ("2x faster").
 //
-// Every (dataset, method) curve is an independent scenario on
-// core::SweepRunner (both methods of one dataset retrain an independent
-// clone against the SAME fault map, seeded from the scenario), so the
-// bench gets --sweep-parallel, --store caching, --shard, and --resume
-// like the grid figures. The per-epoch accuracies ride in the scenario
-// metrics ("epoch001", ...), the convergence summary is rebuilt from
-// them afterwards.
+// The grid and scenario function live in bench/grids/fig8_grid.cpp
+// (registered into core::GridRegistry, so the sweep_fleet driver runs
+// exactly the same cells); this main rebuilds the convergence summary
+// from the per-epoch metrics ("epoch001", ...) afterwards.
 
 #include "bench_common.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
-namespace {
-
-std::string epoch_metric(int epoch) {  // 1-based, zero-padded
-  char buf[16];
-  std::snprintf(buf, sizeof(buf), "epoch%03d", epoch);
-  return buf;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  common::CliFlags cli("fig8_convergence");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("fig8_convergence");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("epochs", 0, "retraining epochs (0 = 2x per-dataset default)");
-  cli.add_double("rate", 0.30, "fault rate (paper: 0.30)");
-  cli.add_double("target-drop", 3.0,
-                 "convergence target = baseline - this many points");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Fig. 8",
-             "Accuracy vs retraining epochs at 30% faulty PEs "
-             "(FaPIT vs FalVolt; the 2x-faster claim)");
+  fb::banner("Fig. 8", def.title);
 
-  const bool fast = cli.get_bool("fast");
-  const double rate = cli.get_double("rate");
-  const std::vector<std::string> methods = {"FaPIT", "FalVolt"};
-  const std::vector<core::DatasetKind> kinds = fb::dataset_list(
-      cli, {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
-            core::DatasetKind::kDvsGesture});
-
-  // Long enough horizon that the slower method also converges.
-  const auto horizon = [&](core::DatasetKind kind) {
-    return cli.get_int("epochs") > 0
-               ? static_cast<int>(cli.get_int("epochs"))
-               : 2 * core::default_retrain_epochs(kind, fast);
-  };
-
-  // Single source of truth for scenario keys: the same lambda builds
-  // the grid and rebuilds the tables, so they can never disagree.
-  const auto cell_key = [](core::DatasetKind kind,
-                           const std::string& method) {
-    return std::string(core::dataset_name(kind)) + "/" + method;
-  };
-
-  std::vector<core::Scenario> scenarios;
-  for (const auto kind : kinds) {
-    for (const std::string& method : methods) {
-      core::Scenario s;
-      s.key = cell_key(kind, method);
-      s.tag = method;
-      s.dataset = kind;
-      s.fault_rate = rate;
-      s.fault_seed = 7000;  // both methods retrain against the SAME map
-      s.retrain = true;
-      s.epochs = horizon(kind);
-      scenarios.push_back(s);
-    }
-  }
+  const std::vector<core::DatasetKind> kinds = fb::fig8::kinds(cli);
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  // --target-drop only moves the post-sweep epochs-to-target summary,
-  // never a curve value: exempting it keeps the expensive retraining
-  // cells cached while the convergence target is re-picked.
-  runner.set_store(
-      fb::store_options(cli, "fig8_convergence", {"target-drop"}));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "fig8_convergence"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"dataset", "method", "epoch", "accuracy"});
-  fb::probe_sweep_json(cli, "fig8_convergence");
+  fb::probe_sweep_json(cli, def.name);
 
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& ctx) {
-    const core::Workload& wl = ctx.workload(s.dataset);
-    snn::Network net = ctx.clone_network(s.dataset);
-    common::Rng rng(s.fault_seed);
-    const systolic::ArrayConfig array = fb::experiment_array(cli);
-    const fault::FaultMap map = fault::fault_map_at_rate(
-        array.rows, array.cols, s.fault_rate,
-        fault::worst_case_spec(array.format.total_bits()), rng);
-    core::MitigationConfig cfg;
-    cfg.array = array;
-    cfg.retrain_epochs = s.epochs;
-    cfg.eval_each_epoch = true;  // the whole point of this figure
-
-    const core::MitigationResult r =
-        s.tag == "FaPIT"
-            ? core::run_fapit(net, map, wl.data.train, wl.data.test, cfg)
-            : core::run_falvolt(net, map, wl.data.train, wl.data.test,
-                                cfg);
-
-    core::ScenarioResult out;
-    out.metrics = {{"baseline", wl.baseline_accuracy}};
-    for (int e = 0; e < s.epochs; ++e) {
-      const double acc =
-          r.curve[static_cast<std::size_t>(e)].test_accuracy;
-      out.metrics.emplace_back(epoch_metric(e + 1), acc);
-      out.csv_rows.push_back({std::string(core::dataset_name(s.dataset)),
-                              s.tag, std::to_string(e + 1),
-                              common::CsvWriter::format(acc)});
-    }
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   fb::write_scenario_rows(csv, results);
 
@@ -133,10 +51,10 @@ int main(int argc, char** argv) {
                                "FalVolt epochs-to-target", "speedup"});
     for (const auto kind : kinds) {
       const core::ScenarioResult& fapit =
-          results.get(cell_key(kind, "FaPIT"));
+          results.get(fb::fig8::cell_key(kind, "FaPIT"));
       const core::ScenarioResult& falvolt =
-          results.get(cell_key(kind, "FalVolt"));
-      const int epochs = horizon(kind);
+          results.get(fb::fig8::cell_key(kind, "FalVolt"));
+      const int epochs = fb::fig8::horizon(cli, kind);
 
       // metrics[0] is "baseline", metrics[e] is epoch e (1-based) — the
       // scenario function writes them in exactly that order.
@@ -179,7 +97,7 @@ int main(int argc, char** argv) {
                 cli.get_double("target-drop"));
     summary.print();
   }
-  fb::emit_sweep_summary(cli, "fig8_convergence", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("\nExpected shape (paper): FalVolt converges in about half "
               "the epochs of FaPIT.\n");
   return 0;

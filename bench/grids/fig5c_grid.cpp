@@ -1,0 +1,90 @@
+// Fig. 5c grid — accuracy vs systolic array size at a fixed number of
+// faulty PEs (MSB sa1, unmitigated). Grid + scenario function, shared
+// between the fig5c_array_size main and the sweep_fleet driver.
+
+#include <memory>
+
+#include "bench_common.h"
+#include "core/grid_registry.h"
+#include "core/mitigation.h"
+#include "grids/grids.h"
+
+namespace falvolt::bench::fig5c {
+
+const std::vector<int>& sizes() {
+  static const std::vector<int> kSizes = {4, 8, 16, 32, 64, 256};
+  return kSizes;
+}
+
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli) {
+  return dataset_list(cli, {core::DatasetKind::kMnist,
+                            core::DatasetKind::kNMnist,
+                            core::DatasetKind::kDvsGesture});
+}
+
+int repeats(const common::CliFlags& cli) {
+  return cli.get_int("repeats") > 0
+             ? static_cast<int>(cli.get_int("repeats"))
+             : (cli.get_bool("fast") ? 2 : 3);
+}
+
+std::string cell_key(core::DatasetKind kind, int array_size, int rep) {
+  return std::string(core::dataset_name(kind)) + "/array=" +
+         std::to_string(array_size) + "/rep=" + std::to_string(rep);
+}
+
+void register_grid() {
+  core::GridDef def;
+  def.name = "fig5c_array_size";
+  def.title =
+      "Accuracy vs total array size at a fixed number of faulty PEs (MSB "
+      "sa1, unmitigated)";
+  def.add_flags = [](common::CliFlags& cli) {
+    cli.add_int("faulty-pes", 4, "number of faulty PEs (paper: 4)");
+    cli.add_int("eval-samples", 96, "test samples per evaluation");
+  };
+  def.scenarios = [](const common::CliFlags& cli) {
+    const int reps = repeats(cli);
+    const int n_faulty = static_cast<int>(cli.get_int("faulty-pes"));
+    std::vector<core::Scenario> scenarios;
+    for (const auto kind : kinds(cli)) {
+      for (const int n : sizes()) {
+        for (int rep = 0; rep < reps; ++rep) {
+          core::Scenario s;
+          s.key = cell_key(kind, n, rep);
+          s.dataset = kind;
+          s.array_size = n;
+          s.fault_count = n_faulty;
+          s.repeat = rep;
+          s.fault_seed = 3000 + static_cast<std::uint64_t>(7 * n + rep);
+          scenarios.push_back(s);
+        }
+      }
+    }
+    return scenarios;
+  };
+  def.scenario_fn = [](const common::CliFlags& cli,
+                       const core::SweepContext& ctx) {
+    const auto eval_sets = std::make_shared<EvalSets>(
+        ctx, static_cast<int>(cli.get_int("eval-samples")));
+    return [eval_sets](const core::Scenario& s, const core::SweepContext& c) {
+      snn::Network net = c.clone_network(s.dataset);
+      systolic::ArrayConfig array;
+      array.rows = array.cols = s.array_size;
+      const fault::FaultSpec spec =
+          fault::worst_case_spec(array.format.total_bits());
+      common::Rng rng(s.fault_seed);
+      const fault::FaultMap map = fault::random_fault_map(
+          s.array_size, s.array_size, s.fault_count, spec, rng);
+      const double acc = core::evaluate_with_faults(
+          net, eval_sets->of(s.dataset), array, map,
+          systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
+      core::ScenarioResult out;
+      out.metrics = {{"accuracy", acc}};
+      return out;
+    };
+  };
+  core::GridRegistry::instance().add(std::move(def));
+}
+
+}  // namespace falvolt::bench::fig5c

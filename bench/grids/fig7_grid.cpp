@@ -1,0 +1,109 @@
+// Fig. 7 grid — mitigation comparison (FaP vs FaPIT vs FalVolt) at
+// 10% / 30% / 60% faulty PEs. Grid + scenario function, shared between
+// the fig7_mitigation main and the sweep_fleet driver.
+
+#include "bench_common.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
+
+namespace falvolt::bench::fig7 {
+
+const std::vector<double>& rates() {
+  static const std::vector<double> kRates = {0.10, 0.30, 0.60};
+  return kRates;
+}
+
+const std::vector<std::string>& methods() {
+  static const std::vector<std::string> kMethods = {"FaP", "FaPIT",
+                                                    "FalVolt"};
+  return kMethods;
+}
+
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli) {
+  return dataset_list(cli, {core::DatasetKind::kMnist,
+                            core::DatasetKind::kNMnist,
+                            core::DatasetKind::kDvsGesture});
+}
+
+int epochs(const common::CliFlags& cli, core::DatasetKind kind) {
+  return cli.get_int("epochs") > 0
+             ? static_cast<int>(cli.get_int("epochs"))
+             : core::default_retrain_epochs(kind, cli.get_bool("fast"));
+}
+
+std::string cell_key(core::DatasetKind kind, double rate,
+                     const std::string& method) {
+  return std::string(core::dataset_name(kind)) + "/rate=" +
+         common::TextTable::format(rate * 100, 0) + "/" + method;
+}
+
+void register_grid() {
+  core::GridDef def;
+  def.name = "fig7_mitigation";
+  def.title = "FaP vs FaPIT vs FalVolt accuracy at 10%/30%/60% faulty PEs";
+  def.add_flags = [](common::CliFlags& cli) {
+    cli.add_int("epochs", 0, "retraining epochs (0 = per-dataset default)");
+  };
+  def.scenarios = [](const common::CliFlags& cli) {
+    std::vector<core::Scenario> scenarios;
+    for (const auto kind : kinds(cli)) {
+      const int cell_epochs = epochs(cli, kind);
+      for (const double rate : rates()) {
+        for (const std::string& method : methods()) {
+          core::Scenario s;
+          s.key = cell_key(kind, rate, method);
+          s.tag = method;
+          s.dataset = kind;
+          s.fault_rate = rate;
+          s.fault_seed = 6000 + static_cast<std::uint64_t>(rate * 100);
+          s.retrain = method != "FaP";
+          s.epochs = cell_epochs;
+          scenarios.push_back(s);
+        }
+      }
+    }
+    return scenarios;
+  };
+  def.scenario_fn = [](const common::CliFlags& cli,
+                       const core::SweepContext&) {
+    const systolic::ArrayConfig array = experiment_array(cli);
+    return [array](const core::Scenario& s, const core::SweepContext& ctx) {
+      const core::Workload& wl = ctx.workload(s.dataset);
+      snn::Network net = ctx.clone_network(s.dataset);
+      common::Rng rng(s.fault_seed);
+      const fault::FaultMap map = fault::fault_map_at_rate(
+          array.rows, array.cols, s.fault_rate,
+          fault::worst_case_spec(array.format.total_bits()), rng);
+      core::MitigationConfig cfg;
+      cfg.array = array;
+      cfg.retrain_epochs = s.epochs;
+      // Per-epoch evaluation so we can report the best checkpoint — the
+      // weights a deployment flow would actually keep (retraining SNNs
+      // with surrogate gradients is noisy epoch to epoch).
+      cfg.eval_each_epoch = true;
+
+      double acc = 0.0;
+      if (s.tag == "FaP") {
+        acc = core::run_fap(net, map, wl.data.test).final_accuracy;
+      } else if (s.tag == "FaPIT") {
+        acc = core::run_fapit(net, map, wl.data.train, wl.data.test, cfg)
+                  .best_accuracy;
+      } else {
+        acc = core::run_falvolt(net, map, wl.data.train, wl.data.test, cfg)
+                  .best_accuracy;
+      }
+
+      core::ScenarioResult out;
+      out.metrics = {{"best_accuracy", acc},
+                     {"baseline", wl.baseline_accuracy}};
+      out.csv_rows = {{std::string(core::dataset_name(s.dataset)),
+                       common::CsvWriter::format(s.fault_rate * 100), s.tag,
+                       common::CsvWriter::format(acc),
+                       common::CsvWriter::format(wl.baseline_accuracy)}};
+      return out;
+    };
+  };
+  core::GridRegistry::instance().add(std::move(def));
+}
+
+}  // namespace falvolt::bench::fig7

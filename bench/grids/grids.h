@@ -1,0 +1,87 @@
+#pragma once
+// The figure benches' grid definitions, registered into
+// core::GridRegistry (see grid_registry.h for why).
+//
+// Each figN namespace is that bench's single source of truth for its
+// grid axes and scenario-key scheme: the GridDef's grid builder AND the
+// bench main's table aggregation both go through these helpers, so the
+// two can never disagree — and the sweep_fleet driver, which runs the
+// registered GridDefs, addresses exactly the cells the standalone bench
+// would.
+
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/experiment.h"
+#include "fixed/stuck_bits.h"
+
+namespace falvolt::bench {
+
+/// Register every figure grid into core::GridRegistry::instance().
+/// Idempotent — every bench main and every driver calls it first.
+void register_all_grids();
+
+namespace fig2 {
+const std::vector<float>& vths();
+const std::vector<double>& rates();
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int epochs(const common::CliFlags& cli, core::DatasetKind kind);
+std::string cell_key(core::DatasetKind kind, double rate, float vth);
+void register_grid();
+}  // namespace fig2
+
+namespace fig5a {
+const std::vector<fx::StuckType>& types();
+const char* type_name(fx::StuckType t);
+std::vector<int> bits(int word_bits);
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int repeats(const common::CliFlags& cli);
+std::string cell_key(core::DatasetKind kind, fx::StuckType type, int bit,
+                     int rep);
+void register_grid();
+}  // namespace fig5a
+
+namespace fig5b {
+const std::vector<int>& counts();
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int repeats(const common::CliFlags& cli);
+std::string cell_key(core::DatasetKind kind, int count, int rep);
+void register_grid();
+}  // namespace fig5b
+
+namespace fig5c {
+const std::vector<int>& sizes();
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int repeats(const common::CliFlags& cli);
+std::string cell_key(core::DatasetKind kind, int array_size, int rep);
+void register_grid();
+}  // namespace fig5c
+
+namespace fig6 {
+const std::vector<double>& rates();
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int epochs(const common::CliFlags& cli, core::DatasetKind kind);
+std::string cell_key(core::DatasetKind kind, double rate);
+void register_grid();
+}  // namespace fig6
+
+namespace fig7 {
+const std::vector<double>& rates();
+const std::vector<std::string>& methods();
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int epochs(const common::CliFlags& cli, core::DatasetKind kind);
+std::string cell_key(core::DatasetKind kind, double rate,
+                     const std::string& method);
+void register_grid();
+}  // namespace fig7
+
+namespace fig8 {
+const std::vector<std::string>& methods();
+std::vector<core::DatasetKind> kinds(const common::CliFlags& cli);
+int horizon(const common::CliFlags& cli, core::DatasetKind kind);
+std::string cell_key(core::DatasetKind kind, const std::string& method);
+void register_grid();
+}  // namespace fig8
+
+}  // namespace falvolt::bench

@@ -1,0 +1,20 @@
+#include "grids/grids.h"
+
+namespace falvolt::bench {
+
+void register_all_grids() {
+  // Registration order = listing order in the fleet driver.
+  static const bool done = [] {
+    fig2::register_grid();
+    fig5a::register_grid();
+    fig5b::register_grid();
+    fig5c::register_grid();
+    fig6::register_grid();
+    fig7::register_grid();
+    fig8::register_grid();
+    return true;
+  }();
+  (void)done;
+}
+
+}  // namespace falvolt::bench

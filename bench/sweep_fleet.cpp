@@ -1,0 +1,302 @@
+// sweep_fleet — run several figure grids as ONE cross-bench sweep.
+//
+// Every registered figure grid (core::GridRegistry, populated by
+// bench/grids/) is enumerated, its cells fingerprinted exactly as the
+// standalone bench would fingerprint them, and the union of all pending
+// cells run through one work-stealing queue of N workers against one
+// shared store: a worker that finishes fig5b's cheap eval cells
+// immediately steals fig8's expensive retrain cells instead of idling,
+// and a dataset baseline is trained (or cache-loaded) once per fleet
+// run no matter how many grids need it.
+//
+// Because fingerprints are shared, the store is interchangeable with
+// per-bench runs: after a fleet run, `fig5b_fault_count --store <dir>`
+// replays every cell (cells_computed: 0) and emits its figure tables
+// byte-identical to a standalone run — the fleet computes values, the
+// benches own their presentation. Per-grid shard specs compose
+// (--shard i/n partitions every grid), so fleets can span machines and
+// be unioned with sweep_merge like any other sweep.
+//
+//   sweep_fleet --store fleet_store --workers 8 --fast
+//     --grids fig5b_fault_count,fig2_vth_sweep
+//     --set fig5b_fault_count.eval-samples=24,fig2_vth_sweep.epochs=1
+//
+// Common flags (--fast, --seed, --datasets, --repeats, ...) apply to
+// every grid; bench-specific flags are set per grid with --set.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/json.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
+#include "store/result_store.h"
+
+namespace fb = falvolt::bench;
+using namespace falvolt;
+
+namespace {
+
+// Per-grid flag overrides from --set "bench.flag=value[,...]". Flags
+// the fleet itself manages (the shared store, shard spec, worker
+// counts) and the shared workload identity (fast/seed — the fleet has
+// ONE baseline context) must not be overridden per grid: a diverted
+// --store, for example, would silently publish a grid's records away
+// from the advertised shared store.
+std::map<std::string, std::vector<std::string>> parse_overrides(
+    const std::string& spec) {
+  static const std::set<std::string> kFleetManaged = {
+      "store", "shard",          "fast",       "seed",
+      "threads", "sweep-parallel", "sweep-json", "list-scenarios"};
+  std::map<std::string, std::vector<std::string>> out;
+  for (const std::string& entry : fb::split_list(spec)) {
+    const std::size_t dot = entry.find('.');
+    const std::size_t eq = entry.find('=', dot == std::string::npos ? 0 : dot);
+    if (dot == std::string::npos || eq == std::string::npos || dot == 0 ||
+        eq <= dot + 1) {
+      throw std::invalid_argument(
+          "--set entries must be bench.flag=value, got '" + entry + "'");
+    }
+    const std::string flag = entry.substr(dot + 1, eq - dot - 1);
+    if (kFleetManaged.count(flag)) {
+      throw std::invalid_argument(
+          "--set must not override fleet-managed flag --" + flag +
+          " per grid (set it at the fleet level instead)");
+    }
+    out[entry.substr(0, dot)].push_back("--" + entry.substr(dot + 1));
+  }
+  return out;
+}
+
+// One grid, fully resolved from the fleet command line.
+struct FleetGridSpec {
+  const core::GridDef* def = nullptr;
+  common::CliFlags cli;
+  std::vector<core::Scenario> scenarios;
+  core::SweepStoreOptions store;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  fb::register_all_grids();
+  const core::GridRegistry& registry = core::GridRegistry::instance();
+
+  common::CliFlags cli("sweep_fleet");
+  fb::add_common_flags(cli);
+  cli.add_int("workers", 0,
+              "concurrent cells across ALL grids (overrides "
+              "--sweep-parallel when > 0; 0 = --sweep-parallel resolution)");
+  cli.add_string("grids", "all",
+                 "comma list of registered figure grids to sweep "
+                 "(all = every registered grid)");
+  cli.add_string("set", "",
+                 "per-grid bench-specific flag overrides, "
+                 "'bench.flag=value[,bench.flag=value...]' (e.g. "
+                 "fig5b_fault_count.eval-samples=24)");
+  cli.add_string("json", "",
+                 "fleet summary JSON path ('' = disabled). Per-bench "
+                 "sweep JSONs come from warm bench re-runs against the "
+                 "fleet store");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const std::string store_dir = fb::resolve_store_dir(cli);
+  if (store_dir.empty()) {
+    std::fprintf(stderr,
+                 "sweep_fleet: --store (or $FALVOLT_STORE) is required — "
+                 "the whole point of a fleet is the shared store\n");
+    return 1;
+  }
+
+  // Grid selection, registration order preserved for "all".
+  std::vector<std::string> names;
+  if (cli.get_string("grids") == "all") {
+    names = registry.names();
+  } else {
+    for (const std::string& name : fb::split_list(cli.get_string("grids"))) {
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);  // a repeated name must not double-compute
+      }
+    }
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "sweep_fleet: no grids selected\n");
+    return 1;
+  }
+  std::map<std::string, std::vector<std::string>> overrides =
+      parse_overrides(cli.get_string("set"));
+  for (const auto& [bench, tokens] : overrides) {
+    (void)tokens;
+    if (std::find(names.begin(), names.end(), bench) == names.end()) {
+      std::fprintf(stderr,
+                   "sweep_fleet: --set names '%s', which is not among the "
+                   "selected grids\n",
+                   bench.c_str());
+      return 1;
+    }
+  }
+
+  // Common flags forwarded verbatim to every grid (the "--name=value"
+  // form survives empty values). Derived from the fleet's own flag set
+  // minus the fleet-only/fleet-managed ones, so a common flag added
+  // later is forwarded automatically — and a future fleet-only flag
+  // missing from this denylist fails each grid's parse loudly
+  // ("unknown flag") instead of being dropped. A grid parses common +
+  // its own flags, then its --set overrides, so its fingerprint config
+  // is exactly what the standalone bench would compute for the same
+  // invocation.
+  static const std::set<std::string> kNotForwarded = {
+      "store",  // forwarded below as the resolved shared store dir
+      "sweep-json", "list-scenarios",  // fleet-handled, not per-grid
+      "workers", "grids", "set", "json"};  // fleet-only flags
+  std::vector<std::string> forwards;
+  for (const auto& [flag, value] : cli.items()) {
+    if (!kNotForwarded.count(flag)) {
+      forwards.push_back("--" + flag + "=" + value);
+    }
+  }
+  forwards.push_back("--store=" + store_dir);
+
+  const core::WorkloadOptions fleet_opts = fb::workload_options(cli);
+  std::vector<FleetGridSpec> specs;
+  for (const std::string& name : names) {
+    const core::GridDef& def = registry.get(name);
+    FleetGridSpec spec{&def, common::CliFlags(def.name), {}, {}};
+    fb::add_common_flags(spec.cli);
+    def.add_flags(spec.cli);
+    std::vector<std::string> args = {def.name};
+    args.insert(args.end(), forwards.begin(), forwards.end());
+    const auto it = overrides.find(name);
+    if (it != overrides.end()) {
+      args.insert(args.end(), it->second.begin(), it->second.end());
+    }
+    std::vector<const char*> argv_g;
+    argv_g.reserve(args.size());
+    for (const std::string& a : args) argv_g.push_back(a.c_str());
+    try {
+      spec.cli.parse(static_cast<int>(argv_g.size()), argv_g.data());
+      spec.scenarios = def.scenarios(spec.cli);
+      spec.store =
+          fb::store_options(spec.cli, def.name, def.aggregation_only);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "sweep_fleet: grid %s: %s\n", name.c_str(),
+                   e.what());
+      return 1;
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  // Shard-planning dry run: the full cross-bench cell listing, computed
+  // with the same fingerprints the sweep would use. Like the benches'
+  // --list-scenarios it never creates store directories.
+  if (cli.get_bool("list-scenarios")) {
+    std::unique_ptr<store::ResultStore> rs;
+    if (store::store_exists(store_dir)) {
+      rs = std::make_unique<store::ResultStore>(store_dir);
+    }
+    std::size_t total = 0;
+    for (const FleetGridSpec& spec : specs) total += spec.scenarios.size();
+    std::printf("# %zu grid(s), %zu cell(s), store %s\n", specs.size(),
+                total, store_dir.c_str());
+    std::printf("%-5s %-6s %-6s %-16s %s\n", "idx", "shard", "store",
+                "fingerprint", "bench:key");
+    std::size_t index = 0;
+    for (const FleetGridSpec& spec : specs) {
+      index = fb::list_scenario_rows(
+          spec.store, spec.scenarios,
+          [&spec, &fleet_opts](const core::Scenario& s) {
+            return core::fingerprint_cell(spec.store, fleet_opts, s);
+          },
+          rs.get(), spec.def->name, index);
+    }
+    return 0;
+  }
+
+  // Probe the summary path BEFORE the sweep: an unwritable --json must
+  // fail now, not after hours of retraining (same fail-fast contract as
+  // the bench mains' CSV writers). Append mode leaves any previous
+  // summary intact should this run die mid-sweep.
+  if (!cli.get_string("json").empty()) {
+    std::ofstream probe(cli.get_string("json"), std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "sweep_fleet: cannot open %s\n",
+                   cli.get_string("json").c_str());
+      return 1;
+    }
+  }
+
+  core::WorkloadOptions opts = fleet_opts;
+  if (cli.get_int("workers") > 0) {
+    opts.sweep_parallel = static_cast<int>(cli.get_int("workers"));
+  }
+
+  core::FleetRunner fleet(opts);
+  fleet.set_on_baseline(fb::print_baseline);
+  for (FleetGridSpec& spec : specs) {
+    fleet.add_grid(core::FleetGrid{
+        spec.store, spec.scenarios,
+        spec.def->scenario_fn(spec.cli, fleet.context())});
+  }
+
+  std::printf("=== sweep_fleet ===\n%zu grid(s) against store %s\n\n",
+              specs.size(), store_dir.c_str());
+  const std::vector<core::ResultTable> tables = fleet.run();
+
+  std::size_t computed = 0, cached = 0, absent = 0;
+  for (std::size_t g = 0; g < tables.size(); ++g) {
+    const core::ResultTable& t = tables[g];
+    computed += t.computed_cells();
+    cached += t.cached_cells();
+    absent += t.absent_cells();
+    std::printf("[fleet] %-22s %3zu cell(s): %zu computed, %zu cached, "
+                "%zu left to other shards\n",
+                specs[g].def->name.c_str(), t.size(), t.computed_cells(),
+                t.cached_cells(), t.absent_cells());
+  }
+  std::printf("[fleet] total: %zu computed, %zu cached, %zu absent in "
+              "%.1f s at %d worker(s)\n",
+              computed, cached, absent,
+              tables.empty() ? 0.0 : tables.front().total_seconds(),
+              tables.empty() ? 0 : tables.front().sweep_parallel());
+  std::printf("[fleet] figure tables: re-run each bench with --store %s "
+              "(replays every cell) or use sweep_merge\n",
+              store_dir.c_str());
+
+  if (!cli.get_string("json").empty()) {
+    std::ofstream out(cli.get_string("json"));
+    if (!out) {
+      std::fprintf(stderr, "sweep_fleet: cannot open %s\n",
+                   cli.get_string("json").c_str());
+      return 1;
+    }
+    out << "{\n  \"driver\": \"sweep_fleet\",\n  \"store\": \""
+        << common::json_escape(store_dir)
+        << "\",\n  \"run\": {\"workers\": "
+        << (tables.empty() ? 0 : tables.front().sweep_parallel())
+        << ", \"total_seconds\": "
+        << (tables.empty() ? 0.0 : tables.front().total_seconds())
+        << ", \"cells_computed\": " << computed
+        << ", \"cells_cached\": " << cached
+        << ", \"cells_absent\": " << absent << "},\n  \"grids\": [\n";
+    for (std::size_t g = 0; g < tables.size(); ++g) {
+      out << "    {\"bench\": \"" << specs[g].def->name
+          << "\", \"cells\": " << tables[g].size()
+          << ", \"computed\": " << tables[g].computed_cells()
+          << ", \"cached\": " << tables[g].cached_cells()
+          << ", \"absent\": " << tables[g].absent_cells() << "}"
+          << (g + 1 == tables.size() ? "\n" : ",\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("[fleet] summary JSON written to %s\n",
+                cli.get_string("json").c_str());
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "sweep_fleet: %s\n", e.what());
+  return 1;
+}

@@ -7,10 +7,17 @@
 //
 //   1. unions the shard stores into --into (records are re-validated
 //      before import; a corrupt shard record is skipped and reported,
-//      manifests are carried over),
-//   2. rebuilds the complete grid in manifest order from the merged
+//      manifests are carried over; a --from that names a missing or
+//      empty store is an error, not a silent no-op),
+//   2. optionally garbage-collects --into (--prune): mark-and-sweep
+//      over manifest reachability — records no manifest references are
+//      deleted, reachable records are re-validated (frame checksum AND
+//      payload codec, so stale-format records from an epoch bump are
+//      reclaimed too) and dropped when damaged. Deleting is always
+//      safe: the worst case is a recompute on the next sweep,
+//   3. rebuilds the complete grid in manifest order from the merged
 //      store, and
-//   3. emits the generic figure table (--csv) — byte-identical to what
+//   4. emits the generic figure table (--csv) — byte-identical to what
 //      a single unsharded sweep of the same grid produces, because every
 //      cell value is content-addressed by everything that determines
 //      it — and the machine-readable summary (--json), whose per-cell
@@ -27,30 +34,14 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/cli.h"
 #include "core/sweep.h"
+#include "store/gc.h"
 #include "store/manifest.h"
 #include "store/result_store.h"
 
 using namespace falvolt;
-
-namespace {
-
-std::vector<std::string> split_commas(const std::string& spec) {
-  std::vector<std::string> out;
-  std::size_t pos = 0;
-  while (pos <= spec.size()) {
-    const std::size_t comma = spec.find(',', pos);
-    const std::string tok = spec.substr(
-        pos, comma == std::string::npos ? comma : comma - pos);
-    if (!tok.empty()) out.push_back(tok);
-    if (comma == std::string::npos) break;
-    pos = comma + 1;
-  }
-  return out;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   common::CliFlags cli("sweep_merge");
@@ -69,6 +60,11 @@ int main(int argc, char** argv) {
   cli.add_string("json", "", "write the merged sweep JSON summary here");
   cli.add_bool("list", false,
                "print the merged store's record count and manifests");
+  cli.add_bool("prune", false,
+               "garbage-collect --into after merging: delete records no "
+               "manifest references and reachable records that fail "
+               "re-validation. Run only while no sweep is writing to the "
+               "store");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.get_string("into").empty()) {
@@ -76,9 +72,44 @@ int main(int argc, char** argv) {
                  cli.usage().c_str());
     return 1;
   }
+  const std::vector<std::string> from_dirs =
+      bench::split_list(cli.get_string("from"));
+  // Creating --into is right when shard stores are being merged INTO
+  // it; with no --from, every operation (prune, list, table emission)
+  // reads an existing store — a typo'd path must fail, not materialize
+  // an empty store and report a successful no-op.
+  if (from_dirs.empty() && !store::store_exists(cli.get_string("into"))) {
+    std::fprintf(stderr,
+                 "sweep_merge: --into %s: no result store there (and no "
+                 "--from to merge into it)\n",
+                 cli.get_string("into").c_str());
+    return 1;
+  }
+  // Every merge source must already BE a store with content: opening a
+  // typo'd path would create an empty store there and "merge" nothing,
+  // and a sharded pipeline that silently unions zero records emits an
+  // empty table downstream instead of failing the merge step. Validated
+  // BEFORE --into is created, so a failed merge does not leave behind
+  // an empty destination husk that would satisfy the guard above next
+  // time.
+  for (const std::string& dir : from_dirs) {
+    if (!store::store_exists(dir)) {
+      std::fprintf(stderr, "sweep_merge: --from %s: no result store there\n",
+                   dir.c_str());
+      return 1;
+    }
+    const store::ResultStore src(dir);
+    if (src.fingerprints().empty() && store::list_manifests(src).empty()) {
+      std::fprintf(stderr,
+                   "sweep_merge: --from %s: store is empty (no records, no "
+                   "manifests) — did the shard run with --store?\n",
+                   dir.c_str());
+      return 1;
+    }
+  }
   store::ResultStore dst(cli.get_string("into"));
 
-  for (const std::string& dir : split_commas(cli.get_string("from"))) {
+  for (const std::string& dir : from_dirs) {
     const store::ResultStore src(dir);
     const store::ResultStore::MergeStats stats = dst.merge_from(src);
     int manifests = 0;
@@ -92,6 +123,20 @@ int main(int argc, char** argv) {
                 "%d corrupt skipped, %d manifest(s)\n",
                 dir.c_str(), stats.copied, stats.present, stats.corrupt,
                 manifests);
+  }
+
+  if (cli.get_bool("prune")) {
+    // The payload check decodes through the scenario-result codec, so
+    // records whose frame survived but whose payload an epoch/codec
+    // bump obsoleted are reclaimed as well (they could only ever read
+    // as a miss).
+    const store::GcStats gc =
+        store::prune_store(dst, [](const std::string& payload) {
+          core::ScenarioResult r;
+          return core::decode_scenario_result(payload, r);
+        });
+    std::printf("[prune] %s: %s\n", dst.root().c_str(),
+                gc.to_string().c_str());
   }
 
   if (cli.get_bool("list")) {

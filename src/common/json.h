@@ -1,0 +1,39 @@
+#pragma once
+// Minimal JSON string escaping, shared by every hand-rolled JSON writer
+// in the repo (ResultTable::to_json, the fleet summary). Escapes the
+// two mandatory metachars, keeps '\n' readable as \n, and \u-escapes
+// the remaining control characters.
+
+#include <cstdio>
+#include <string>
+
+namespace falvolt::common {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace falvolt::common

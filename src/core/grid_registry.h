@@ -1,0 +1,73 @@
+#pragma once
+// Registry of the figure benches' scenario grids.
+//
+// Historically every figure binary materialized its grid inside main(),
+// which made the grids unreachable from anything but that binary. A
+// GridDef instead captures the three things a driver needs to run a
+// bench's sweep without its main(): the bench's flag schema, its grid
+// construction, and its scenario function. The bench mains register
+// their own GridDef (bench/grids/) and then consume it, so a figure run
+// standalone and the same figure run by the sweep_fleet driver execute
+// literally the same grid-building and cell-computing code — which is
+// what makes their store fingerprints (and therefore their tables)
+// interchangeable.
+
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "core/sweep.h"
+
+namespace falvolt::core {
+
+/// One bench's grid, self-describing enough for a foreign driver.
+struct GridDef {
+  /// Canonical bench name — the store's bench id (e.g.
+  /// "fig5b_fault_count"); also the registry key.
+  std::string name;
+  /// One-line description for listings.
+  std::string title;
+  /// Registers the bench-SPECIFIC flags; the caller adds the common set
+  /// (bench::add_common_flags) first.
+  std::function<void(common::CliFlags&)> add_flags;
+  /// Flags that shape only post-sweep aggregation, never a cell value —
+  /// exempted from cell fingerprints (e.g. fig8's --target-drop).
+  std::set<std::string> aggregation_only;
+  /// Builds the scenario grid from the parsed flags.
+  std::function<std::vector<Scenario>(const common::CliFlags&)> scenarios;
+  /// Builds the scenario function. `ctx` is the context the running
+  /// sweep prepares baselines into (a SweepRunner's or a FleetRunner's);
+  /// the returned closure must own every other value it needs — capture
+  /// flag-derived values by value, shared state by shared_ptr — because
+  /// the CliFlags it was built from may be gone by the time it runs.
+  std::function<SweepRunner::ScenarioFn(const common::CliFlags&,
+                                        const SweepContext&)>
+      scenario_fn;
+};
+
+/// Process-global name -> GridDef map. Benches register at startup
+/// (bench::register_all_grids()); drivers enumerate or look up by name.
+class GridRegistry {
+ public:
+  static GridRegistry& instance();
+
+  /// Registers a grid. Throws std::logic_error on a duplicate name or a
+  /// def with any callback missing.
+  void add(GridDef def);
+
+  /// nullptr when `name` is not registered.
+  const GridDef* find(const std::string& name) const;
+  /// Throws std::out_of_range, listing the registered names, on a miss.
+  const GridDef& get(const std::string& name) const;
+
+  /// Registered names, in registration order.
+  std::vector<std::string> names() const;
+  std::size_t size() const { return defs_.size(); }
+
+ private:
+  std::vector<GridDef> defs_;
+};
+
+}  // namespace falvolt::core

@@ -1,17 +1,22 @@
 #include "core/sweep.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <stdexcept>
 #include <thread>
 
 #include "common/csv.h"
 #include "common/env.h"
+#include "common/json.h"
 #include "common/timer.h"
+#include "common/version.h"
 #include "compute/thread_pool.h"
 #include "store/fingerprint.h"
 #include "store/manifest.h"
@@ -28,32 +33,7 @@ std::uint64_t mix64(std::uint64_t z) {
   return z ^ (z >> 31);
 }
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+using common::json_escape;
 
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
@@ -69,7 +49,34 @@ std::string json_number(double v) {
 // codec only needs a version word of its own plus per-field lengths that
 // the reader validates against the remaining bytes.
 
-constexpr std::uint32_t kCodecVersion = 1;
+// v2 appended the provenance block (host, version, unix_time,
+// store_epoch). decode rejects foreign versions, so a store written by
+// an older build degrades to recompute-on-read — never an error.
+// POLICY: every codec bump must bump store::kStoreFormatEpoch with it
+// (see fingerprint.h) so old and new records never share an address.
+constexpr std::uint32_t kCodecVersion = 2;
+
+// Hostname of this process, resolved once (records are stamped from
+// worker threads; gethostname on every cell would be wasted syscalls).
+const std::string& process_hostname() {
+  static const std::string host = [] {
+    char buf[256] = {0};
+    if (::gethostname(buf, sizeof(buf) - 1) != 0) {
+      return std::string("unknown");
+    }
+    return std::string(buf);
+  }();
+  return host;
+}
+
+Provenance make_provenance() {
+  Provenance p;
+  p.host = process_hostname();
+  p.version = kFalvoltVersion;
+  p.unix_time = static_cast<std::uint64_t>(std::time(nullptr));
+  p.store_epoch = store::kStoreFormatEpoch;
+  return p;
+}
 
 void put_u32(std::string& b, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) {
@@ -184,6 +191,10 @@ std::string encode_scenario_result(const ScenarioResult& r) {
   }
   put_str(b, r.log);
   put_f64(b, r.seconds);
+  put_str(b, r.provenance.host);
+  put_str(b, r.provenance.version);
+  put_u64(b, r.provenance.unix_time);
+  put_u32(b, r.provenance.store_epoch);
   return b;
 }
 
@@ -236,6 +247,10 @@ bool decode_scenario_result(const std::string& bytes, ScenarioResult& out) {
     r.csv_rows.push_back(std::move(row));
   }
   if (!in.str(r.log) || !in.f64(r.seconds)) return false;
+  if (!in.str(r.provenance.host) || !in.str(r.provenance.version) ||
+      !in.u64(r.provenance.unix_time) || !in.u32(r.provenance.store_epoch)) {
+    return false;
+  }
   // Trailing garbage means the record is not what encode() wrote.
   if (in.remaining() != 0) return false;
   out = std::move(r);
@@ -429,7 +444,12 @@ std::string ResultTable::to_json(const std::string& bench_name) const {
               (r.scenario.retrain ? "true" : "false") +
               ", \"fingerprint\": \"" + json_escape(r.fingerprint) +
               "\", \"seconds\": " + json_number(r.seconds) +
-              ", \"metrics\": {";
+              ", \"provenance\": {\"host\": \"" +
+              json_escape(r.provenance.host) + "\", \"version\": \"" +
+              json_escape(r.provenance.version) + "\", \"unix_time\": " +
+              std::to_string(r.provenance.unix_time) +
+              ", \"store_epoch\": " +
+              std::to_string(r.provenance.store_epoch) + "}, \"metrics\": {";
       for (std::size_t m = 0; m < r.metrics.size(); ++m) {
         json += (m ? ", \"" : "\"") + json_escape(r.metrics[m].first) +
                 "\": " + json_number(r.metrics[m].second);
@@ -490,17 +510,18 @@ void SweepRunner::set_store(SweepStoreOptions store) {
   store_ = std::move(store);
 }
 
-std::string SweepRunner::fingerprint(const Scenario& s) const {
+std::string fingerprint_cell(const SweepStoreOptions& store,
+                             const WorkloadOptions& opts, const Scenario& s) {
   // Everything that determines the cell's output, nothing that is
   // execution-only. Field ORDER is part of the hash — append new fields
   // at the end (any change here re-addresses the whole store, which is
   // safe but discards every cached cell).
   store::Fingerprinter fp;
-  fp.add("bench", store_.bench);
-  for (const auto& [name, value] : store_.config) {
+  fp.add("bench", store.bench);
+  for (const auto& [name, value] : store.config) {
     fp.add("cfg:" + name, value);
   }
-  fp.add("workload", workload_id(s.dataset, opts_));
+  fp.add("workload", workload_id(s.dataset, opts));
   fp.add("key", s.key);
   fp.add("tag", s.tag);
   fp.add("vth", s.vth);
@@ -516,139 +537,195 @@ std::string SweepRunner::fingerprint(const Scenario& s) const {
   return fp.digest();
 }
 
-void SweepRunner::prepare_kinds(const std::set<DatasetKind>& kinds) {
-  for (const DatasetKind kind : kinds) {
-    if (ctx_.baselines_.count(kind)) continue;
-    Workload wl = prepare_workload(kind, opts_);
-    std::vector<tensor::Tensor> snapshot = wl.net.snapshot_params();
-    if (on_baseline_) on_baseline_(wl);
-    ctx_.order_.push_back(kind);
-    ctx_.baselines_.emplace(
-        kind, SweepContext::Baseline{std::move(wl), std::move(snapshot)});
-  }
+std::string SweepRunner::fingerprint(const Scenario& s) const {
+  return fingerprint_cell(store_, opts_, s);
 }
 
-const SweepContext& SweepRunner::prepare(
-    const std::vector<Scenario>& scenarios) {
-  if (!prepare_baselines_) return ctx_;
-  // Preserve first-use order: walk scenarios, not a sorted set.
-  for (const Scenario& s : scenarios) {
-    prepare_kinds({s.dataset});
-  }
-  return ctx_;
-}
+// ------------------------------------------------------------ SweepEngine
+//
+// The executor behind BOTH SweepRunner (one grid) and FleetRunner (the
+// union of several benches' grids). One grid is just a fleet of size 1:
+// fingerprints, triage, manifest writes, baseline preparation, the
+// work-stealing claim loop, store publication, provenance stamping, and
+// ordered log flushing are identical — the only differences are the
+// progress-line labels and how many tables come back.
+struct SweepEngine {
+  // Per-grid working state.
+  struct GridState {
+    const FleetGrid* grid = nullptr;
+    std::string label;  // non-empty => prefixed progress/error lines
+    std::unique_ptr<store::ResultStore> rs;
+    std::vector<std::string> fps;
+    ResultTable table;
+    std::vector<int> pending;  // grid-local indices this run computes
+  };
 
-int SweepRunner::effective_parallel(std::size_t n) const {
-  int want = opts_.sweep_parallel;
-  if (want <= 0) {
-    const long long env = common::env_int_or("FALVOLT_SWEEP_PARALLEL", 0);
-    if (env > 0) {
-      want = static_cast<int>(
-          std::min<long long>(env, compute::ThreadPool::kMaxThreads));
-    } else {
-      const unsigned hw = std::thread::hardware_concurrency();
-      want = hw == 0 ? 1 : static_cast<int>(hw);
+  static void prepare_kinds(
+      SweepContext& ctx, const WorkloadOptions& opts,
+      const std::function<void(const Workload&)>& on_baseline,
+      const std::set<DatasetKind>& kinds) {
+    for (const DatasetKind kind : kinds) {
+      if (ctx.baselines_.count(kind)) continue;
+      Workload wl = prepare_workload(kind, opts);
+      std::vector<tensor::Tensor> snapshot = wl.net.snapshot_params();
+      if (on_baseline) on_baseline(wl);
+      ctx.order_.push_back(kind);
+      ctx.baselines_.emplace(
+          kind, SweepContext::Baseline{std::move(wl), std::move(snapshot)});
     }
   }
-  want = std::min(want, compute::ThreadPool::kMaxThreads);
-  if (n > 0) {
-    want = std::min(want, static_cast<int>(
-                              std::min<std::size_t>(n, 1u << 16)));
-  }
-  return std::max(1, want);
-}
 
-ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
-                             const ScenarioFn& fn) {
-  {
-    std::set<std::string> keys;
-    for (const Scenario& s : scenarios) {
-      if (!keys.insert(s.key).second) {
-        throw std::invalid_argument("SweepRunner: duplicate scenario key " +
-                                    s.key);
+  static int effective_parallel(const WorkloadOptions& opts, std::size_t n) {
+    int want = opts.sweep_parallel;
+    if (want <= 0) {
+      const long long env = common::env_int_or("FALVOLT_SWEEP_PARALLEL", 0);
+      if (env > 0) {
+        want = static_cast<int>(
+            std::min<long long>(env, compute::ThreadPool::kMaxThreads));
+      } else {
+        const unsigned hw = std::thread::hardware_concurrency();
+        want = hw == 0 ? 1 : static_cast<int>(hw);
       }
     }
-  }
-  const std::size_t total = scenarios.size();
-  ResultTable table(total);
-  table.shard_index_ = store_.shard_index;
-  table.shard_count_ = store_.shard_count;
-
-  const bool use_store = !store_.dir.empty();
-  std::unique_ptr<store::ResultStore> result_store;
-  std::vector<std::string> fps(total);
-  if (use_store) {
-    result_store = std::make_unique<store::ResultStore>(store_.dir);
-    for (std::size_t i = 0; i < total; ++i) {
-      fps[i] = fingerprint(scenarios[i]);
+    want = std::min(want, compute::ThreadPool::kMaxThreads);
+    if (n > 0) {
+      want = std::min(want,
+                      static_cast<int>(std::min<std::size_t>(n, 1u << 16)));
     }
-    // The manifest lists the FULL grid (all shards) and is identical
-    // across the shards of one grid; written before any compute so a
-    // killed sweep still leaves the merge/plan tooling its grid.
-    store::Manifest manifest;
-    manifest.bench = store_.bench.empty() ? "sweep" : store_.bench;
-    for (std::size_t i = 0; i < total; ++i) {
-      manifest.entries.emplace_back(fps[i], scenarios[i].key);
-    }
-    store::write_manifest(*result_store, manifest);
+    return std::max(1, want);
   }
 
-  // Triage every cell: replay a valid cached record (any shard's),
-  // otherwise compute it if this shard owns it, otherwise leave the
-  // slot absent for sweep_merge to fill from the other shards' stores.
-  std::vector<int> pending;
-  pending.reserve(total);
-  for (std::size_t i = 0; i < total; ++i) {
-    table.rows_[i].scenario = scenarios[i];
-    table.rows_[i].fingerprint = fps[i];
-    if (use_store && store_.resume) {
-      const std::optional<std::string> payload = result_store->get(fps[i]);
-      if (payload) {
-        ScenarioResult cached;
-        if (decode_scenario_result(*payload, cached) &&
-            cached.scenario.key == scenarios[i].key) {
-          cached.scenario = scenarios[i];
-          cached.fingerprint = fps[i];
-          table.set_slot(i, std::move(cached), ResultTable::kCached);
-          continue;
+  static std::vector<ResultTable> run(
+      const WorkloadOptions& opts, SweepContext& ctx, bool prepare_baselines,
+      const std::function<void(const Workload&)>& on_baseline,
+      const std::vector<FleetGrid>& grids, bool labeled);
+};
+
+std::vector<ResultTable> SweepEngine::run(
+    const WorkloadOptions& opts, SweepContext& ctx, bool prepare_baselines,
+    const std::function<void(const Workload&)>& on_baseline,
+    const std::vector<FleetGrid>& grids, bool labeled) {
+  std::vector<GridState> gs(grids.size());
+  for (std::size_t g = 0; g < grids.size(); ++g) {
+    GridState& st = gs[g];
+    st.grid = &grids[g];
+    if (labeled) {
+      st.label = grids[g].store.bench.empty()
+                     ? "grid" + std::to_string(g)
+                     : grids[g].store.bench;
+    }
+    const std::vector<Scenario>& scenarios = grids[g].scenarios;
+    {
+      std::set<std::string> keys;
+      for (const Scenario& s : scenarios) {
+        if (!keys.insert(s.key).second) {
+          throw std::invalid_argument(
+              "SweepRunner: duplicate scenario key " + s.key);
         }
-        // Fingerprint collision with a foreign key, or a record the
-        // codec rejects: both read as a miss.
       }
     }
-    if (static_cast<int>(i % static_cast<std::size_t>(
-                                 store_.shard_count)) == store_.shard_index) {
-      pending.push_back(static_cast<int>(i));
+    const SweepStoreOptions& store = grids[g].store;
+    const std::size_t total = scenarios.size();
+    st.table = ResultTable(total);
+    st.table.shard_index_ = store.shard_index;
+    st.table.shard_count_ = store.shard_count;
+    st.fps.assign(total, "");
+
+    const bool use_store = !store.dir.empty();
+    if (use_store) {
+      st.rs = std::make_unique<store::ResultStore>(store.dir);
+      for (std::size_t i = 0; i < total; ++i) {
+        st.fps[i] = fingerprint_cell(store, opts, scenarios[i]);
+      }
+      // The manifest lists the FULL grid (all shards) and is identical
+      // across the shards of one grid; written before any compute so a
+      // killed sweep still leaves the merge/plan tooling its grid.
+      store::Manifest manifest;
+      manifest.bench = store.bench.empty() ? "sweep" : store.bench;
+      for (std::size_t i = 0; i < total; ++i) {
+        manifest.entries.emplace_back(st.fps[i], scenarios[i].key);
+      }
+      store::write_manifest(*st.rs, manifest);
+    }
+
+    // Triage every cell: replay a valid cached record (any shard's),
+    // otherwise compute it if this shard owns it, otherwise leave the
+    // slot absent for sweep_merge to fill from the other shards' stores.
+    for (std::size_t i = 0; i < total; ++i) {
+      st.table.rows_[i].scenario = scenarios[i];
+      st.table.rows_[i].fingerprint = st.fps[i];
+      if (use_store && store.resume) {
+        const std::optional<std::string> payload = st.rs->get(st.fps[i]);
+        if (payload) {
+          ScenarioResult cached;
+          if (decode_scenario_result(*payload, cached) &&
+              cached.scenario.key == scenarios[i].key) {
+            cached.scenario = scenarios[i];
+            cached.fingerprint = st.fps[i];
+            st.table.set_slot(i, std::move(cached), ResultTable::kCached);
+            continue;
+          }
+          // Fingerprint collision with a foreign key, or a record the
+          // codec rejects: both read as a miss.
+        }
+      }
+      if (static_cast<int>(i % static_cast<std::size_t>(
+                                   store.shard_count)) == store.shard_index) {
+        st.pending.push_back(static_cast<int>(i));
+      }
+    }
+    if (use_store) {
+      const std::string where = st.label.empty()
+                                    ? "store " + store.dir
+                                    : st.label + " @ store " + store.dir;
+      std::fprintf(stderr,
+                   "[sweep] %s: %zu cached, %zu to compute, %zu "
+                   "foreign-shard cell(s) (shard %d/%d)\n",
+                   where.c_str(), st.table.cached_cells(),
+                   st.pending.size(),
+                   total - st.table.cached_cells() - st.pending.size(),
+                   store.shard_index, store.shard_count);
     }
   }
-  if (use_store) {
-    std::fprintf(stderr,
-                 "[sweep] store %s: %zu cached, %zu to compute, %zu "
-                 "foreign-shard cell(s) (shard %d/%d)\n",
-                 store_.dir.c_str(), table.cached_cells(), pending.size(),
-                 total - table.cached_cells() - pending.size(),
-                 store_.shard_index, store_.shard_count);
+
+  // The cross-grid work queue, grid-major in grid order. Workers claim
+  // one cell at a time from a shared counter, so a worker done with one
+  // bench's cheap cells immediately steals the next bench's pending
+  // cells — no per-grid barrier, no idle tail while another grid still
+  // has work.
+  std::vector<std::pair<int, int>> queue;  // (grid, grid-local index)
+  for (std::size_t g = 0; g < gs.size(); ++g) {
+    for (const int i : gs[g].pending) {
+      queue.emplace_back(static_cast<int>(g), i);
+    }
   }
 
-  // Baselines only for datasets this run actually computes: a fully
-  // warm re-run trains/loads nothing at all.
-  if (prepare_baselines_ && !pending.empty()) {
+  // Baselines only for datasets some grid actually computes — shared
+  // across grids through `ctx`, so a fleet trains/loads each dataset
+  // once no matter how many benches need it, and a fully warm re-run
+  // trains/loads nothing at all.
+  if (prepare_baselines && !queue.empty()) {
     std::set<DatasetKind> kinds;
-    for (const int i : pending) {
-      kinds.insert(scenarios[static_cast<std::size_t>(i)].dataset);
+    for (const auto& [g, i] : queue) {
+      kinds.insert(
+          gs[static_cast<std::size_t>(g)].grid->scenarios
+              [static_cast<std::size_t>(i)].dataset);
     }
-    prepare_kinds(kinds);
+    prepare_kinds(ctx, opts, on_baseline, kinds);
   }
 
-  const int np = static_cast<int>(pending.size());
-  const int parallel = np == 0 ? 1 : effective_parallel(pending.size());
-  table.sweep_parallel_ = parallel;
+  const int np = static_cast<int>(queue.size());
+  const int parallel = np == 0 ? 1 : effective_parallel(opts, queue.size());
   // Workload-free and fully-cached sweeps must not spawn the
   // process-wide GEMM pool just to report its size in the JSON summary;
   // when baselines were prepared the pool already exists (training ran
   // on it).
-  table.threads_ =
-      prepare_baselines_ && np > 0 ? compute::global_threads() : 0;
+  const int threads =
+      prepare_baselines && np > 0 ? compute::global_threads() : 0;
+  for (GridState& st : gs) {
+    st.table.sweep_parallel_ = parallel;
+    st.table.threads_ = threads;
+  }
 
   common::Timer timer;
   std::mutex err_mu;
@@ -659,30 +736,35 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
   // must not burn hours draining the rest of the grid first.
   std::atomic<bool> failed{false};
   const auto run_one = [&](int slot) {
-    const std::size_t idx =
-        static_cast<std::size_t>(pending[static_cast<std::size_t>(slot)]);
+    const auto [g, i] = queue[static_cast<std::size_t>(slot)];
+    GridState& st = gs[static_cast<std::size_t>(g)];
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const Scenario& scenario = st.grid->scenarios[idx];
     common::Timer t;
     const char* status = "";
     try {
-      ScenarioResult r = fn(scenarios[idx], ctx_);
-      r.scenario = scenarios[idx];
-      r.fingerprint = fps[idx];
+      ScenarioResult r = st.grid->fn(scenario, ctx);
+      r.scenario = scenario;
+      r.fingerprint = st.fps[idx];
       r.seconds = t.seconds();
-      if (use_store) {
-        result_store->put(fps[idx], encode_scenario_result(r));
+      r.provenance = make_provenance();
+      if (st.rs) {
+        st.rs->put(st.fps[idx], encode_scenario_result(r));
       }
-      table.put(idx, std::move(r));
+      st.table.put(idx, std::move(r));
     } catch (const std::exception& e) {
       failed.store(true);
       status = " FAILED";
       std::lock_guard<std::mutex> lock(err_mu);
-      errors.push_back(scenarios[idx].key + ": " + e.what());
+      errors.push_back((st.label.empty() ? "" : st.label + ": ") +
+                       scenario.key + ": " + e.what());
     }
     // Live progress goes to stderr in completion order (retraining
     // grids run for hours otherwise silent); the deterministic
     // per-scenario logs still print to stdout in scenario order below.
-    std::fprintf(stderr, "[sweep %d/%d] %s (%.1f s)%s\n",
-                 done.fetch_add(1) + 1, np, scenarios[idx].key.c_str(),
+    std::fprintf(stderr, "[sweep %d/%d] %s%s%s (%.1f s)%s\n",
+                 done.fetch_add(1) + 1, np, st.label.c_str(),
+                 st.label.empty() ? "" : ":", scenario.key.c_str(),
                  t.seconds(), status);
   };
 
@@ -691,12 +773,12 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
   } else {
     // Scenario bodies run on pool workers, so nested GEMM parallel_for
     // calls execute inline — the sweep never runs more than `parallel`
-    // threads of compute at once. Scenarios are claimed one at a time
+    // threads of compute at once. Cells are claimed one at a time
     // through our own atomic counter (parallel_for only dispatches one
     // worker slot per thread): its internal chunk heuristic would batch
-    // several scenarios per claim on large grids, and scenarios are far
-    // too coarse and heterogeneous for that — a cheap eval cell must
-    // not wait behind a slow retraining cell in the same chunk.
+    // several cells per claim on large grids, and cells are far too
+    // coarse and heterogeneous for that — a cheap eval cell must not
+    // wait behind a slow retraining cell in the same chunk.
     std::atomic<int> next{0};
     compute::ThreadPool pool(parallel);
     pool.parallel_for(0, parallel, 1, [&](int, int) {
@@ -716,17 +798,80 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
     }
     throw std::runtime_error(what);
   }
-  table.total_seconds_ = timer.seconds();
+  const double total_seconds = timer.seconds();
 
-  // Buffered logs, in scenario order: deterministic under any worker
-  // count (replayed cells print the log recorded when they were first
-  // computed).
-  for (std::size_t i = 0; i < table.size(); ++i) {
-    if (table.is_filled(i) && !table.rows()[i].log.empty()) {
-      std::fputs(table.rows()[i].log.c_str(), stdout);
+  // Buffered logs, grid-major in scenario order: deterministic under
+  // any worker count (replayed cells print the log recorded when they
+  // were first computed).
+  std::vector<ResultTable> tables;
+  tables.reserve(gs.size());
+  for (GridState& st : gs) {
+    st.table.total_seconds_ = total_seconds;
+    for (std::size_t i = 0; i < st.table.size(); ++i) {
+      if (st.table.is_filled(i) && !st.table.rows()[i].log.empty()) {
+        std::fputs(st.table.rows()[i].log.c_str(), stdout);
+      }
     }
+    tables.push_back(std::move(st.table));
   }
-  return table;
+  return tables;
+}
+
+void SweepRunner::prepare_kinds(const std::set<DatasetKind>& kinds) {
+  SweepEngine::prepare_kinds(ctx_, opts_, on_baseline_, kinds);
+}
+
+const SweepContext& SweepRunner::prepare(
+    const std::vector<Scenario>& scenarios) {
+  if (!prepare_baselines_) return ctx_;
+  // Preserve first-use order: walk scenarios, not a sorted set.
+  for (const Scenario& s : scenarios) {
+    prepare_kinds({s.dataset});
+  }
+  return ctx_;
+}
+
+int SweepRunner::effective_parallel(std::size_t n) const {
+  return SweepEngine::effective_parallel(opts_, n);
+}
+
+ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
+                             const ScenarioFn& fn) {
+  std::vector<FleetGrid> grids;
+  grids.push_back(FleetGrid{store_, scenarios, fn});
+  std::vector<ResultTable> tables = SweepEngine::run(
+      opts_, ctx_, prepare_baselines_, on_baseline_, grids,
+      /*labeled=*/false);
+  return std::move(tables.front());
+}
+
+// ------------------------------------------------------------ FleetRunner
+
+FleetRunner::FleetRunner(WorkloadOptions opts) : opts_(std::move(opts)) {
+  ctx_.opts_ = opts_;
+}
+
+void FleetRunner::add_grid(FleetGrid grid) {
+  if (grid.store.shard_count < 1 || grid.store.shard_index < 0 ||
+      grid.store.shard_index >= grid.store.shard_count) {
+    throw std::invalid_argument(
+        "FleetRunner: shard index " + std::to_string(grid.store.shard_index) +
+        " out of range for " + std::to_string(grid.store.shard_count) +
+        " shard(s)");
+  }
+  if (!grid.fn) {
+    throw std::invalid_argument("FleetRunner: grid '" + grid.store.bench +
+                                "' has no scenario function");
+  }
+  grids_.push_back(std::move(grid));
+}
+
+std::vector<ResultTable> FleetRunner::run() {
+  if (grids_.empty()) {
+    throw std::logic_error("FleetRunner: no grids added");
+  }
+  return SweepEngine::run(opts_, ctx_, prepare_baselines_, on_baseline_,
+                          grids_, /*labeled=*/true);
 }
 
 }  // namespace falvolt::core

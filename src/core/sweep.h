@@ -75,9 +75,21 @@ std::uint64_t scenario_seed(const Scenario& s);
 /// Fresh RNG stream for a scenario, seeded with scenario_seed().
 common::Rng scenario_rng(const Scenario& s);
 
+/// Where, when, and by which build a cell was computed. Stamped by the
+/// sweep engine when the scenario function returns, stored in the
+/// record, and replayed byte-for-byte from the store on warm runs —
+/// fleet-debugging metadata that never enters a figure table (CSV) and
+/// never contributes to a cell fingerprint.
+struct Provenance {
+  std::string host;     ///< hostname of the machine that computed the cell
+  std::string version;  ///< falvolt version string of the computing build
+  std::uint64_t unix_time = 0;  ///< wall clock (s since epoch) at compute
+  std::uint32_t store_epoch = 0;  ///< store format epoch the record was written under
+};
+
 /// What one scenario produced. The scenario function fills metrics /
 /// csv_rows / log; SweepRunner attaches the scenario, its store
-/// fingerprint, and its wall time.
+/// fingerprint, its wall time, and the compute provenance.
 struct ScenarioResult {
   Scenario scenario;
   /// Content-address of this cell in the result store (64 hex chars);
@@ -95,6 +107,8 @@ struct ScenarioResult {
   /// recorded when the cell was originally computed, so a warm re-run
   /// reproduces the cold run's per-cell timings byte for byte.
   double seconds = 0.0;
+  /// Who computed this cell (replayed from the record like `seconds`).
+  Provenance provenance;
 };
 
 /// Serialize a ScenarioResult into the store's payload bytes. The frame
@@ -129,6 +143,21 @@ struct SweepStoreOptions {
 /// spec means the whole grid ({0, 1}). Throws std::invalid_argument on
 /// malformed specs or i >= n.
 std::pair<int, int> parse_shard_spec(const std::string& spec);
+
+/// Content-address of one cell: SHA-256 over the store format epoch,
+/// the bench name, the bench config, the workload identity
+/// (dataset/fast/seed), and every Scenario field. Anything that can
+/// change the cell's output is in here — a hit is therefore safe to
+/// replay — and nothing execution-only is (thread counts, shard spec,
+/// output paths), so reruns on other machines still hit. Shared by
+/// SweepRunner, FleetRunner, and the shard-planning listings, so a
+/// bench run standalone and the same grid run by the fleet driver
+/// address identical cells.
+std::string fingerprint_cell(const SweepStoreOptions& store,
+                             const WorkloadOptions& opts, const Scenario& s);
+
+struct SweepEngine;  // internal executor shared by SweepRunner/FleetRunner
+class FleetRunner;
 
 /// Thread-safe, order-preserving aggregation of scenario results plus
 /// CSV / JSON emission. Slot `i` belongs to scenario `i` of the sweep.
@@ -194,6 +223,7 @@ class ResultTable {
 
  private:
   friend class SweepRunner;
+  friend struct SweepEngine;
   enum SlotState : char { kAbsent = 0, kComputed = 1, kCached = 2 };
 
   void set_slot(std::size_t index, ScenarioResult result, SlotState state);
@@ -228,6 +258,8 @@ class SweepContext {
 
  private:
   friend class SweepRunner;
+  friend class FleetRunner;
+  friend struct SweepEngine;
   struct Baseline {
     Workload workload;
     std::vector<tensor::Tensor> snapshot;
@@ -300,11 +332,78 @@ class SweepRunner {
   const SweepContext& context() const { return ctx_; }
 
  private:
+  friend struct SweepEngine;
   void prepare_kinds(const std::set<DatasetKind>& kinds);
 
   WorkloadOptions opts_;
   SweepContext ctx_;
   SweepStoreOptions store_;
+  std::function<void(const Workload&)> on_baseline_;
+  bool prepare_baselines_ = true;
+};
+
+/// One bench's contribution to a fleet sweep: its store identity
+/// (bench name + fingerprint config + shard spec), its scenario grid,
+/// and its scenario function. The function must have been built against
+/// the FleetRunner's context() so baselines prepared by the fleet are
+/// the ones it clones from.
+struct FleetGrid {
+  SweepStoreOptions store;
+  std::vector<Scenario> scenarios;
+  SweepRunner::ScenarioFn fn;
+};
+
+/// Executes SEVERAL benches' grids as one cross-bench work queue.
+///
+/// Where SweepRunner sweeps one figure's grid, FleetRunner unions the
+/// cells of every added grid into a single work-stealing queue: a
+/// worker that finishes one bench's cheap eval cells immediately claims
+/// another bench's expensive retrain cells instead of idling. All grids
+/// share one SweepContext, so a dataset baseline is trained (or cache-
+/// loaded) once per fleet run no matter how many grids need it — and
+/// every cell is fingerprinted exactly as its owning bench would
+/// standalone (same bench name, config, and workload identity), so the
+/// shared store is interchangeable between fleet and per-bench runs:
+/// cells computed by the fleet replay in the bench, and vice versa.
+/// Per-grid shard specs are honored (cell i of a grid is owned by shard
+/// i % n), so a fleet can itself be sharded across machines and merged
+/// with sweep_merge like any other sweep.
+class FleetRunner {
+ public:
+  /// `opts.sweep_parallel` is the fleet-wide worker count (resolved via
+  /// SweepRunner::effective_parallel semantics at run()).
+  explicit FleetRunner(WorkloadOptions opts);
+
+  /// Shared baseline context — build each grid's scenario function
+  /// against this (it is valid for the lifetime of the runner and
+  /// populated lazily during run()).
+  const SweepContext& context() const { return ctx_; }
+
+  void set_on_baseline(std::function<void(const Workload&)> cb) {
+    on_baseline_ = std::move(cb);
+  }
+  /// Skip workload preparation (grids whose scenario functions never
+  /// touch a dataset or baseline network).
+  void set_prepare_baselines(bool enabled) { prepare_baselines_ = enabled; }
+
+  /// Register one grid. Scenario keys must be unique within a grid
+  /// (validated at run(); across grids the bench name disambiguates).
+  void add_grid(FleetGrid grid);
+  std::size_t grid_count() const { return grids_.size(); }
+
+  /// Run every grid's cells through one work-stealing queue, sharing
+  /// baselines, replaying store hits, and publishing computed records +
+  /// each grid's manifest. Returns one filled table per grid, in
+  /// add_grid order. Error semantics match SweepRunner::run (fail-fast,
+  /// aggregated runtime_error with errors prefixed by bench name).
+  std::vector<ResultTable> run();
+
+ private:
+  friend struct SweepEngine;
+
+  WorkloadOptions opts_;
+  SweepContext ctx_;
+  std::vector<FleetGrid> grids_;
   std::function<void(const Workload&)> on_baseline_;
   bool prepare_baselines_ = true;
 };

@@ -20,7 +20,17 @@ namespace falvolt::store {
 /// the computations behind it. Bumping it invalidates every existing
 /// store entry at once — the escape hatch when a result-affecting
 /// algorithm changes without any fingerprinted input changing.
-inline constexpr std::uint32_t kStoreFormatEpoch = 1;
+///
+/// Any record-payload codec change (core::encode_scenario_result) MUST
+/// bump this too: fingerprints hash the epoch, so the bump re-addresses
+/// every cell and an old-codec record can never share a fingerprint
+/// with a new one. Without it, merge_from()'s skip-if-present would
+/// keep a stale old-codec record over a freshly computed one at the
+/// same address. Old records/manifests degrade to recompute-on-read;
+/// `sweep_merge --prune` reclaims them.
+///
+/// Epoch 2: ScenarioResult codec v2 (provenance block appended).
+inline constexpr std::uint32_t kStoreFormatEpoch = 2;
 
 /// Accumulates typed, named fields into a SHA-256 fingerprint. Every
 /// field is framed with its name and byte length, so no two distinct

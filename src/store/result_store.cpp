@@ -50,6 +50,11 @@ void require_fingerprint(const std::string& fp) {
 
 }  // namespace
 
+bool store_exists(const std::string& root) {
+  std::error_code ec;
+  return !root.empty() && fs::is_directory(fs::path(root) / "objects", ec);
+}
+
 ResultStore::ResultStore(std::string root) : root_(std::move(root)) {
   if (root_.empty()) {
     throw std::invalid_argument("ResultStore: empty root directory");

@@ -23,6 +23,13 @@
 
 namespace falvolt::store {
 
+/// True when `root` already holds a store (its objects/ directory
+/// exists). ResultStore's constructor CREATES missing directories — the
+/// right behavior for a destination, but read-side callers (merge
+/// sources, GC targets) must check this first so a typo'd path reads as
+/// an error instead of silently materializing an empty store.
+bool store_exists(const std::string& root);
+
 class ResultStore {
  public:
   /// Opens (creating if needed) the store rooted at `root`. Throws if

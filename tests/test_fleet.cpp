@@ -1,0 +1,284 @@
+// FleetRunner (cross-bench work-stealing sweeps), the GridRegistry the
+// figure benches publish their grids through, and the provenance block
+// the record codec carries for fleet debugging.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "bench_common.h"
+#include "common/version.h"
+#include "core/grid_registry.h"
+#include "core/sweep.h"
+#include "grids/grids.h"
+#include "store/fingerprint.h"
+#include "store/result_store.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::core {
+namespace {
+
+std::vector<Scenario> grid(const std::string& prefix, int n) {
+  std::vector<Scenario> scenarios;
+  for (int i = 0; i < n; ++i) {
+    Scenario s;
+    s.key = prefix + "=" + std::to_string(i);
+    s.fault_count = i;
+    scenarios.push_back(s);
+  }
+  return scenarios;
+}
+
+SweepStoreOptions store_opts(const std::string& dir,
+                             const std::string& bench) {
+  SweepStoreOptions st;
+  st.dir = dir;
+  st.bench = bench;
+  st.config = {{"epochs", "4"}};
+  return st;
+}
+
+SweepRunner::ScenarioFn counting_fn(std::atomic<int>& computed) {
+  return [&computed](const Scenario& s, const SweepContext&) {
+    ++computed;
+    ScenarioResult out;
+    out.metrics = {{"value", 10.0 * static_cast<double>(s.fault_count)}};
+    out.log = "log " + s.key + "\n";
+    return out;
+  };
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "falvolt_fleet_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  FleetRunner fleet(int workers) {
+    WorkloadOptions opts;
+    opts.sweep_parallel = workers;
+    FleetRunner f(opts);
+    f.set_prepare_baselines(false);
+    return f;
+  }
+
+  std::string dir_;
+};
+
+TEST_F(FleetTest, RunsSeveralGridsAgainstOneStoreInterchangeably) {
+  std::atomic<int> computed{0};
+  FleetRunner cold = fleet(2);
+  cold.add_grid({store_opts(dir_, "bench_a"), grid("a", 4),
+                 counting_fn(computed)});
+  cold.add_grid({store_opts(dir_, "bench_b"), grid("b", 3),
+                 counting_fn(computed)});
+  const std::vector<ResultTable> tables = cold.run();
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(computed.load(), 7);
+  EXPECT_EQ(tables[0].computed_cells(), 4u);
+  EXPECT_EQ(tables[1].computed_cells(), 3u);
+  EXPECT_TRUE(tables[0].complete());
+
+  // Warm fleet re-run: everything replays.
+  FleetRunner warm = fleet(2);
+  warm.add_grid({store_opts(dir_, "bench_a"), grid("a", 4),
+                 counting_fn(computed)});
+  warm.add_grid({store_opts(dir_, "bench_b"), grid("b", 3),
+                 counting_fn(computed)});
+  const std::vector<ResultTable> warmed = warm.run();
+  EXPECT_EQ(computed.load(), 7);
+  EXPECT_EQ(warmed[0].cached_cells(), 4u);
+  EXPECT_EQ(warmed[1].cached_cells(), 3u);
+  EXPECT_EQ(warmed[0].to_csv(), tables[0].to_csv());
+  EXPECT_EQ(warmed[1].to_csv(), tables[1].to_csv());
+
+  // Interchangeability with per-bench runs: a standalone SweepRunner of
+  // one grid against the fleet store replays the fleet's cells — and
+  // its table is byte-identical to a cold standalone run in a private
+  // store (the fleet computes values, it never changes them).
+  SweepRunner solo{WorkloadOptions{}};
+  solo.set_prepare_baselines(false);
+  solo.set_store(store_opts(dir_, "bench_a"));
+  const ResultTable replayed = solo.run(grid("a", 4), counting_fn(computed));
+  EXPECT_EQ(computed.load(), 7);
+  EXPECT_EQ(replayed.computed_cells(), 0u);
+
+  SweepRunner standalone{WorkloadOptions{}};
+  standalone.set_prepare_baselines(false);
+  standalone.set_store(store_opts(dir_ + "_solo", "bench_a"));
+  const ResultTable reference =
+      standalone.run(grid("a", 4), counting_fn(computed));
+  EXPECT_EQ(computed.load(), 11);
+  EXPECT_EQ(replayed.to_csv(), reference.to_csv());
+  fs::remove_all(dir_ + "_solo");
+}
+
+// Cells of DIFFERENT grids run concurrently from one work queue: with 4
+// workers over two 2-cell grids, all 4 cells must be in flight at once
+// (each cell blocks until it sees full concurrency, with a timeout so a
+// regression fails rather than hangs).
+TEST_F(FleetTest, WorkersStealAcrossGrids) {
+  std::atomic<int> in_flight{0};
+  std::atomic<int> high_water{0};
+  const auto blocking = [&](const Scenario&, const SweepContext&) {
+    const int now = in_flight.fetch_add(1) + 1;
+    int seen = high_water.load();
+    while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+    }
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (high_water.load() < 4 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    in_flight.fetch_sub(1);
+    return ScenarioResult{};
+  };
+  FleetRunner f = fleet(4);
+  f.add_grid({store_opts(dir_, "bench_a"), grid("a", 2), blocking});
+  f.add_grid({store_opts(dir_, "bench_b"), grid("b", 2), blocking});
+  f.run();
+  EXPECT_EQ(high_water.load(), 4)
+      << "cells of both grids must share one worker pool";
+}
+
+TEST_F(FleetTest, GridErrorsFailTheFleetWithBenchPrefix) {
+  FleetRunner f = fleet(1);
+  std::atomic<int> computed{0};
+  f.add_grid({store_opts(dir_, "bench_a"), grid("a", 2),
+              counting_fn(computed)});
+  f.add_grid({store_opts(dir_, "bench_b"), grid("b", 2),
+              [](const Scenario& s, const SweepContext&) -> ScenarioResult {
+                throw std::runtime_error("boom in " + s.key);
+              }});
+  try {
+    f.run();
+    FAIL() << "expected the fleet to fail";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bench_b: b=0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(FleetTest, FingerprintsMatchStandaloneRunners) {
+  const std::vector<Scenario> scenarios = grid("a", 3);
+  SweepRunner solo{WorkloadOptions{}};
+  solo.set_prepare_baselines(false);
+  solo.set_store(store_opts(dir_, "bench_a"));
+  for (const Scenario& s : scenarios) {
+    EXPECT_EQ(solo.fingerprint(s),
+              fingerprint_cell(store_opts(dir_, "bench_a"),
+                               WorkloadOptions{}, s));
+  }
+}
+
+TEST_F(FleetTest, ProvenanceIsStampedStoredAndReplayed) {
+  std::atomic<int> computed{0};
+  FleetRunner cold = fleet(1);
+  cold.add_grid({store_opts(dir_, "bench_a"), grid("a", 2),
+                 counting_fn(computed)});
+  const ResultTable t_cold = std::move(cold.run().front());
+  for (std::size_t i = 0; i < t_cold.size(); ++i) {
+    const Provenance& p = t_cold.at(i).provenance;
+    EXPECT_FALSE(p.host.empty());
+    EXPECT_EQ(p.version, kFalvoltVersion);
+    EXPECT_GT(p.unix_time, 0u);
+    EXPECT_EQ(p.store_epoch, store::kStoreFormatEpoch);
+  }
+  FleetRunner warm = fleet(1);
+  warm.add_grid({store_opts(dir_, "bench_a"), grid("a", 2),
+                 counting_fn(computed)});
+  const ResultTable t_warm = std::move(warm.run().front());
+  EXPECT_EQ(computed.load(), 2);
+  for (std::size_t i = 0; i < t_cold.size(); ++i) {
+    EXPECT_EQ(t_cold.at(i).provenance.host, t_warm.at(i).provenance.host);
+    EXPECT_EQ(t_cold.at(i).provenance.version,
+              t_warm.at(i).provenance.version);
+    EXPECT_EQ(t_cold.at(i).provenance.unix_time,
+              t_warm.at(i).provenance.unix_time);
+    EXPECT_EQ(t_cold.at(i).provenance.store_epoch,
+              t_warm.at(i).provenance.store_epoch);
+  }
+}
+
+TEST(FleetRunnerApi, RejectsEmptyFleetsAndBadGrids) {
+  FleetRunner f{WorkloadOptions{}};
+  EXPECT_THROW(f.run(), std::logic_error);
+  EXPECT_THROW(f.add_grid({SweepStoreOptions{}, {}, nullptr}),
+               std::invalid_argument);
+  SweepStoreOptions bad;
+  bad.shard_index = 3;
+  bad.shard_count = 2;
+  EXPECT_THROW(
+      f.add_grid({bad, {}, [](const Scenario&, const SweepContext&) {
+                    return ScenarioResult{};
+                  }}),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(GridRegistry, AllSevenFigureGridsRegisterAndBuild) {
+  bench::register_all_grids();
+  bench::register_all_grids();  // idempotent
+  const GridRegistry& reg = GridRegistry::instance();
+  const std::vector<std::string> expected = {
+      "fig2_vth_sweep",   "fig5a_bit_position", "fig5b_fault_count",
+      "fig5c_array_size", "fig6_vth_layers",    "fig7_mitigation",
+      "fig8_convergence"};
+  for (const std::string& name : expected) {
+    ASSERT_NE(reg.find(name), nullptr) << name;
+  }
+
+  // Every grid builds a non-empty, unique-keyed scenario list from its
+  // default flags, and its scenario-fn factory is constructible without
+  // touching any workload (lazy-baseline contract).
+  FleetRunner probe{WorkloadOptions{}};
+  for (const std::string& name : expected) {
+    const GridDef& def = reg.get(name);
+    common::CliFlags cli(def.name);
+    bench::add_common_flags(cli);
+    def.add_flags(cli);
+    const std::vector<Scenario> scenarios = def.scenarios(cli);
+    ASSERT_FALSE(scenarios.empty()) << name;
+    std::set<std::string> keys;
+    for (const Scenario& s : scenarios) {
+      EXPECT_TRUE(keys.insert(s.key).second)
+          << name << " duplicate key " << s.key;
+    }
+    EXPECT_TRUE(
+        static_cast<bool>(def.scenario_fn(cli, probe.context())))
+        << name;
+  }
+}
+
+TEST(GridRegistry, LookupAndValidation) {
+  bench::register_all_grids();
+  GridRegistry& reg = GridRegistry::instance();
+  EXPECT_EQ(reg.find("no_such_grid"), nullptr);
+  EXPECT_THROW(reg.get("no_such_grid"), std::out_of_range);
+
+  GridDef dup;
+  dup.name = "fig5b_fault_count";
+  dup.add_flags = [](common::CliFlags&) {};
+  dup.scenarios = [](const common::CliFlags&) {
+    return std::vector<Scenario>{};
+  };
+  dup.scenario_fn = [](const common::CliFlags&, const SweepContext&) {
+    return SweepRunner::ScenarioFn{};
+  };
+  EXPECT_THROW(reg.add(std::move(dup)), std::logic_error);
+
+  GridDef incomplete;
+  incomplete.name = "incomplete";
+  EXPECT_THROW(reg.add(std::move(incomplete)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace falvolt::core

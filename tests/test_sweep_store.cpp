@@ -284,6 +284,10 @@ TEST(SweepStoreCodec, RoundTripsEveryField) {
   r.csv_rows = {{"a", "b,c", "d\"e"}, {}};
   r.log = "line1\nline2\n";
   r.seconds = 12.5;
+  r.provenance.host = "fleet-node-07";
+  r.provenance.version = "0.4.0";
+  r.provenance.unix_time = 1753660800;
+  r.provenance.store_epoch = 1;
 
   ScenarioResult back;
   ASSERT_TRUE(decode_scenario_result(encode_scenario_result(r), back));
@@ -305,6 +309,10 @@ TEST(SweepStoreCodec, RoundTripsEveryField) {
   EXPECT_EQ(back.csv_rows, r.csv_rows);
   EXPECT_EQ(back.log, r.log);
   EXPECT_EQ(back.seconds, r.seconds);
+  EXPECT_EQ(back.provenance.host, r.provenance.host);
+  EXPECT_EQ(back.provenance.version, r.provenance.version);
+  EXPECT_EQ(back.provenance.unix_time, r.provenance.unix_time);
+  EXPECT_EQ(back.provenance.store_epoch, r.provenance.store_epoch);
 }
 
 TEST(SweepStoreCodec, RejectsDamageInsteadOfThrowing) {
