@@ -1,202 +1,47 @@
-// Ablations of FalVolt's design choices (DESIGN.md §5):
-//   A1  per-layer learnable V_th (FalVolt)  vs  one global learnable V_th
-//       vs  frozen V_th (FaPIT)
-//   A2  re-zeroing pruned weights every epoch (Algorithm 1 line 13)
-//       vs  only once after training
-//   A3  surrogate gradient kind during retraining (triangle / sigmoid /
-//       rectangle)
-//   A4  accumulator width of the PE (16-bit Q8.8 vs 32-bit Q16.16) for
-//       the unmitigated MSB-fault collapse
+// Ablations of FalVolt's design choices (DESIGN.md §5): threshold
+// granularity (A1), pruned-weight re-zero cadence (A2), surrogate
+// gradient kind (A3), and accumulator width (A4).
 //
-// All ablations run on the MNIST-like workload at 30% faulty PEs. Every
-// arm is an independent scenario on core::SweepRunner, retraining its
-// own clone of the shared trained baseline.
+// The grid, the arms, and the custom-retrain loop live in
+// bench/grids/ablation_grid.cpp (registered into core::GridRegistry, so
+// the sweep_fleet driver runs exactly the same cells); this main adds
+// the four ablation tables and the legacy CSV grouping.
 
 #include "bench_common.h"
-#include "fault/prune_mask.h"
-#include "snn/optimizer.h"
-#include "snn/trainer.h"
+#include "core/grid_registry.h"
+#include "grids/grids.h"
 
 namespace fb = falvolt::bench;
 using namespace falvolt;
 
-namespace {
-
-/// Retrain `net` with pruning; `tie_vth` averages all hidden thresholds
-/// after each epoch (the "global V_th" arm), `rezero_each_epoch` toggles
-/// Algorithm 1 line 13.
-double retrain_custom(snn::Network& net, const data::DatasetSplit& data,
-                      const fault::FaultMap& map, int epochs, bool train_vth,
-                      bool tie_vth, bool rezero_each_epoch) {
-  fault::NetworkPruner pruner(net, map);
-  pruner.apply(net);
-  for (snn::Plif* p : net.hidden_spiking_layers()) {
-    p->set_vth(1.0f);
-    p->set_train_vth(train_vth);
-  }
-  constexpr double kLr = 1e-2;
-  snn::Adam opt(kLr);
-  snn::TrainConfig tc;
-  tc.epochs = epochs;
-  tc.batch_size = 32;
-  tc.eval_each_epoch = false;
-  const int decay_epoch = (3 * epochs) / 5;
-  tc.on_epoch = [&opt, decay_epoch](const snn::EpochStats& s) {
-    if (s.epoch + 1 == decay_epoch) opt.set_lr(kLr / 4.0);
-  };
-  tc.post_epoch = [&](snn::Network& n) {
-    if (rezero_each_epoch) pruner.apply(n);
-    if (tie_vth) {
-      const auto layers = n.hidden_spiking_layers();
-      float mean = 0.0f;
-      for (snn::Plif* p : layers) mean += p->vth();
-      mean /= static_cast<float>(layers.size());
-      for (snn::Plif* p : layers) p->set_vth(mean);
-    }
-  };
-  snn::Trainer trainer(net, opt, data.train, &data.test, tc);
-  trainer.run();
-  pruner.apply(net);  // final re-zero (hardware bypass is mandatory)
-  net.set_train_vth(false);
-  return snn::evaluate(net, data.test);
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  common::CliFlags cli("ablation_falvolt");
+  fb::register_all_grids();
+  const core::GridDef& def =
+      core::GridRegistry::instance().get("ablation_falvolt");
+  common::CliFlags cli(def.name);
   fb::add_common_flags(cli);
-  cli.add_int("epochs", 0, "retraining epochs (0 = default)");
-  cli.add_double("rate", 0.30, "fault rate");
+  def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
 
-  fb::banner("Ablations", "FalVolt design-choice ablations (MNIST, 30% "
-                          "faulty PEs unless noted)");
+  fb::banner("Ablations", def.title);
 
-  // This bench's grid is MNIST-only: dataset_list rejects a --datasets
-  // that asks for anything else rather than silently running MNIST.
-  (void)fb::dataset_list(cli, {core::DatasetKind::kMnist});
-
-  const bool fast = cli.get_bool("fast");
-  const int epochs =
-      cli.get_int("epochs") > 0
-          ? static_cast<int>(cli.get_int("epochs"))
-          : 2 + core::default_retrain_epochs(core::DatasetKind::kMnist,
-                                             fast);
-  const double rate = cli.get_double("rate");
-  const systolic::ArrayConfig array = fb::experiment_array(cli);
-
-  // Scenario grid: (ablation, arm) cells, all on the MNIST workload.
-  struct Arm {
-    const char* ablation;
-    const char* arm;
-  };
-  // A2's "every epoch" arm is bit-identical to A1's per-layer arm
-  // (same clone, map, and retrain_custom arguments, and scenarios are
-  // deterministic), so it is aliased below instead of recomputed.
-  const std::vector<Arm> arms = {
-      {"vth_granularity", "per_layer"}, {"vth_granularity", "global"},
-      {"vth_granularity", "frozen"},    {"rezero", "end_only"},
-      {"surrogate", "triangle"},        {"surrogate", "sigmoid"},
-      {"surrogate", "rectangle"},       {"accumulator_width", "q8_8"},
-      {"accumulator_width", "q16_16"}};
-
-  std::vector<core::Scenario> scenarios;
-  for (const Arm& a : arms) {
-    core::Scenario s;
-    s.key = std::string(a.ablation) + "/" + a.arm;
-    s.tag = a.arm;
-    s.dataset = core::DatasetKind::kMnist;
-    s.fault_rate = rate;
-    s.fault_seed =
-        std::string(a.ablation) == "accumulator_width" ? 8100 : 8000;
-    s.retrain = std::string(a.ablation) != "accumulator_width";
-    s.epochs = epochs;
-    scenarios.push_back(s);
-  }
+  const std::vector<core::Scenario> scenarios = def.scenarios(cli);
 
   core::SweepRunner runner(fb::workload_options(cli));
   runner.set_on_baseline(fb::print_baseline);
-  runner.set_store(fb::store_options(cli, "ablation_falvolt"));
+  runner.set_store(fb::store_options(cli, def.name, def.aggregation_only));
   if (fb::list_scenarios(cli, runner, scenarios)) return 0;
 
   // Outputs open before the sweep so an unwritable CWD fails fast.
-  common::CsvWriter csv(fb::csv_path(cli, "ablation_falvolt"),
+  common::CsvWriter csv(fb::csv_path(cli, def.name),
                         {"ablation", "arm", "accuracy"});
-  fb::probe_sweep_json(cli, "ablation_falvolt");
+  fb::probe_sweep_json(cli, def.name);
 
-  fb::EvalSets eval_sets(runner.context(), 96);
-
-  const auto fn = [&](const core::Scenario& s,
-                      const core::SweepContext& c) {
-    const core::Workload& wl = c.workload(s.dataset);
-    snn::Network net = c.clone_network(s.dataset);
-    core::ScenarioResult out;
-
-    if (s.key.rfind("accumulator_width/", 0) == 0) {
-      // A4: unmitigated MSB collapse at two accumulator widths.
-      const fx::FixedFormat fmt = s.tag == "q8_8" ? fx::FixedFormat::q8_8()
-                                                  : fx::FixedFormat::q16_16();
-      systolic::ArrayConfig a = array;
-      a.format = fmt;
-      common::Rng map_rng(s.fault_seed);
-      const fault::FaultMap m = fault::random_fault_map(
-          a.rows, a.cols, 8, fault::worst_case_spec(fmt.total_bits()),
-          map_rng);
-      const fault::FaultMap clean(a.rows, a.cols);
-      const data::Dataset& eval_set = eval_sets.of(s.dataset);
-      const double acc_clean = core::evaluate_with_faults(
-          net, eval_set, a, clean,
-          systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-      const double acc_faulty = core::evaluate_with_faults(
-          net, eval_set, a, m,
-          systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
-      out.metrics = {{"clean_accuracy", acc_clean},
-                     {"faulty_accuracy", acc_faulty}};
-      out.csv_rows = {{"accumulator_width", fmt.to_string(),
-                       common::CsvWriter::format(acc_faulty)}};
-      return out;
-    }
-
-    common::Rng rng(s.fault_seed);
-    const fault::FaultMap map = fault::fault_map_at_rate(
-        array.rows, array.cols, s.fault_rate,
-        fault::worst_case_spec(array.format.total_bits()), rng);
-
-    if (s.key.rfind("surrogate/", 0) == 0) {
-      // A3: surrogate kind during retraining.
-      snn::Surrogate sg;
-      sg.kind = s.tag == "sigmoid"     ? snn::SurrogateKind::kSigmoid
-                : s.tag == "rectangle" ? snn::SurrogateKind::kRectangle
-                                       : snn::SurrogateKind::kTriangle;
-      sg.gamma = sg.kind == snn::SurrogateKind::kSigmoid ? 4.0f : 2.0f;
-      for (snn::Plif* p : net.spiking_layers()) p->set_surrogate(sg);
-      const double acc =
-          retrain_custom(net, wl.data, map, s.epochs, true, false, true);
-      out.metrics = {{"accuracy", acc}};
-      out.csv_rows = {{"surrogate", sg.to_string(),
-                       common::CsvWriter::format(acc)}};
-      return out;
-    }
-
-    // A1/A2: threshold granularity and re-zero cadence.
-    const bool train_vth = s.tag != "frozen";
-    const bool tie_vth = s.tag == "global";
-    const bool rezero = s.tag != "end_only";
-    const double acc =
-        retrain_custom(net, wl.data, map, s.epochs, train_vth, tie_vth,
-                       rezero);
-    out.metrics = {{"accuracy", acc}};
-    const char* ablation =
-        s.key.rfind("rezero/", 0) == 0 ? "rezero" : "vth_granularity";
-    out.csv_rows = {{ablation, s.tag, common::CsvWriter::format(acc)}};
-    return out;
-  };
-
-  const core::ResultTable results = runner.run(scenarios, fn);
+  const core::ResultTable results =
+      runner.run(scenarios, def.scenario_fn(cli, runner.context()));
 
   if (!fb::sweep_complete(results)) {
-    fb::emit_sweep_summary(cli, "ablation_falvolt", results);
+    fb::emit_sweep_summary(cli, def.name, results);
     return 0;
   }
 
@@ -206,7 +51,7 @@ int main(int argc, char** argv) {
 
   // CSV rows keep the legacy grouping (A1, A2, A3, A4) rather than
   // scenario order; the A2 "every_epoch" row aliases the bit-identical
-  // A1 per-layer result (see the arms table above).
+  // A1 per-layer result (see the arms table in ablation_grid.cpp).
   for (const char* arm : {"per_layer", "global", "frozen"}) {
     csv.row({"vth_granularity", arm,
              common::CsvWriter::format(
@@ -259,7 +104,7 @@ int main(int argc, char** argv) {
   std::printf("\nA4 — accumulator width (quantization + MSB sa1 collapse):\n");
   a4.print();
 
-  fb::emit_sweep_summary(cli, "ablation_falvolt", results);
+  fb::emit_sweep_summary(cli, def.name, results);
   std::printf("\nTakeaways: per-layer V_th >= global >= frozen; epoch-wise "
               "re-zeroing matters because the optimizer keeps regrowing "
               "bypassed weights; the triangle surrogate (paper Eq. 2) is "

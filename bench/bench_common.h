@@ -255,15 +255,15 @@ inline core::WorkloadOptions workload_options(const common::CliFlags& cli) {
   return opts;
 }
 
-/// The bench's dataset axis, optionally subset by --datasets (handy for
-/// CI smoke runs and quick local iterations). Strictly a subset: asking
-/// for a dataset the bench's paper grid does not contain is an error,
-/// never a silent grid extension.
-inline std::vector<core::DatasetKind> dataset_list(
-    const common::CliFlags& cli, std::vector<core::DatasetKind> def) {
-  const std::string& spec = cli.get_string("datasets");
-  if (spec.empty() || spec == "all") return def;
+/// Parse a --datasets spec into dataset kinds. An empty or "all" spec
+/// returns an empty vector, meaning "no filter". Throws on unknown
+/// tokens. Shared by dataset_list (per-bench strict subsetting) and the
+/// fleet driver (which uses the filter to SKIP grids whose axis does
+/// not intersect it).
+inline std::vector<core::DatasetKind> parse_dataset_spec(
+    const std::string& spec) {
   std::vector<core::DatasetKind> requested;
+  if (spec.empty() || spec == "all") return requested;
   for (const std::string& tok : split_list(spec)) {
     if (tok == "mnist") {
       requested.push_back(core::DatasetKind::kMnist);
@@ -279,6 +279,41 @@ inline std::vector<core::DatasetKind> dataset_list(
   if (requested.empty()) {
     throw std::invalid_argument("--datasets: no datasets in '" + spec + "'");
   }
+  return requested;
+}
+
+/// The --datasets token naming a kind (inverse of parse_dataset_spec).
+inline const char* dataset_flag_token(core::DatasetKind kind) {
+  switch (kind) {
+    case core::DatasetKind::kMnist:
+      return "mnist";
+    case core::DatasetKind::kNMnist:
+      return "nmnist";
+    default:
+      return "dvs";
+  }
+}
+
+/// Resolve a bench's --epochs flag: the explicit value when positive,
+/// else `extra` + the dataset's default retrain epochs — the defaulting
+/// rule shared by every retraining grid (ablation passes extra = 2).
+inline int retrain_epochs_flag(const common::CliFlags& cli,
+                               core::DatasetKind kind, int extra = 0) {
+  return cli.get_int("epochs") > 0
+             ? static_cast<int>(cli.get_int("epochs"))
+             : extra + core::default_retrain_epochs(kind,
+                                                    cli.get_bool("fast"));
+}
+
+/// The bench's dataset axis, optionally subset by --datasets (handy for
+/// CI smoke runs and quick local iterations). Strictly a subset: asking
+/// for a dataset the bench's paper grid does not contain is an error,
+/// never a silent grid extension.
+inline std::vector<core::DatasetKind> dataset_list(
+    const common::CliFlags& cli, std::vector<core::DatasetKind> def) {
+  const std::vector<core::DatasetKind> requested =
+      parse_dataset_spec(cli.get_string("datasets"));
+  if (requested.empty()) return def;
   for (const auto kind : requested) {
     if (std::find(def.begin(), def.end(), kind) == def.end()) {
       throw std::invalid_argument(

@@ -24,9 +24,7 @@ std::vector<core::DatasetKind> kinds(const common::CliFlags& cli) {
 }
 
 int epochs(const common::CliFlags& cli, core::DatasetKind kind) {
-  return cli.get_int("epochs") > 0
-             ? static_cast<int>(cli.get_int("epochs"))
-             : core::default_retrain_epochs(kind, cli.get_bool("fast"));
+  return retrain_epochs_flag(cli, kind);
 }
 
 std::string cell_key(core::DatasetKind kind, double rate, float vth) {
@@ -38,6 +36,7 @@ std::string cell_key(core::DatasetKind kind, double rate, float vth) {
 void register_grid() {
   core::GridDef def;
   def.name = "fig2_vth_sweep";
+  def.datasets = {core::DatasetKind::kMnist, core::DatasetKind::kDvsGesture};
   def.title =
       "Retraining accuracy vs fixed threshold voltage at 30% / 60% faulty "
       "PEs (motivates FalVolt)";

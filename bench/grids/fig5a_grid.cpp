@@ -49,6 +49,8 @@ std::string cell_key(core::DatasetKind kind, fx::StuckType type, int bit,
 void register_grid() {
   core::GridDef def;
   def.name = "fig5a_bit_position";
+  def.datasets = {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+                  core::DatasetKind::kDvsGesture};
   def.title =
       "Accuracy vs fault bit location (sa0/sa1, unmitigated inference on "
       "the fixed-point systolic engine)";

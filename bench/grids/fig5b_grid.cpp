@@ -36,6 +36,8 @@ std::string cell_key(core::DatasetKind kind, int count, int rep) {
 void register_grid() {
   core::GridDef def;
   def.name = "fig5b_fault_count";
+  def.datasets = {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+                  core::DatasetKind::kDvsGesture};
   def.title =
       "Accuracy vs number of faulty PEs (MSB sa1 worst case, unmitigated "
       "inference)";

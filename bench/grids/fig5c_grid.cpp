@@ -8,8 +8,30 @@
 #include "core/grid_registry.h"
 #include "core/mitigation.h"
 #include "grids/grids.h"
+#include "systolic/cost_model.h"
 
 namespace falvolt::bench::fig5c {
+
+namespace {
+
+// Relative eval cost of one cell at array size `n`, from the analytical
+// cost model: smaller arrays tile the same layer GEMM many more times,
+// so a 4x4 cell runs orders of magnitude longer than a 256x256 one.
+// Normalized so the 64x64 default costs ~1 (the fleet-wide eval unit);
+// feeds Scenario::cost_hint, which is scheduling-only and never enters
+// a fingerprint.
+double eval_cost(int n) {
+  const auto latency = [](int size) {
+    systolic::ArrayConfig array;
+    array.rows = array.cols = size;
+    // Representative hidden-layer GEMM of the CPU-scaled networks.
+    return systolic::estimate_gemm(array, 64, 288, 128, 0.3).latency_us;
+  };
+  static const double kReference = latency(64);
+  return latency(n) / kReference;
+}
+
+}  // namespace
 
 const std::vector<int>& sizes() {
   static const std::vector<int> kSizes = {4, 8, 16, 32, 64, 256};
@@ -36,6 +58,8 @@ std::string cell_key(core::DatasetKind kind, int array_size, int rep) {
 void register_grid() {
   core::GridDef def;
   def.name = "fig5c_array_size";
+  def.datasets = {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+                  core::DatasetKind::kDvsGesture};
   def.title =
       "Accuracy vs total array size at a fixed number of faulty PEs (MSB "
       "sa1, unmitigated)";
@@ -57,6 +81,7 @@ void register_grid() {
           s.fault_count = n_faulty;
           s.repeat = rep;
           s.fault_seed = 3000 + static_cast<std::uint64_t>(7 * n + rep);
+          s.cost_hint = eval_cost(n);
           scenarios.push_back(s);
         }
       }

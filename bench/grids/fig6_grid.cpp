@@ -20,9 +20,7 @@ std::vector<core::DatasetKind> kinds(const common::CliFlags& cli) {
 }
 
 int epochs(const common::CliFlags& cli, core::DatasetKind kind) {
-  return cli.get_int("epochs") > 0
-             ? static_cast<int>(cli.get_int("epochs"))
-             : core::default_retrain_epochs(kind, cli.get_bool("fast"));
+  return retrain_epochs_flag(cli, kind);
 }
 
 std::string cell_key(core::DatasetKind kind, double rate) {
@@ -33,6 +31,8 @@ std::string cell_key(core::DatasetKind kind, double rate) {
 void register_grid() {
   core::GridDef def;
   def.name = "fig6_vth_layers";
+  def.datasets = {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+                  core::DatasetKind::kDvsGesture};
   def.title =
       "Optimized per-layer threshold voltage after FalVolt at 10%/30%/60% "
       "faulty PEs";

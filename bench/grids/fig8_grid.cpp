@@ -45,6 +45,8 @@ std::string cell_key(core::DatasetKind kind, const std::string& method) {
 void register_grid() {
   core::GridDef def;
   def.name = "fig8_convergence";
+  def.datasets = {core::DatasetKind::kMnist, core::DatasetKind::kNMnist,
+                  core::DatasetKind::kDvsGesture};
   def.title =
       "Accuracy vs retraining epochs at 30% faulty PEs (FaPIT vs FalVolt; "
       "the 2x-faster claim)";

@@ -18,8 +18,10 @@
 
 namespace falvolt::bench {
 
-/// Register every figure grid into core::GridRegistry::instance().
-/// Idempotent — every bench main and every driver calls it first.
+/// Register every grid — the seven figure benches, the design-choice
+/// ablation, and the example-derived workloads — into
+/// core::GridRegistry::instance(). Idempotent — every bench main and
+/// every driver calls it first.
 void register_all_grids();
 
 namespace fig2 {
@@ -83,5 +85,35 @@ int horizon(const common::CliFlags& cli, core::DatasetKind kind);
 std::string cell_key(core::DatasetKind kind, const std::string& method);
 void register_grid();
 }  // namespace fig8
+
+// FalVolt design-choice ablations (MNIST at 30% faulty PEs); see
+// ablation_grid.cpp for the arm definitions.
+namespace ablation {
+struct Arm {
+  const char* ablation;
+  const char* arm;
+};
+const std::vector<Arm>& arms();
+int epochs(const common::CliFlags& cli);
+std::string cell_key(const std::string& ablation, const std::string& arm);
+void register_grid();
+}  // namespace ablation
+
+// Example-derived workload: chip-salvage triage over a fab lot (one
+// cell per manufactured die; MNIST).
+namespace chip_salvage {
+std::string cell_key(int chip);
+int chip_defects(int chip, double defect_rate, int total_pes);
+void register_grid();
+}  // namespace chip_salvage
+
+// Example-derived workload: in-field gesture pipeline on a damaged edge
+// accelerator (fault-rate x mitigation cells; DVS-Gesture).
+namespace gesture {
+const std::vector<double>& rates();
+const std::vector<std::string>& methods();
+std::string cell_key(double rate, const std::string& method);
+void register_grid();
+}  // namespace gesture
 
 }  // namespace falvolt::bench

@@ -12,6 +12,9 @@ void register_all_grids() {
     fig6::register_grid();
     fig7::register_grid();
     fig8::register_grid();
+    ablation::register_grid();
+    chip_salvage::register_grid();
+    gesture::register_grid();
     return true;
   }();
   (void)done;

@@ -24,6 +24,7 @@
 // Common flags (--fast, --seed, --datasets, --repeats, ...) apply to
 // every grid; bench-specific flags are set per grid with --set.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -103,7 +104,14 @@ int main(int argc, char** argv) try {
                  "fleet summary JSON path ('' = disabled). Per-bench "
                  "sweep JSONs come from warm bench re-runs against the "
                  "fleet store");
+  cli.add_string("schedule", "cost",
+                 "work-queue ordering: 'cost' claims the most expensive "
+                 "cells first (shortest fleet tail on heterogeneous "
+                 "grids), 'claim' keeps legacy grid-major order. Tables "
+                 "are byte-identical either way");
   if (!cli.parse(argc, argv)) return 0;
+  const core::SchedulePolicy schedule =
+      core::parse_schedule_policy(cli.get_string("schedule"));
 
   const std::string store_dir = fb::resolve_store_dir(cli);
   if (store_dir.empty()) {
@@ -113,12 +121,57 @@ int main(int argc, char** argv) try {
     return 1;
   }
 
-  // Grid selection, registration order preserved for "all".
+  // Grid selection, registration order preserved for "all". An unknown
+  // name is a hard error up front — a typo'd --grids must not silently
+  // sweep the wrong subset for hours.
+  const bool implicit_all = cli.get_string("grids") == "all";
+  const std::vector<core::DatasetKind> dataset_filter =
+      fb::parse_dataset_spec(cli.get_string("datasets"));
   std::vector<std::string> names;
-  if (cli.get_string("grids") == "all") {
+  if (implicit_all) {
     names = registry.names();
+    // A dataset filter SKIPS non-intersecting grids of the implicit
+    // "all" selection (e.g. --datasets mnist skips the DVS-only gesture
+    // grid) — running their builders would trip the per-bench
+    // strict-subset error, which is right only for a grid the user
+    // named explicitly.
+    const std::vector<core::DatasetKind>& filter = dataset_filter;
+    if (!filter.empty()) {
+      std::vector<std::string> kept;
+      for (const std::string& name : names) {
+        const std::vector<core::DatasetKind>& axis =
+            registry.get(name).datasets;
+        const bool overlaps =
+            axis.empty() ||
+            std::any_of(axis.begin(), axis.end(), [&](core::DatasetKind k) {
+              return std::find(filter.begin(), filter.end(), k) !=
+                     filter.end();
+            });
+        if (overlaps) {
+          kept.push_back(name);
+        } else {
+          std::fprintf(stderr,
+                       "[fleet] skipping %s: its dataset axis has no "
+                       "overlap with --datasets %s\n",
+                       name.c_str(), cli.get_string("datasets").c_str());
+        }
+      }
+      names = std::move(kept);
+    }
   } else {
     for (const std::string& name : fb::split_list(cli.get_string("grids"))) {
+      if (!registry.find(name)) {
+        std::string known;
+        for (const std::string& n : registry.names()) {
+          known += known.empty() ? "" : ", ";
+          known += n;
+        }
+        std::fprintf(stderr,
+                     "sweep_fleet: --grids names unknown grid '%s' "
+                     "(registered: %s)\n",
+                     name.c_str(), known.c_str());
+        return 1;
+      }
       if (std::find(names.begin(), names.end(), name) == names.end()) {
         names.push_back(name);  // a repeated name must not double-compute
       }
@@ -151,9 +204,10 @@ int main(int argc, char** argv) try {
   // is exactly what the standalone bench would compute for the same
   // invocation.
   static const std::set<std::string> kNotForwarded = {
-      "store",  // forwarded below as the resolved shared store dir
+      "store",     // forwarded below as the resolved shared store dir
+      "datasets",  // forwarded per grid, narrowed to the grid's axis
       "sweep-json", "list-scenarios",  // fleet-handled, not per-grid
-      "workers", "grids", "set", "json"};  // fleet-only flags
+      "workers", "grids", "set", "json", "schedule"};  // fleet-only flags
   std::vector<std::string> forwards;
   for (const auto& [flag, value] : cli.items()) {
     if (!kNotForwarded.count(flag)) {
@@ -161,6 +215,29 @@ int main(int argc, char** argv) try {
     }
   }
   forwards.push_back("--store=" + store_dir);
+
+  // Per-grid --datasets forward. Under the implicit "all" selection a
+  // partially overlapping grid gets the INTERSECTION of the filter with
+  // its axis (e.g. --datasets mnist,nmnist reaches fig2 — whose axis is
+  // mnist+dvs — as just "mnist"): the fleet sweeps the cells that
+  // apply instead of tripping the grid's strict-subset error. An
+  // explicitly named grid gets the raw spec, keeping the standalone
+  // contract that asking a bench for a foreign dataset is an error.
+  const auto datasets_for = [&](const core::GridDef& def) -> std::string {
+    const std::string& raw = cli.get_string("datasets");
+    if (!implicit_all || dataset_filter.empty() || def.datasets.empty()) {
+      return raw;
+    }
+    std::string spec;
+    for (const core::DatasetKind kind : def.datasets) {
+      if (std::find(dataset_filter.begin(), dataset_filter.end(), kind) !=
+          dataset_filter.end()) {
+        spec += spec.empty() ? "" : ",";
+        spec += fb::dataset_flag_token(kind);
+      }
+    }
+    return spec;  // non-empty: zero-overlap grids were skipped above
+  };
 
   const core::WorkloadOptions fleet_opts = fb::workload_options(cli);
   std::vector<FleetGridSpec> specs;
@@ -171,6 +248,7 @@ int main(int argc, char** argv) try {
     def.add_flags(spec.cli);
     std::vector<std::string> args = {def.name};
     args.insert(args.end(), forwards.begin(), forwards.end());
+    args.push_back("--datasets=" + datasets_for(def));
     const auto it = overrides.find(name);
     if (it != overrides.end()) {
       args.insert(args.end(), it->second.begin(), it->second.end());
@@ -237,14 +315,17 @@ int main(int argc, char** argv) try {
 
   core::FleetRunner fleet(opts);
   fleet.set_on_baseline(fb::print_baseline);
+  fleet.set_schedule(schedule);
   for (FleetGridSpec& spec : specs) {
     fleet.add_grid(core::FleetGrid{
         spec.store, spec.scenarios,
         spec.def->scenario_fn(spec.cli, fleet.context())});
   }
 
-  std::printf("=== sweep_fleet ===\n%zu grid(s) against store %s\n\n",
-              specs.size(), store_dir.c_str());
+  std::printf("=== sweep_fleet ===\n%zu grid(s) against store %s "
+              "(%s-ordered queue)\n\n",
+              specs.size(), store_dir.c_str(),
+              core::schedule_policy_name(schedule));
   const std::vector<core::ResultTable> tables = fleet.run();
 
   std::size_t computed = 0, cached = 0, absent = 0;
@@ -263,6 +344,20 @@ int main(int argc, char** argv) try {
               computed, cached, absent,
               tables.empty() ? 0.0 : tables.front().total_seconds(),
               tables.empty() ? 0 : tables.front().sweep_parallel());
+  // Per-worker tail utilization: the cost-ordered queue exists so no
+  // worker shows a near-zero busy fraction while one drains a late
+  // retrain cell.
+  const double total_seconds =
+      tables.empty() ? 0.0 : tables.front().total_seconds();
+  const std::vector<core::WorkerStats>& workers = fleet.worker_stats();
+  for (std::size_t w = 0; w < workers.size(); ++w) {
+    std::printf("[fleet] worker %zu: %zu cell(s), %.1f s busy (%.0f%% "
+                "utilization)\n",
+                w, workers[w].cells, workers[w].busy_seconds,
+                total_seconds > 0.0
+                    ? 100.0 * workers[w].busy_seconds / total_seconds
+                    : 0.0);
+  }
   std::printf("[fleet] figure tables: re-run each bench with --store %s "
               "(replays every cell) or use sweep_merge\n",
               store_dir.c_str());
@@ -276,13 +371,24 @@ int main(int argc, char** argv) try {
     }
     out << "{\n  \"driver\": \"sweep_fleet\",\n  \"store\": \""
         << common::json_escape(store_dir)
+        << "\",\n  \"schedule\": \"" << core::schedule_policy_name(schedule)
         << "\",\n  \"run\": {\"workers\": "
         << (tables.empty() ? 0 : tables.front().sweep_parallel())
         << ", \"total_seconds\": "
         << (tables.empty() ? 0.0 : tables.front().total_seconds())
         << ", \"cells_computed\": " << computed
         << ", \"cells_cached\": " << cached
-        << ", \"cells_absent\": " << absent << "},\n  \"grids\": [\n";
+        << ", \"cells_absent\": " << absent << "},\n  \"workers\": [\n";
+    for (std::size_t w = 0; w < workers.size(); ++w) {
+      out << "    {\"worker\": " << w << ", \"cells\": " << workers[w].cells
+          << ", \"busy_seconds\": " << workers[w].busy_seconds
+          << ", \"utilization\": "
+          << (total_seconds > 0.0
+                  ? workers[w].busy_seconds / total_seconds
+                  : 0.0)
+          << "}" << (w + 1 == workers.size() ? "\n" : ",\n");
+    }
+    out << "  ],\n  \"grids\": [\n";
     for (std::size_t g = 0; g < tables.size(); ++g) {
       out << "    {\"bench\": \"" << specs[g].def->name
           << "\", \"cells\": " << tables[g].size()

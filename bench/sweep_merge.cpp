@@ -40,6 +40,7 @@
 #include "store/gc.h"
 #include "store/manifest.h"
 #include "store/result_store.h"
+#include "store/stats.h"
 
 using namespace falvolt;
 
@@ -59,7 +60,9 @@ int main(int argc, char** argv) {
   cli.add_string("csv", "", "write the merged generic figure table here");
   cli.add_string("json", "", "write the merged sweep JSON summary here");
   cli.add_bool("list", false,
-               "print the merged store's record count and manifests");
+               "print the merged store's usage stats (records + bytes per "
+               "bench, provenance epoch histogram, dedup/stale counts) and "
+               "its manifests");
   cli.add_bool("prune", false,
                "garbage-collect --into after merging: delete records no "
                "manifest references and reachable records that fail "
@@ -140,8 +143,17 @@ int main(int argc, char** argv) {
   }
 
   if (cli.get_bool("list")) {
-    std::printf("[store] %s: %zu record(s)\n", dst.root().c_str(),
-                dst.fingerprints().size());
+    // Compaction/dedup accounting: bytes and records per bench (charged
+    // through manifest reachability), the provenance epoch histogram,
+    // and the stale/unreadable populations --prune would reclaim.
+    std::printf("[store] %s\n", dst.root().c_str());
+    const store::StoreStats stats = store::collect_store_stats(
+        dst, [](const std::string& payload) -> std::optional<std::uint32_t> {
+          core::ScenarioResult r;
+          if (!core::decode_scenario_result(payload, r)) return std::nullopt;
+          return r.provenance.store_epoch;
+        });
+    std::fputs(stats.to_text().c_str(), stdout);
     for (const std::string& path : store::list_manifests(dst)) {
       const auto m = store::read_manifest(path);
       std::printf("[store]   manifest %s (%s, %zu cell(s))\n", path.c_str(),

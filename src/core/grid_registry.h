@@ -32,10 +32,22 @@ struct GridDef {
   /// Registers the bench-SPECIFIC flags; the caller adds the common set
   /// (bench::add_common_flags) first.
   std::function<void(common::CliFlags&)> add_flags;
+  /// The grid's full dataset axis (before any --datasets subsetting).
+  /// Drivers sweeping many grids use it to SKIP a grid whose axis does
+  /// not intersect a dataset filter — running the grid's own builder
+  /// with a foreign filter is an error by the strict-subset contract
+  /// (bench::dataset_list), which is right for a bench asked for
+  /// explicitly but wrong for "every grid that applies".
+  std::vector<DatasetKind> datasets;
   /// Flags that shape only post-sweep aggregation, never a cell value —
   /// exempted from cell fingerprints (e.g. fig8's --target-drop).
   std::set<std::string> aggregation_only;
-  /// Builds the scenario grid from the parsed flags.
+  /// Builds the scenario grid from the parsed flags. Cells should carry
+  /// an honest cost estimate for the fleet's cost-ordered queue: set
+  /// Scenario::retrain/epochs (the default estimate scales with them)
+  /// or tag Scenario::cost_hint explicitly when the grid knows better
+  /// (e.g. fig5c derives per-array-size eval cost from
+  /// systolic::cost_model). Cost never enters a fingerprint.
   std::function<std::vector<Scenario>(const common::CliFlags&)> scenarios;
   /// Builds the scenario function. `ctx` is the context the running
   /// sweep prepares baselines into (a SweepRunner's or a FleetRunner's);

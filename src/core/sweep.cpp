@@ -285,6 +285,25 @@ std::pair<int, int> parse_shard_spec(const std::string& spec) {
   return {index, count};
 }
 
+double scenario_cost_estimate(const Scenario& s) {
+  if (s.cost_hint > 0.0) return s.cost_hint;
+  if (s.retrain) {
+    return kRetrainCostPerEpoch * static_cast<double>(std::max(1, s.epochs));
+  }
+  return 1.0;
+}
+
+SchedulePolicy parse_schedule_policy(const std::string& name) {
+  if (name == "cost") return SchedulePolicy::kCostOrdered;
+  if (name == "claim") return SchedulePolicy::kClaimOrdered;
+  throw std::invalid_argument("schedule policy must be 'cost' or 'claim', "
+                              "got '" + name + "'");
+}
+
+const char* schedule_policy_name(SchedulePolicy policy) {
+  return policy == SchedulePolicy::kCostOrdered ? "cost" : "claim";
+}
+
 std::uint64_t scenario_seed(const Scenario& s) {
   // FNV-1a over the key, then fold in the explicit fault seed so two
   // scenarios differing only in fault_seed get distinct streams too.
@@ -513,9 +532,11 @@ void SweepRunner::set_store(SweepStoreOptions store) {
 std::string fingerprint_cell(const SweepStoreOptions& store,
                              const WorkloadOptions& opts, const Scenario& s) {
   // Everything that determines the cell's output, nothing that is
-  // execution-only. Field ORDER is part of the hash — append new fields
-  // at the end (any change here re-addresses the whole store, which is
-  // safe but discards every cached cell).
+  // execution-only (cost_hint drives only queue order, so it is absent —
+  // two scenarios differing only in cost estimate are the same cell).
+  // Field ORDER is part of the hash — append new fields at the end (any
+  // change here re-addresses the whole store, which is safe but
+  // discards every cached cell).
   store::Fingerprinter fp;
   fp.add("bench", store.bench);
   for (const auto& [name, value] : store.config) {
@@ -557,7 +578,8 @@ struct SweepEngine {
     std::unique_ptr<store::ResultStore> rs;
     std::vector<std::string> fps;
     ResultTable table;
-    std::vector<int> pending;  // grid-local indices this run computes
+    std::vector<int> pending;         // grid-local indices this run computes
+    std::vector<double> pending_cost;  // estimated cost of each pending cell
   };
 
   static void prepare_kinds(
@@ -598,13 +620,15 @@ struct SweepEngine {
   static std::vector<ResultTable> run(
       const WorkloadOptions& opts, SweepContext& ctx, bool prepare_baselines,
       const std::function<void(const Workload&)>& on_baseline,
-      const std::vector<FleetGrid>& grids, bool labeled);
+      const std::vector<FleetGrid>& grids, bool labeled,
+      SchedulePolicy schedule, std::vector<WorkerStats>& worker_stats);
 };
 
 std::vector<ResultTable> SweepEngine::run(
     const WorkloadOptions& opts, SweepContext& ctx, bool prepare_baselines,
     const std::function<void(const Workload&)>& on_baseline,
-    const std::vector<FleetGrid>& grids, bool labeled) {
+    const std::vector<FleetGrid>& grids, bool labeled,
+    SchedulePolicy schedule, std::vector<WorkerStats>& worker_stats) {
   std::vector<GridState> gs(grids.size());
   for (std::size_t g = 0; g < grids.size(); ++g) {
     GridState& st = gs[g];
@@ -671,7 +695,24 @@ std::vector<ResultTable> SweepEngine::run(
       }
       if (static_cast<int>(i % static_cast<std::size_t>(
                                    store.shard_count)) == store.shard_index) {
+        // Estimated cost for the cost-ordered queue. On a warm store a
+        // recompute run (--resume false) refines the grid's static
+        // estimate with the wall-clock the cell took last time — the
+        // most accurate predictor available. (With resume on, a cell
+        // that has a usable record was replayed above, so every pending
+        // cell is a true miss with no history.)
+        double cost = scenario_cost_estimate(scenarios[i]);
+        if (use_store && !store.resume) {
+          if (const std::optional<std::string> prior = st.rs->get(st.fps[i])) {
+            ScenarioResult previous;
+            if (decode_scenario_result(*prior, previous) &&
+                previous.seconds > 0.0) {
+              cost = previous.seconds;
+            }
+          }
+        }
         st.pending.push_back(static_cast<int>(i));
+        st.pending_cost.push_back(cost);
       }
     }
     if (use_store) {
@@ -688,16 +729,34 @@ std::vector<ResultTable> SweepEngine::run(
     }
   }
 
-  // The cross-grid work queue, grid-major in grid order. Workers claim
-  // one cell at a time from a shared counter, so a worker done with one
-  // bench's cheap cells immediately steals the next bench's pending
-  // cells — no per-grid barrier, no idle tail while another grid still
-  // has work.
-  std::vector<std::pair<int, int>> queue;  // (grid, grid-local index)
+  // The cross-grid work queue. Workers claim one cell at a time from a
+  // shared counter, so a worker done with one bench's cheap cells
+  // immediately steals the next bench's pending cells — no per-grid
+  // barrier, no idle tail while another grid still has work. Under the
+  // default cost-ordered policy the queue is sorted most-expensive
+  // first (stable, so equal-cost cells keep grid-major order): on a
+  // heterogeneous fleet a retrain cell claimed LAST strands one worker
+  // for its whole duration after every other worker drained the cheap
+  // evals; claimed FIRST it overlaps all of them. Ordering is pure
+  // scheduling — tables are emitted in grid order either way, so the
+  // two policies produce byte-identical CSV/JSON values.
+  struct QueueEntry {
+    int grid;
+    int index;  // grid-local scenario index
+    double cost;
+  };
+  std::vector<QueueEntry> queue;
   for (std::size_t g = 0; g < gs.size(); ++g) {
-    for (const int i : gs[g].pending) {
-      queue.emplace_back(static_cast<int>(g), i);
+    for (std::size_t p = 0; p < gs[g].pending.size(); ++p) {
+      queue.push_back(QueueEntry{static_cast<int>(g), gs[g].pending[p],
+                                 gs[g].pending_cost[p]});
     }
+  }
+  if (schedule == SchedulePolicy::kCostOrdered) {
+    std::stable_sort(queue.begin(), queue.end(),
+                     [](const QueueEntry& a, const QueueEntry& b) {
+                       return a.cost > b.cost;
+                     });
   }
 
   // Baselines only for datasets some grid actually computes — shared
@@ -706,10 +765,10 @@ std::vector<ResultTable> SweepEngine::run(
   // trains/loads nothing at all.
   if (prepare_baselines && !queue.empty()) {
     std::set<DatasetKind> kinds;
-    for (const auto& [g, i] : queue) {
+    for (const QueueEntry& e : queue) {
       kinds.insert(
-          gs[static_cast<std::size_t>(g)].grid->scenarios
-              [static_cast<std::size_t>(i)].dataset);
+          gs[static_cast<std::size_t>(e.grid)].grid->scenarios
+              [static_cast<std::size_t>(e.index)].dataset);
     }
     prepare_kinds(ctx, opts, on_baseline, kinds);
   }
@@ -731,14 +790,15 @@ std::vector<ResultTable> SweepEngine::run(
   std::mutex err_mu;
   std::vector<std::string> errors;
   std::atomic<int> done{0};
+  worker_stats.assign(static_cast<std::size_t>(parallel), WorkerStats{});
   // A failed scenario stops further claims (in-flight scenarios finish,
   // then run() throws) — a deterministic error affecting every cell
   // must not burn hours draining the rest of the grid first.
   std::atomic<bool> failed{false};
-  const auto run_one = [&](int slot) {
-    const auto [g, i] = queue[static_cast<std::size_t>(slot)];
-    GridState& st = gs[static_cast<std::size_t>(g)];
-    const std::size_t idx = static_cast<std::size_t>(i);
+  const auto run_one = [&](int slot, int worker) {
+    const QueueEntry& entry = queue[static_cast<std::size_t>(slot)];
+    GridState& st = gs[static_cast<std::size_t>(entry.grid)];
+    const std::size_t idx = static_cast<std::size_t>(entry.index);
     const Scenario& scenario = st.grid->scenarios[idx];
     common::Timer t;
     const char* status = "";
@@ -759,6 +819,10 @@ std::vector<ResultTable> SweepEngine::run(
       errors.push_back((st.label.empty() ? "" : st.label + ": ") +
                        scenario.key + ": " + e.what());
     }
+    // Each worker slot writes only its own entry — no lock needed.
+    WorkerStats& ws = worker_stats[static_cast<std::size_t>(worker)];
+    ws.cells += 1;
+    ws.busy_seconds += t.seconds();
     // Live progress goes to stderr in completion order (retraining
     // grids run for hours otherwise silent); the deterministic
     // per-scenario logs still print to stdout in scenario order below.
@@ -769,7 +833,7 @@ std::vector<ResultTable> SweepEngine::run(
   };
 
   if (parallel <= 1) {
-    for (int i = 0; i < np && !failed.load(); ++i) run_one(i);
+    for (int i = 0; i < np && !failed.load(); ++i) run_one(i, 0);
   } else {
     // Scenario bodies run on pool workers, so nested GEMM parallel_for
     // calls execute inline — the sweep never runs more than `parallel`
@@ -781,11 +845,13 @@ std::vector<ResultTable> SweepEngine::run(
     // wait behind a slow retraining cell in the same chunk.
     std::atomic<int> next{0};
     compute::ThreadPool pool(parallel);
-    pool.parallel_for(0, parallel, 1, [&](int, int) {
-      while (!failed.load()) {
-        const int i = next.fetch_add(1);
-        if (i >= np) break;
-        run_one(i);
+    pool.parallel_for(0, parallel, 1, [&](int wb, int we) {
+      for (int w = wb; w < we; ++w) {
+        while (!failed.load()) {
+          const int i = next.fetch_add(1);
+          if (i >= np) break;
+          run_one(i, w);
+        }
       }
     });
   }
@@ -841,7 +907,7 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
   grids.push_back(FleetGrid{store_, scenarios, fn});
   std::vector<ResultTable> tables = SweepEngine::run(
       opts_, ctx_, prepare_baselines_, on_baseline_, grids,
-      /*labeled=*/false);
+      /*labeled=*/false, schedule_, worker_stats_);
   return std::move(tables.front());
 }
 
@@ -871,7 +937,8 @@ std::vector<ResultTable> FleetRunner::run() {
     throw std::logic_error("FleetRunner: no grids added");
   }
   return SweepEngine::run(opts_, ctx_, prepare_baselines_, on_baseline_,
-                          grids_, /*labeled=*/true);
+                          grids_, /*labeled=*/true, schedule_,
+                          worker_stats_);
 }
 
 }  // namespace falvolt::core

@@ -65,6 +65,44 @@ struct Scenario {
   std::uint64_t fault_seed = 0;  ///< explicit fault-map RNG seed
   bool retrain = false;      ///< scenario runs a retraining mitigation
   int epochs = 0;            ///< retraining epochs when `retrain`
+  /// Estimated compute cost of this cell in abstract units (an eval cell
+  /// is ~1). Scheduling metadata ONLY: drives the cost-ordered work
+  /// queue, never enters the cell fingerprint or the stored record (two
+  /// scenarios differing only in cost_hint are the same cell). 0 lets
+  /// scenario_cost_estimate() derive a default from retrain/epochs;
+  /// grids with better knowledge (e.g. fig5c's array-size-dependent
+  /// eval latency from systolic::cost_model) tag cells explicitly.
+  double cost_hint = 0.0;
+};
+
+/// Estimated cost of one cell in abstract units: the explicit cost_hint
+/// when set, else ~1 for an eval cell and kRetrainCostPerEpoch per
+/// retraining epoch (a retrain cell costs orders of magnitude more than
+/// an eval cell — the queue must drain retrains first or a late retrain
+/// claim strands one worker long after the rest of the fleet idles).
+inline constexpr double kRetrainCostPerEpoch = 100.0;
+double scenario_cost_estimate(const Scenario& s);
+
+/// How the cross-bench work queue is ordered before workers claim cells.
+/// Either way the claim counter is shared (work stealing across grids)
+/// and tables are emitted in grid order, so results are byte-identical —
+/// only the fleet tail differs.
+enum class SchedulePolicy {
+  kCostOrdered,   ///< most expensive cells first (default)
+  kClaimOrdered,  ///< legacy grid-major add order
+};
+
+/// Parse "cost" / "claim"; throws std::invalid_argument otherwise.
+SchedulePolicy parse_schedule_policy(const std::string& name);
+const char* schedule_policy_name(SchedulePolicy policy);
+
+/// Per-worker accounting of one sweep/fleet run: how many cells worker
+/// `i` claimed and how long it was busy computing them. busy_seconds /
+/// the run's total_seconds is that worker's utilization — the fleet
+/// tail shows up as one worker near 1.0 while the rest idle.
+struct WorkerStats {
+  std::size_t cells = 0;
+  double busy_seconds = 0.0;
 };
 
 /// Deterministic seed derived from the scenario key and fault_seed
@@ -146,13 +184,14 @@ std::pair<int, int> parse_shard_spec(const std::string& spec);
 
 /// Content-address of one cell: SHA-256 over the store format epoch,
 /// the bench name, the bench config, the workload identity
-/// (dataset/fast/seed), and every Scenario field. Anything that can
-/// change the cell's output is in here — a hit is therefore safe to
-/// replay — and nothing execution-only is (thread counts, shard spec,
-/// output paths), so reruns on other machines still hit. Shared by
-/// SweepRunner, FleetRunner, and the shard-planning listings, so a
-/// bench run standalone and the same grid run by the fleet driver
-/// address identical cells.
+/// (dataset/fast/seed), and every result-affecting Scenario field
+/// (cost_hint is scheduling metadata and deliberately excluded).
+/// Anything that can change the cell's output is in here — a hit is
+/// therefore safe to replay — and nothing execution-only is (thread
+/// counts, shard spec, output paths, queue order), so reruns on other
+/// machines still hit. Shared by SweepRunner, FleetRunner, and the
+/// shard-planning listings, so a bench run standalone and the same
+/// grid run by the fleet driver address identical cells.
 std::string fingerprint_cell(const SweepStoreOptions& store,
                              const WorkloadOptions& opts, const Scenario& s);
 
@@ -304,6 +343,16 @@ class SweepRunner {
   void set_store(SweepStoreOptions store);
   const SweepStoreOptions& store() const { return store_; }
 
+  /// Work-queue ordering (default: cost-ordered). Tables are
+  /// byte-identical either way; see SchedulePolicy.
+  void set_schedule(SchedulePolicy policy) { schedule_ = policy; }
+  SchedulePolicy schedule() const { return schedule_; }
+
+  /// Per-worker accounting of the last run() (empty before any run).
+  const std::vector<WorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
   /// Content-address of one cell: SHA-256 over the store format epoch,
   /// the bench name, the bench config, the workload identity
   /// (dataset/fast/seed), and every Scenario field. Anything that can
@@ -340,6 +389,8 @@ class SweepRunner {
   SweepStoreOptions store_;
   std::function<void(const Workload&)> on_baseline_;
   bool prepare_baselines_ = true;
+  SchedulePolicy schedule_ = SchedulePolicy::kCostOrdered;
+  std::vector<WorkerStats> worker_stats_;
 };
 
 /// One bench's contribution to a fleet sweep: its store identity
@@ -356,9 +407,11 @@ struct FleetGrid {
 /// Executes SEVERAL benches' grids as one cross-bench work queue.
 ///
 /// Where SweepRunner sweeps one figure's grid, FleetRunner unions the
-/// cells of every added grid into a single work-stealing queue: a
-/// worker that finishes one bench's cheap eval cells immediately claims
-/// another bench's expensive retrain cells instead of idling. All grids
+/// cells of every added grid into a single work-stealing queue, ordered
+/// most-expensive-first by default (SchedulePolicy): retrain cells are
+/// claimed while the cheap evals still cover the other workers, so a
+/// heterogeneous fleet no longer strands one worker on a late retrain
+/// cell after everyone else drained the queue. All grids
 /// share one SweepContext, so a dataset baseline is trained (or cache-
 /// loaded) once per fleet run no matter how many grids need it — and
 /// every cell is fingerprinted exactly as its owning bench would
@@ -386,6 +439,17 @@ class FleetRunner {
   /// touch a dataset or baseline network).
   void set_prepare_baselines(bool enabled) { prepare_baselines_ = enabled; }
 
+  /// Work-queue ordering (default: cost-ordered — a heterogeneous fleet
+  /// claims its retrain cells first so no worker strands on a late
+  /// expensive cell). Tables are byte-identical either way.
+  void set_schedule(SchedulePolicy policy) { schedule_ = policy; }
+  SchedulePolicy schedule() const { return schedule_; }
+
+  /// Per-worker accounting of the last run() (empty before any run).
+  const std::vector<WorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
   /// Register one grid. Scenario keys must be unique within a grid
   /// (validated at run(); across grids the bench name disambiguates).
   void add_grid(FleetGrid grid);
@@ -406,6 +470,8 @@ class FleetRunner {
   std::vector<FleetGrid> grids_;
   std::function<void(const Workload&)> on_baseline_;
   bool prepare_baselines_ = true;
+  SchedulePolicy schedule_ = SchedulePolicy::kCostOrdered;
+  std::vector<WorkerStats> worker_stats_;
 };
 
 }  // namespace falvolt::core

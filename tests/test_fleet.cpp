@@ -33,6 +33,16 @@ std::vector<Scenario> grid(const std::string& prefix, int n) {
   return scenarios;
 }
 
+std::vector<Scenario> retrain_grid(const std::string& prefix, int n,
+                                   int epochs) {
+  std::vector<Scenario> scenarios = grid(prefix, n);
+  for (Scenario& s : scenarios) {
+    s.retrain = true;
+    s.epochs = epochs;
+  }
+  return scenarios;
+}
+
 SweepStoreOptions store_opts(const std::string& dir,
                              const std::string& bench) {
   SweepStoreOptions st;
@@ -148,6 +158,183 @@ TEST_F(FleetTest, WorkersStealAcrossGrids) {
       << "cells of both grids must share one worker pool";
 }
 
+// ------------------------------------------------- cost-aware scheduling
+
+TEST(ScenarioCost, DefaultsScaleWithRetrainEpochsAndHintWins) {
+  Scenario eval;
+  EXPECT_DOUBLE_EQ(scenario_cost_estimate(eval), 1.0);
+  Scenario retrain;
+  retrain.retrain = true;
+  retrain.epochs = 4;
+  EXPECT_DOUBLE_EQ(scenario_cost_estimate(retrain),
+                   4.0 * kRetrainCostPerEpoch);
+  Scenario retrain_no_epochs;
+  retrain_no_epochs.retrain = true;  // epochs unset still beats an eval
+  EXPECT_DOUBLE_EQ(scenario_cost_estimate(retrain_no_epochs),
+                   kRetrainCostPerEpoch);
+  Scenario hinted = retrain;
+  hinted.cost_hint = 2.5;
+  EXPECT_DOUBLE_EQ(scenario_cost_estimate(hinted), 2.5);
+}
+
+TEST(ScenarioCost, SchedulePolicyParsesAndRejects) {
+  EXPECT_EQ(parse_schedule_policy("cost"), SchedulePolicy::kCostOrdered);
+  EXPECT_EQ(parse_schedule_policy("claim"), SchedulePolicy::kClaimOrdered);
+  EXPECT_THROW(parse_schedule_policy("fifo"), std::invalid_argument);
+  EXPECT_STREQ(schedule_policy_name(SchedulePolicy::kCostOrdered), "cost");
+  EXPECT_STREQ(schedule_policy_name(SchedulePolicy::kClaimOrdered), "claim");
+}
+
+TEST(ScenarioCost, CostHintNeverEntersFingerprints) {
+  SweepStoreOptions st;
+  st.bench = "bench_a";
+  Scenario a;
+  a.key = "x=0";
+  Scenario b = a;
+  b.cost_hint = 512.0;
+  EXPECT_EQ(fingerprint_cell(st, WorkloadOptions{}, a),
+            fingerprint_cell(st, WorkloadOptions{}, b));
+}
+
+// With one worker the claim order IS the queue order: under the default
+// cost-ordered policy the retrain grid's cells run first even though
+// the eval grid was added first; under kClaimOrdered the add order wins.
+TEST_F(FleetTest, CostOrderedQueueClaimsExpensiveCellsFirst) {
+  const auto run_order = [&](SchedulePolicy policy,
+                             const std::string& dir) {
+    std::vector<std::string> order;
+    std::mutex mu;
+    const auto recording = [&](const Scenario& s, const SweepContext&) {
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(s.key);
+      return ScenarioResult{};
+    };
+    FleetRunner f = fleet(1);
+    f.set_schedule(policy);
+    f.add_grid({store_opts(dir, "bench_eval"), grid("e", 3), recording});
+    f.add_grid({store_opts(dir, "bench_retrain"),
+                retrain_grid("r", 2, 4), recording});
+    f.run();
+    return order;
+  };
+
+  const std::vector<std::string> cost =
+      run_order(SchedulePolicy::kCostOrdered, dir_);
+  ASSERT_EQ(cost.size(), 5u);
+  EXPECT_EQ(cost[0], "r=0");
+  EXPECT_EQ(cost[1], "r=1");
+
+  fs::remove_all(dir_);
+  const std::vector<std::string> claim =
+      run_order(SchedulePolicy::kClaimOrdered, dir_);
+  ASSERT_EQ(claim.size(), 5u);
+  EXPECT_EQ(claim[0], "e=0");
+  EXPECT_EQ(claim[4], "r=1");
+}
+
+// Mixed retrain/eval fleet at full concurrency: with 2 workers both
+// retrain cells must be in flight together BEFORE any eval cell starts
+// (the whole point of the cost order — the expensive tail overlaps the
+// cheap cells instead of following them).
+TEST_F(FleetTest, MixedFleetRunsRetrainCellsAtFullConcurrencyFirst) {
+  std::atomic<int> retrain_in_flight{0};
+  std::atomic<int> retrain_high_water{0};
+  std::atomic<int> evals_before_retrains{0};
+  const auto fn = [&](const Scenario& s, const SweepContext&) {
+    if (s.retrain) {
+      const int now = retrain_in_flight.fetch_add(1) + 1;
+      int seen = retrain_high_water.load();
+      while (now > seen &&
+             !retrain_high_water.compare_exchange_weak(seen, now)) {
+      }
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (retrain_high_water.load() < 2 &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      retrain_in_flight.fetch_sub(1);
+    } else if (retrain_high_water.load() < 2) {
+      evals_before_retrains.fetch_add(1);
+    }
+    return ScenarioResult{};
+  };
+  FleetRunner f = fleet(2);
+  f.add_grid({store_opts(dir_, "bench_eval"), grid("e", 4), fn});
+  f.add_grid({store_opts(dir_, "bench_retrain"), retrain_grid("r", 2, 4),
+              fn});
+  f.run();
+  EXPECT_EQ(retrain_high_water.load(), 2)
+      << "both retrain cells must overlap";
+  EXPECT_EQ(evals_before_retrains.load(), 0)
+      << "no eval cell may start before the retrain cells are claimed";
+}
+
+// Scheduling is pure execution order: cost- and claim-ordered fleets
+// emit byte-identical tables, and a warm re-run against a cost-ordered
+// fleet's store computes nothing.
+TEST_F(FleetTest, SchedulePoliciesEmitByteIdenticalTablesAndWarmZero) {
+  std::atomic<int> computed{0};
+  const auto run_fleet = [&](SchedulePolicy policy, const std::string& dir) {
+    FleetRunner f = fleet(2);
+    f.set_schedule(policy);
+    f.add_grid({store_opts(dir, "bench_eval"), grid("e", 4),
+                counting_fn(computed)});
+    f.add_grid({store_opts(dir, "bench_retrain"),
+                retrain_grid("r", 3, 2), counting_fn(computed)});
+    return f.run();
+  };
+  const std::vector<ResultTable> cost =
+      run_fleet(SchedulePolicy::kCostOrdered, dir_);
+  const std::vector<ResultTable> claim =
+      run_fleet(SchedulePolicy::kClaimOrdered, dir_ + "_claim");
+  ASSERT_EQ(cost.size(), claim.size());
+  for (std::size_t g = 0; g < cost.size(); ++g) {
+    EXPECT_EQ(cost[g].to_csv(), claim[g].to_csv());
+  }
+  EXPECT_EQ(computed.load(), 14);
+
+  // Warm re-run after the cost-ordered fleet: zero cells computed.
+  const std::vector<ResultTable> warm =
+      run_fleet(SchedulePolicy::kCostOrdered, dir_);
+  EXPECT_EQ(computed.load(), 14);
+  for (std::size_t g = 0; g < warm.size(); ++g) {
+    EXPECT_EQ(warm[g].computed_cells(), 0u);
+    EXPECT_EQ(warm[g].to_csv(), cost[g].to_csv());
+  }
+  fs::remove_all(dir_ + "_claim");
+}
+
+TEST_F(FleetTest, WorkerStatsAccountForEveryComputedCell) {
+  std::atomic<int> computed{0};
+  FleetRunner f = fleet(2);
+  f.add_grid({store_opts(dir_, "bench_a"), grid("a", 5),
+              counting_fn(computed)});
+  f.add_grid({store_opts(dir_, "bench_b"), grid("b", 2),
+              counting_fn(computed)});
+  EXPECT_TRUE(f.worker_stats().empty()) << "no stats before any run";
+  f.run();
+  ASSERT_EQ(f.worker_stats().size(), 2u);
+  std::size_t cells = 0;
+  for (const WorkerStats& w : f.worker_stats()) {
+    cells += w.cells;
+    EXPECT_GE(w.busy_seconds, 0.0);
+  }
+  EXPECT_EQ(cells, 7u);
+
+  // A fully warm fleet claims nothing — stats show zero cells.
+  FleetRunner warm = fleet(2);
+  warm.add_grid({store_opts(dir_, "bench_a"), grid("a", 5),
+                 counting_fn(computed)});
+  warm.add_grid({store_opts(dir_, "bench_b"), grid("b", 2),
+                 counting_fn(computed)});
+  warm.run();
+  EXPECT_EQ(computed.load(), 7);
+  std::size_t warm_cells = 0;
+  for (const WorkerStats& w : warm.worker_stats()) warm_cells += w.cells;
+  EXPECT_EQ(warm_cells, 0u);
+}
+
 TEST_F(FleetTest, GridErrorsFailTheFleetWithBenchPrefix) {
   FleetRunner f = fleet(1);
   std::atomic<int> computed{0};
@@ -224,16 +411,24 @@ TEST(FleetRunnerApi, RejectsEmptyFleetsAndBadGrids) {
 
 // ------------------------------------------------------------ registry
 
-TEST(GridRegistry, AllSevenFigureGridsRegisterAndBuild) {
+TEST(GridRegistry, AllGridsRegisterAndBuild) {
   bench::register_all_grids();
   bench::register_all_grids();  // idempotent
   const GridRegistry& reg = GridRegistry::instance();
+  // Seven figure benches + the design-choice ablation + the two
+  // example-derived workloads: everything the repo can express runs
+  // through one fleet queue.
   const std::vector<std::string> expected = {
       "fig2_vth_sweep",   "fig5a_bit_position", "fig5b_fault_count",
       "fig5c_array_size", "fig6_vth_layers",    "fig7_mitigation",
-      "fig8_convergence"};
+      "fig8_convergence", "ablation_falvolt",   "chip_salvage_triage",
+      "gesture_pipeline"};
+  ASSERT_GE(reg.size(), 9u) << "fleet must cover 9+ grids";
   for (const std::string& name : expected) {
     ASSERT_NE(reg.find(name), nullptr) << name;
+    EXPECT_FALSE(reg.get(name).datasets.empty())
+        << name << " must declare its dataset axis so the fleet driver "
+        << "can skip it under a foreign --datasets filter";
   }
 
   // Every grid builds a non-empty, unique-keyed scenario list from its
@@ -251,10 +446,51 @@ TEST(GridRegistry, AllSevenFigureGridsRegisterAndBuild) {
     for (const Scenario& s : scenarios) {
       EXPECT_TRUE(keys.insert(s.key).second)
           << name << " duplicate key " << s.key;
+      EXPECT_GT(scenario_cost_estimate(s), 0.0) << name << " " << s.key;
     }
     EXPECT_TRUE(
         static_cast<bool>(def.scenario_fn(cli, probe.context())))
         << name;
+  }
+
+  // Spot-check the cost tagging the scheduler depends on: fig5c's
+  // cost-model hints grow as the array shrinks (more tiles per GEMM),
+  // and the gesture grid's falvolt arm dwarfs its unmitigated arm.
+  {
+    common::CliFlags cli("fig5c_array_size");
+    bench::add_common_flags(cli);
+    reg.get("fig5c_array_size").add_flags(cli);
+    const std::vector<Scenario> scenarios =
+        reg.get("fig5c_array_size").scenarios(cli);
+    double cost4 = 0.0, cost256 = 0.0;
+    for (const Scenario& s : scenarios) {
+      if (s.array_size == 4) cost4 = scenario_cost_estimate(s);
+      if (s.array_size == 256) cost256 = scenario_cost_estimate(s);
+    }
+    EXPECT_GT(cost4, cost256);
+  }
+  {
+    common::CliFlags cli("gesture_pipeline");
+    bench::add_common_flags(cli);
+    reg.get("gesture_pipeline").add_flags(cli);
+    for (const Scenario& s : reg.get("gesture_pipeline").scenarios(cli)) {
+      if (s.tag == "falvolt") {
+        EXPECT_GE(scenario_cost_estimate(s), kRetrainCostPerEpoch);
+      } else {
+        EXPECT_DOUBLE_EQ(scenario_cost_estimate(s), 1.0);
+      }
+    }
+  }
+}
+
+// A defect rate (or array) small enough that the per-die defect ceiling
+// truncates to zero must still build — a defective die then carries the
+// minimum one defect instead of tripping Rng::uniform_int(0).
+TEST(GridRegistry, ChipDefectsGuardDegenerateCeilings) {
+  for (int chip = 0; chip < 8; ++chip) {
+    EXPECT_GE(bench::chip_salvage::chip_defects(chip, 0.0, 64 * 64), 0);
+    EXPECT_GE(bench::chip_salvage::chip_defects(chip, 0.0001, 64 * 64), 0);
+    EXPECT_GE(bench::chip_salvage::chip_defects(chip, 0.18, 4), 0);
   }
 }
 

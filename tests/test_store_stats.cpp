@@ -1,0 +1,143 @@
+// Store usage statistics (store/stats.h): bytes and records charged per
+// bench through manifest reachability, dedup of shared manifest
+// references, the provenance epoch histogram over a MIXED-epoch store,
+// and the stale/unreadable populations a prune would reclaim — the
+// accounting sweep_merge --list prints.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "core/sweep.h"
+#include "store/manifest.h"
+#include "store/result_store.h"
+#include "store/stats.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::store {
+namespace {
+
+// Epoch probe exactly as sweep_merge --list wires it.
+std::optional<std::uint32_t> epoch_of(const std::string& payload) {
+  core::ScenarioResult r;
+  if (!core::decode_scenario_result(payload, r)) return std::nullopt;
+  return r.provenance.store_epoch;
+}
+
+std::string fp_of(char c) { return std::string(64, c); }
+
+// A record whose provenance claims store epoch `epoch` — mixed-epoch
+// stores arise when several build generations write into one store.
+std::string record(const std::string& key, std::uint32_t epoch) {
+  core::ScenarioResult r;
+  r.scenario.key = key;
+  r.metrics = {{"value", 1.0}};
+  r.provenance.host = "host";
+  r.provenance.version = "test";
+  r.provenance.unix_time = 1;
+  r.provenance.store_epoch = epoch;
+  return core::encode_scenario_result(r);
+}
+
+class StoreStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "falvolt_stats_test";
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(StoreStatsTest, ChargesBenchesThroughManifestsOverMixedEpochs) {
+  ResultStore rs(dir_);
+  // bench_a owns a, b (epochs 1 and 2); bench_b owns c (epoch 2) and
+  // ALSO references b (deduplicated); d is unreferenced (epoch 1).
+  rs.put(fp_of('a'), record("a=0", 1));
+  rs.put(fp_of('b'), record("b=0", 2));
+  rs.put(fp_of('c'), record("c=0", 2));
+  rs.put(fp_of('d'), record("d=0", 1));
+  Manifest ma;
+  ma.bench = "bench_a";
+  ma.entries = {{fp_of('a'), "a=0"}, {fp_of('b'), "b=0"}};
+  write_manifest(rs, ma);
+  Manifest mb;
+  mb.bench = "bench_b";
+  mb.entries = {{fp_of('c'), "c=0"}, {fp_of('b'), "b=0"}};
+  write_manifest(rs, mb);
+
+  const StoreStats stats = collect_store_stats(rs, epoch_of);
+  EXPECT_EQ(stats.total_records, 4u);
+  EXPECT_GT(stats.total_bytes, 0u);
+
+  ASSERT_EQ(stats.benches.size(), 3u);
+  EXPECT_EQ(stats.benches[0].bench, "bench_a");
+  EXPECT_EQ(stats.benches[0].records, 2u);
+  EXPECT_GT(stats.benches[0].bytes, 0u);
+  EXPECT_EQ(stats.benches[1].bench, "bench_b");
+  EXPECT_EQ(stats.benches[1].records, 1u);
+  EXPECT_EQ(stats.benches[2].bench, "(unreferenced)");
+  EXPECT_EQ(stats.benches[2].records, 1u);
+  EXPECT_EQ(stats.deduplicated_refs, 1u);
+
+  std::uint64_t charged = 0;
+  for (const StoreStats::BenchUsage& b : stats.benches) charged += b.bytes;
+  EXPECT_EQ(charged, stats.total_bytes)
+      << "every byte is charged exactly once";
+
+  // The epoch histogram comes from record provenance, not manifests.
+  ASSERT_EQ(stats.epoch_histogram.size(), 2u);
+  EXPECT_EQ(stats.epoch_histogram.at(1), 2u);
+  EXPECT_EQ(stats.epoch_histogram.at(2), 2u);
+  EXPECT_EQ(stats.stale_payloads, 0u);
+  EXPECT_EQ(stats.unreadable_records, 0u);
+
+  const std::string text = stats.to_text();
+  EXPECT_NE(text.find("bench_a"), std::string::npos);
+  EXPECT_NE(text.find("(unreferenced)"), std::string::npos);
+  EXPECT_NE(text.find("epoch 1: 2 record(s)"), std::string::npos);
+  EXPECT_NE(text.find("epoch 2: 2 record(s)"), std::string::npos);
+}
+
+TEST_F(StoreStatsTest, CountsStaleAndUnreadableRecords) {
+  ResultStore rs(dir_);
+  rs.put(fp_of('a'), record("a=0", 2));
+  // Valid frame, foreign payload codec: readable but stale.
+  rs.put(fp_of('b'), "not a scenario-result payload");
+  // Frame damage: flip one payload byte on disk behind the checksum.
+  rs.put(fp_of('c'), record("c=0", 2));
+  {
+    const std::string path = rs.object_path(fp_of('c'));
+    std::fstream f(path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(-1, std::ios::end);
+    const char last = static_cast<char>(f.get());
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(last ^ '\x5a'));
+  }
+
+  const StoreStats stats = collect_store_stats(rs, epoch_of);
+  EXPECT_EQ(stats.total_records, 3u);
+  EXPECT_EQ(stats.epoch_histogram.at(2), 1u);
+  EXPECT_EQ(stats.stale_payloads, 1u);
+  EXPECT_EQ(stats.unreadable_records, 1u);
+  const std::string text = stats.to_text();
+  EXPECT_NE(text.find("1 stale-codec payload(s)"), std::string::npos);
+  EXPECT_NE(text.find("1 unreadable record(s)"), std::string::npos);
+}
+
+TEST_F(StoreStatsTest, EmptyStoreYieldsZeroes) {
+  ResultStore rs(dir_);
+  const StoreStats stats = collect_store_stats(rs, epoch_of);
+  EXPECT_EQ(stats.total_records, 0u);
+  EXPECT_EQ(stats.total_bytes, 0u);
+  EXPECT_TRUE(stats.benches.empty());
+  EXPECT_TRUE(stats.epoch_histogram.empty());
+}
+
+}  // namespace
+}  // namespace falvolt::store
