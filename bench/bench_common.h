@@ -227,16 +227,28 @@ inline bool sweep_complete(const core::ResultTable& results) {
 /// baseline preparation the sweep proved unnecessary.
 class EvalSets {
  public:
+  /// `n` samples per dataset; n <= 0 means the full test split.
   EvalSets(const core::SweepContext& ctx, int n) : ctx_(ctx), n_(n) {}
 
   /// Thread-safe: scenario functions call this concurrently.
   const data::Dataset& of(core::DatasetKind kind);
 
+  /// The same subset as one prebuilt whole-set EvalBatch (batched eval
+  /// mode): built once per dataset and shared read-only by every
+  /// scenario cell, so the per-time-step batch tensors are assembled
+  /// once per grid instead of once per evaluation and each cell's
+  /// engine resolves one fault plan per time step for ALL samples.
+  /// Thread-safe like of().
+  const snn::EvalBatch& batch(core::DatasetKind kind);
+
  private:
+  const data::Dataset& of_locked(core::DatasetKind kind);
+
   const core::SweepContext& ctx_;
   int n_;
   std::mutex mu_;
   std::map<core::DatasetKind, data::Dataset> sets_;
+  std::map<core::DatasetKind, snn::EvalBatch> batches_;
 };
 
 /// The experiment array: paper-equivalent geometry at our network scale.
@@ -429,11 +441,26 @@ inline data::Dataset subset(const data::Dataset& ds, int n) {
   return out;
 }
 
-inline const data::Dataset& EvalSets::of(core::DatasetKind kind) {
-  std::lock_guard<std::mutex> lock(mu_);
+inline const data::Dataset& EvalSets::of_locked(core::DatasetKind kind) {
   auto it = sets_.find(kind);
   if (it == sets_.end()) {
-    it = sets_.emplace(kind, subset(ctx_.workload(kind).data.test, n_))
+    const data::Dataset& test = ctx_.workload(kind).data.test;
+    it = sets_.emplace(kind, subset(test, n_ > 0 ? n_ : test.size()))
+             .first;
+  }
+  return it->second;
+}
+
+inline const data::Dataset& EvalSets::of(core::DatasetKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return of_locked(kind);
+}
+
+inline const snn::EvalBatch& EvalSets::batch(core::DatasetKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = batches_.find(kind);
+  if (it == batches_.end()) {
+    it = batches_.emplace(kind, snn::make_eval_batch(of_locked(kind)))
              .first;
   }
   return it->second;

@@ -146,7 +146,7 @@ void register_grid() {
             a.rows, a.cols, 8, fault::worst_case_spec(fmt.total_bits()),
             map_rng);
         const fault::FaultMap clean(a.rows, a.cols);
-        const data::Dataset& eval_set = eval_sets->of(s.dataset);
+        const snn::EvalBatch& eval_set = eval_sets->batch(s.dataset);
         const double acc_clean = core::evaluate_with_faults(
             net, eval_set, a, clean,
             systolic::SystolicGemmEngine::FaultHandling::kCorrupt);

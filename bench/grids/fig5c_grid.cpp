@@ -102,7 +102,7 @@ void register_grid() {
       const fault::FaultMap map = fault::random_fault_map(
           s.array_size, s.array_size, s.fault_count, spec, rng);
       const double acc = core::evaluate_with_faults(
-          net, eval_sets->of(s.dataset), array, map,
+          net, eval_sets->batch(s.dataset), array, map,
           systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
       core::ScenarioResult out;
       out.metrics = {{"accuracy", acc}};

@@ -64,9 +64,12 @@ void register_grid() {
     return scenarios;
   };
   def.scenario_fn = [](const common::CliFlags& cli,
-                       const core::SweepContext&) {
+                       const core::SweepContext& ctx) {
     const systolic::ArrayConfig array = experiment_array(cli);
-    return [array](const core::Scenario& s, const core::SweepContext& c) {
+    // n = 0: the FULL test split, as one shared prebuilt batch.
+    const auto eval_sets = std::make_shared<EvalSets>(ctx, 0);
+    return [array, eval_sets](const core::Scenario& s,
+                              const core::SweepContext& c) {
       const core::Workload& wl = c.workload(s.dataset);
       snn::Network net = c.clone_network(s.dataset);
       common::Rng rng(s.fault_seed);
@@ -88,7 +91,7 @@ void register_grid() {
         acc = r.final_accuracy;
       } else {
         acc = core::evaluate_with_faults(
-            net, wl.data.test, array, map,
+            net, eval_sets->batch(s.dataset), array, map,
             systolic::SystolicGemmEngine::FaultHandling::kCorrupt);
       }
       out.metrics = {{"accuracy", acc}};

@@ -1,16 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the library's hot kernels:
-// float GEMM (naive vs blocked vs pool-parallel across 64^3..512^3, with
-// a machine-readable JSON summary for perf tracking), the fixed-point
-// faulty-GEMM engine (clean / corrupt / bypass), the register-level cycle
-// simulator, PLIF forward/backward, prune-mask construction, fault-map
-// generation, and post-fab test.
+// float GEMM (naive vs blocked vs pool-parallel across 64^3..512^3), the
+// fixed-point faulty-GEMM engine (clean / corrupt / bypass, vectorized vs
+// forced-scalar), the register-level cycle simulator, PLIF
+// forward/backward, prune-mask construction, fault-map generation, and
+// post-fab test.
 //
 // Usage:
-//   micro_kernels [--gemm_json=PATH] [--threads=N] [google-benchmark flags]
+//   micro_kernels [--out_dir=DIR] [--json=NAME] [--gemm_json=NAME]
+//                 [--threads=N] [google-benchmark flags]
 //
-// The GEMM sweep runs first and writes its summary to PATH (default
-// micro_kernels_gemm.json in the CWD); google-benchmark then runs the
-// registered micro-benchmarks as usual.
+// The perf-trajectory sweeps (GEMM tiers, faulty-GEMM engine, cycle sim)
+// run first and write one machine-readable summary to --json (default
+// micro_kernels.json, 'none' disables); google-benchmark then runs the
+// registered micro-benchmarks as usual. --out_dir places every relative
+// output under DIR, created with parents (default bench_out/ — CI and
+// local runs stop littering the invocation CWD; pass --out_dir= to
+// write relative paths as-is); --gemm_json additionally writes the
+// legacy GEMM-tier-only summary.
 
 #include <benchmark/benchmark.h>
 
@@ -18,13 +24,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/timer.h"
+#include "common/version.h"
 #include "compute/gemm_kernels.h"
+#include "compute/simd.h"
 #include "compute/thread_pool.h"
 #include "fault/fault_generator.h"
 #include "fault/post_fab_test.h"
@@ -272,11 +281,11 @@ double time_kernel_ms(const std::function<void()>& fn) {
   return samples[samples.size() / 2] * 1e3;
 }
 
-// naive / blocked / parallel square-GEMM sweep; returns the JSON text.
+// naive / blocked / parallel square-GEMM sweep; returns the JSON array
+// body (the "gemm_tiers" entries).
 std::string run_gemm_sweep(const std::vector<int>& sizes) {
   const int threads = compute::global_threads();
-  std::string json = "{\n  \"bench\": \"gemm_tiers\",\n  \"threads\": " +
-                     std::to_string(threads) + ",\n  \"sizes\": [\n";
+  std::string json;
   for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
     const int s = sizes[idx];
     const tensor::Tensor a = random_weights(s, s, 51);
@@ -309,19 +318,144 @@ std::string run_gemm_sweep(const std::vector<int>& sizes) {
         s, naive_ms, blocked_ms, naive_ms / blocked_ms, threads,
         parallel_ms, naive_ms / parallel_ms);
   }
-  json += "  ]\n}\n";
   return json;
+}
+
+// Faulty-GEMM engine sweep over the actual eval hot path: per (mode,
+// array size), the vectorized engine vs the FALVOLT_FORCE_SCALAR
+// reference on the same operands, so the JSON carries the measured
+// fast-path speedup. Returns the "faulty_gemm" JSON array body.
+std::string run_faulty_gemm_sweep() {
+  struct Case {
+    const char* mode;
+    int array;
+    int faults;
+    systolic::SystolicGemmEngine::FaultHandling handling;
+  };
+  const std::vector<Case> cases = {
+      {"clean", 64, 0, systolic::SystolicGemmEngine::FaultHandling::kCorrupt},
+      {"clean", 256, 0,
+       systolic::SystolicGemmEngine::FaultHandling::kCorrupt},
+      {"corrupt", 64, 16,
+       systolic::SystolicGemmEngine::FaultHandling::kCorrupt},
+      {"corrupt", 256, 64,
+       systolic::SystolicGemmEngine::FaultHandling::kCorrupt},
+      {"bypass", 64, 16,
+       systolic::SystolicGemmEngine::FaultHandling::kBypass},
+      {"bypass", 256, 64,
+       systolic::SystolicGemmEngine::FaultHandling::kBypass},
+  };
+  const int m = 256, k = 72, n = 64;
+  const tensor::Tensor a = random_spikes(m, k, 61);
+  const tensor::Tensor w = random_weights(k, n, 62);
+  std::string json;
+  for (std::size_t idx = 0; idx < cases.size(); ++idx) {
+    const Case& cs = cases[idx];
+    systolic::ArrayConfig cfg;
+    cfg.rows = cfg.cols = cs.array;
+    common::Rng rng(63 + static_cast<std::uint64_t>(idx));
+    fault::FaultMap map(cs.array, cs.array);
+    if (cs.faults > 0) {
+      map = fault::random_fault_map(
+          cs.array, cs.array, cs.faults,
+          fault::worst_case_spec(cfg.format.total_bits()), rng);
+    }
+    systolic::SystolicGemmEngine engine(
+        cfg, cs.faults > 0 ? &map : nullptr, cs.handling);
+    tensor::Tensor c({m, n});
+    engine.set_force_scalar(false);
+    const double vector_ms = time_kernel_ms([&] {
+      engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+    });
+    engine.set_force_scalar(true);
+    const double scalar_ms = time_kernel_ms([&] {
+      engine.run(a.data(), w.data(), c.data(), m, k, n, "L");
+    });
+    const double items = static_cast<double>(m) * k * n;
+    char row[512];
+    std::snprintf(
+        row, sizeof(row),
+        "    {\"mode\": \"%s\", \"array\": %d, \"faults\": %d, "
+        "\"m\": %d, \"k\": %d, \"n\": %d, \"scalar_ms\": %.4f, "
+        "\"vector_ms\": %.4f, \"speedup\": %.2f, "
+        "\"vector_mitems_per_s\": %.1f}%s\n",
+        cs.mode, cs.array, cs.faults, m, k, n, scalar_ms, vector_ms,
+        scalar_ms / vector_ms, items / (vector_ms * 1e3),
+        idx + 1 == cases.size() ? "" : ",");
+    json += row;
+    std::printf(
+        "[faulty_gemm %-7s N=%-3d] scalar %8.3f ms | vector %8.3f ms "
+        "(%.2fx)\n",
+        cs.mode, cs.array, scalar_ms, vector_ms, scalar_ms / vector_ms);
+  }
+  return json;
+}
+
+// Register-level cycle-simulator sweep (the bit-accuracy oracle — slow
+// by construction, tracked so an accidental slowdown is still caught).
+// Returns the "cycle_sim" JSON array body.
+std::string run_cycle_sim_sweep() {
+  const std::vector<int> sizes = {8, 16, 32};
+  std::string json;
+  for (std::size_t idx = 0; idx < sizes.size(); ++idx) {
+    const int n_pe = sizes[idx];
+    systolic::ArrayConfig cfg;
+    cfg.rows = cfg.cols = n_pe;
+    systolic::SystolicArraySim sim(cfg, nullptr);
+    const tensor::Tensor a = random_spikes(16, 2 * n_pe, 71);
+    const tensor::Tensor w = random_weights(2 * n_pe, n_pe, 72);
+    const double ms = time_kernel_ms([&] {
+      systolic::CycleStats stats;
+      const tensor::Tensor c = sim.matmul(a, w, &stats);
+      benchmark::DoNotOptimize(c.data());
+    });
+    char row[256];
+    std::snprintf(row, sizeof(row),
+                  "    {\"array\": %d, \"ms\": %.4f}%s\n", n_pe, ms,
+                  idx + 1 == sizes.size() ? "" : ",");
+    json += row;
+    std::printf("[cycle_sim N=%-3d] %8.3f ms\n", n_pe, ms);
+  }
+  return json;
+}
+
+// Resolve a possibly relative output path under --out_dir, creating the
+// directory (with parents) on demand.
+std::string resolve_out_path(const std::string& out_dir,
+                             const std::string& name) {
+  const std::filesystem::path p(name);
+  if (out_dir.empty() || p.is_absolute()) return name;
+  std::filesystem::create_directories(out_dir);
+  return (std::filesystem::path(out_dir) / p).string();
+}
+
+bool write_text_file(const std::string& path, const std::string& text,
+                     const char* what) {
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::printf("[%s] JSON summary written to %s\n", what, path.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "[%s] cannot write %s\n", what, path.c_str());
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   // Peel off our flags; everything else goes to google-benchmark.
-  std::string json_path = "micro_kernels_gemm.json";
+  std::string out_dir = "bench_out";
+  std::string json_name = "micro_kernels.json";
+  std::string gemm_json_name;  // legacy GEMM-tier-only summary, off by default
   std::vector<char*> bench_argv = {argv[0]};
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
-      json_path = argv[i] + 12;
+    if (std::strncmp(argv[i], "--out_dir=", 10) == 0) {
+      out_dir = argv[i] + 10;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_name = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--gemm_json=", 12) == 0) {
+      gemm_json_name = argv[i] + 12;
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       compute::set_global_threads(std::atoi(argv[i] + 10));
     } else {
@@ -329,16 +463,33 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string json = run_gemm_sweep({64, 128, 256, 512});
-  if (!json_path.empty()) {
-    if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
-      std::fputs(json.c_str(), f);
-      std::fclose(f);
-      std::printf("[gemm] JSON summary written to %s\n\n", json_path.c_str());
-    } else {
-      std::fprintf(stderr, "[gemm] cannot write %s\n", json_path.c_str());
-    }
+  const std::string gemm_rows = run_gemm_sweep({64, 128, 256, 512});
+  const std::string faulty_rows = run_faulty_gemm_sweep();
+  const std::string cycle_rows = run_cycle_sim_sweep();
+
+  if (!json_name.empty() && json_name != "none") {
+    std::string json = "{\n  \"bench\": \"micro_kernels\",\n";
+    json += "  \"version\": \"" + std::string(falvolt::kFalvoltVersion) +
+            "\",\n";
+    json += "  \"simd\": \"" + std::string(compute::simd_backend()) +
+            "\",\n";
+    json += "  \"threads\": " + std::to_string(compute::global_threads()) +
+            ",\n";
+    json += "  \"gemm_tiers\": [\n" + gemm_rows + "  ],\n";
+    json += "  \"faulty_gemm\": [\n" + faulty_rows + "  ],\n";
+    json += "  \"cycle_sim\": [\n" + cycle_rows + "  ]\n}\n";
+    write_text_file(resolve_out_path(out_dir, json_name), json,
+                    "micro_kernels");
   }
+  if (!gemm_json_name.empty() && gemm_json_name != "none") {
+    const std::string legacy =
+        "{\n  \"bench\": \"gemm_tiers\",\n  \"threads\": " +
+        std::to_string(compute::global_threads()) + ",\n  \"sizes\": [\n" +
+        gemm_rows + "  ]\n}\n";
+    write_text_file(resolve_out_path(out_dir, gemm_json_name), legacy,
+                    "gemm");
+  }
+  std::printf("\n");
 
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: compare a fresh BENCH_6.json against the
+committed baseline and fail CI on real regressions.
+
+Usage:
+  perf_gate.py --current bench_out/BENCH_6.json \
+               --baseline bench/baselines/BENCH_6.json \
+               [--fleet-json bench_out/fleet_fig5b.json] \
+               [--tolerance 0.25] [--strict]
+
+What is gated vs what is only reported:
+
+* GATED (exit 1): machine-portable *speedup ratios* — the faulty-GEMM
+  vectorized-vs-scalar speedup per (mode, array) row and the GEMM-tier
+  blocked/parallel speedups per size. Both numerator and denominator
+  run on the same machine in the same job, so a ratio dropping by more
+  than --tolerance (default 25%) means the fast path itself regressed,
+  not that CI got a slower runner.
+* REPORTED (warn only, gated with --strict): absolute milliseconds and
+  fleet wall-clock seconds. CI runner hardware varies run to run, so
+  absolute times are tracked in the artifact trajectory but do not
+  fail the job by default.
+
+Baseline update procedure (documented in README.md "Performance"):
+after an intentional perf change, regenerate with
+  build/bench/micro_kernels --out_dir=bench_out --json=BENCH_6.json \
+      --benchmark_filter='^$'
+and commit bench_out/BENCH_6.json to bench/baselines/BENCH_6.json in
+the same PR as the change, noting the measured before/after in the PR
+description.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
+def index_rows(rows, keys):
+    out = {}
+    for row in rows:
+        out[tuple(row[k] for k in keys)] = row
+    return out
+
+
+def check_ratio(label, base, cur, tolerance, failures):
+    """Gate: cur must be >= base * (1 - tolerance)."""
+    floor = base * (1.0 - tolerance)
+    ok = cur >= floor
+    status = "ok" if ok else "REGRESSION"
+    print(f"  [{status:>10}] {label}: baseline {base:.2f}x -> current "
+          f"{cur:.2f}x (floor {floor:.2f}x)")
+    if not ok:
+        failures.append(label)
+
+
+def warn_abs(label, base, cur, tolerance, warnings):
+    """Warn-only: absolute time grew past tolerance."""
+    if base <= 0:
+        return
+    ratio = cur / base
+    if ratio > 1.0 + tolerance:
+        print(f"  [      warn] {label}: {base:.3f} -> {cur:.3f} "
+              f"(+{(ratio - 1.0) * 100:.0f}%, absolute time — not gated "
+              f"by default)")
+        warnings.append(label)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="freshly measured BENCH_6.json")
+    ap.add_argument("--baseline", required=True,
+                    help="committed baseline BENCH_6.json")
+    ap.add_argument("--fleet-json", default=None,
+                    help="sweep_fleet --json output; run.total_seconds is "
+                         "merged into the current summary before comparing")
+    ap.add_argument("--out", default=None,
+                    help="write the (fleet-merged) current summary here — "
+                         "this is the artifact CI uploads")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional regression (default 0.25)")
+    ap.add_argument("--strict", action="store_true",
+                    help="also fail on absolute-time warnings")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    base = load(args.baseline)
+
+    if args.fleet_json:
+        fleet = load(args.fleet_json)
+        cur["fleet"] = {
+            "grid": "fig5b_noise_resilience",
+            "total_seconds": fleet["run"]["total_seconds"],
+            "workers": fleet["run"]["workers"],
+            "cells_computed": fleet["run"]["cells_computed"],
+        }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as f:
+            json.dump(cur, f, indent=2)
+            f.write("\n")
+        print(f"merged summary written to {args.out}")
+
+    failures, warnings = [], []
+
+    print("faulty_gemm vectorized-vs-scalar speedups (gated):")
+    cur_fg = index_rows(cur["faulty_gemm"], ("mode", "array"))
+    base_fg = index_rows(base["faulty_gemm"], ("mode", "array"))
+    for key, brow in sorted(base_fg.items()):
+        crow = cur_fg.get(key)
+        if crow is None:
+            print(f"  [   MISSING] faulty_gemm {key}")
+            failures.append(f"faulty_gemm {key} missing")
+            continue
+        check_ratio(f"faulty_gemm mode={key[0]} array={key[1]}",
+                    brow["speedup"], crow["speedup"], args.tolerance,
+                    failures)
+        warn_abs(f"faulty_gemm mode={key[0]} array={key[1]} vector_ms",
+                 brow["vector_ms"], crow["vector_ms"], args.tolerance,
+                 warnings)
+
+    print("gemm_tiers blocked/parallel speedups (gated):")
+    cur_gt = index_rows(cur["gemm_tiers"], ("size",))
+    base_gt = index_rows(base["gemm_tiers"], ("size",))
+    for key, brow in sorted(base_gt.items()):
+        crow = cur_gt.get(key)
+        if crow is None:
+            print(f"  [   MISSING] gemm_tiers size={key[0]}")
+            failures.append(f"gemm_tiers size={key[0]} missing")
+            continue
+        check_ratio(f"gemm_tiers size={key[0]} blocked",
+                    brow["blocked_speedup"], crow["blocked_speedup"],
+                    args.tolerance, failures)
+
+    print("absolute times (reported, not gated by default):")
+    cur_cs = index_rows(cur.get("cycle_sim", []), ("array",))
+    for key, brow in sorted(index_rows(base.get("cycle_sim", []),
+                                       ("array",)).items()):
+        crow = cur_cs.get(key)
+        if crow is not None:
+            warn_abs(f"cycle_sim array={key[0]} ms", brow["ms"], crow["ms"],
+                     args.tolerance, warnings)
+    if "fleet" in base and "fleet" in cur:
+        warn_abs("fleet total_seconds", base["fleet"]["total_seconds"],
+                 cur["fleet"]["total_seconds"], args.tolerance, warnings)
+    if not warnings:
+        print("  (none)")
+
+    if failures:
+        print(f"\nperf gate FAILED: {len(failures)} ratio regression(s) "
+              f"beyond {args.tolerance * 100:.0f}% tolerance")
+        return 1
+    if warnings and args.strict:
+        print(f"\nperf gate FAILED (--strict): {len(warnings)} "
+              f"absolute-time warning(s)")
+        return 1
+    print(f"\nperf gate passed ({len(warnings)} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,6 +80,17 @@ double evaluate_with_faults(snn::Network& net, const data::Dataset& test,
                             systolic::SystolicGemmEngine::FaultHandling
                                 handling);
 
+/// Batched-eval variant: same semantics over a prebuilt whole-set
+/// EvalBatch (bench::EvalSets shares one per dataset across an entire
+/// scenario grid), so one engine plan + fault schedule is amortized
+/// across every test sample of the cell. Bit-identical to the Dataset
+/// overload on the same samples.
+double evaluate_with_faults(snn::Network& net, const snn::EvalBatch& test,
+                            const systolic::ArrayConfig& array,
+                            const fault::FaultMap& map,
+                            systolic::SystolicGemmEngine::FaultHandling
+                                handling);
+
 /// Read the current V_th of every hidden spiking layer.
 std::vector<VthEntry> collect_vth(snn::Network& net);
 

@@ -2,12 +2,33 @@
 
 #include <stdexcept>
 
+#include "tensor/tensor_ops.h"
+
 namespace falvolt::snn {
 
 tensor::Tensor Network::forward(const tensor::Tensor& x, int t, Mode mode) {
   tensor::Tensor cur = x;
   for (auto& l : layers_) cur = l->forward(cur, t, mode);
   return cur;
+}
+
+tensor::Tensor Network::rate_forward(
+    const std::vector<tensor::Tensor>& steps) {
+  reset_state();
+  tensor::Tensor sum;
+  for (std::size_t t = 0; t < steps.size(); ++t) {
+    tensor::Tensor out =
+        forward(steps[t], static_cast<int>(t), Mode::kEval);
+    if (sum.empty()) {
+      sum = std::move(out);
+    } else {
+      tensor::add_inplace(sum, out);
+    }
+  }
+  if (!steps.empty()) {
+    tensor::scale_inplace(sum, 1.0f / static_cast<float>(steps.size()));
+  }
+  return sum;
 }
 
 tensor::Tensor Network::backward(const tensor::Tensor& grad_out, int t) {

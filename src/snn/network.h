@@ -40,6 +40,17 @@ class Network {
   /// Run one time step through the whole stack.
   tensor::Tensor forward(const tensor::Tensor& x, int t, Mode mode);
 
+  /// Batched eval mode: reset state, forward steps[t] (one [N,C,H,W]
+  /// tensor per time step) for t = 0..T-1 in eval mode, and return the
+  /// time-mean output — the firing-rate logits, shape [N, classes].
+  /// Running one forward per time step for the WHOLE sample set lets a
+  /// plugged GemmEngine resolve its per-layer plan (quantized weights +
+  /// fault schedule) once per step instead of once per small chunk, and
+  /// hands the row-parallel compute pool N samples of rows at a time.
+  /// Per-sample outputs are independent, so the result is bit-identical
+  /// to forwarding the samples in any smaller batches.
+  tensor::Tensor rate_forward(const std::vector<tensor::Tensor>& steps);
+
   /// Backpropagate one time step through the reversed stack (call with t
   /// descending). Returns the gradient w.r.t. the step input.
   tensor::Tensor backward(const tensor::Tensor& grad_out, int t);

@@ -128,24 +128,32 @@ std::vector<EpochStats> Trainer::run() {
 
 tensor::Tensor infer_rates(Network& net, const data::Dataset& ds,
                            const std::vector<int>& indices) {
-  const auto steps = make_batch(ds, indices);
-  net.reset_state();
-  tensor::Tensor out_sum;
-  for (int t = 0; t < ds.time_steps(); ++t) {
-    tensor::Tensor out =
-        net.forward(steps[static_cast<std::size_t>(t)], t, Mode::kEval);
-    if (out_sum.empty()) {
-      out_sum = out;
-    } else {
-      tensor::add_inplace(out_sum, out);
-    }
+  return net.rate_forward(make_batch(ds, indices));
+}
+
+EvalBatch make_eval_batch(const data::Dataset& ds) {
+  EvalBatch batch;
+  std::vector<int> idx(static_cast<std::size_t>(ds.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  batch.steps = make_batch(ds, idx);
+  batch.labels = batch_labels(ds, idx);
+  return batch;
+}
+
+double evaluate(Network& net, const EvalBatch& batch) {
+  if (batch.labels.empty()) return 0.0;
+  const tensor::Tensor rates = net.rate_forward(batch.steps);
+  const auto pred = tensor::argmax_rows(rates);
+  int correct = 0;
+  for (std::size_t i = 0; i < batch.labels.size(); ++i) {
+    if (pred[i] == batch.labels[i]) ++correct;
   }
-  tensor::scale_inplace(out_sum, 1.0f / static_cast<float>(ds.time_steps()));
-  return out_sum;
+  return 100.0 * correct / static_cast<double>(batch.labels.size());
 }
 
 double evaluate(Network& net, const data::Dataset& ds, int batch_size) {
   if (ds.size() == 0) return 0.0;
+  if (batch_size <= 0) batch_size = ds.size();  // batched eval mode
   int correct = 0;
   for (int start = 0; start < ds.size(); start += batch_size) {
     const int end = std::min(ds.size(), start + batch_size);

@@ -68,7 +68,27 @@ std::vector<int> batch_labels(const data::Dataset& ds,
 tensor::Tensor infer_rates(Network& net, const data::Dataset& ds,
                            const std::vector<int>& indices);
 
-/// Top-1 accuracy (percent) of the network on a dataset.
+/// A prebuilt whole-set evaluation batch: one input tensor per time step
+/// covering every sample, plus the labels. Build once per dataset and
+/// reuse across evaluations — assembling the step tensors is then paid
+/// once instead of per evaluation, and evaluate(net, batch) runs ONE
+/// forward per time step for all samples (batched eval mode), so a
+/// plugged GEMM engine resolves its per-layer fault plan once per step
+/// rather than once per 64-sample chunk.
+struct EvalBatch {
+  std::vector<tensor::Tensor> steps;  ///< [T] tensors of shape [N,C,H,W]
+  std::vector<int> labels;            ///< N labels, sample order
+};
+
+/// Assemble the whole dataset into one EvalBatch.
+EvalBatch make_eval_batch(const data::Dataset& ds);
+
+/// Top-1 accuracy (percent) over a prebuilt batch. Bit-identical to
+/// evaluate(net, ds, any batch_size) over the same samples.
+double evaluate(Network& net, const EvalBatch& batch);
+
+/// Top-1 accuracy (percent) of the network on a dataset. batch_size <= 0
+/// evaluates the whole set as a single batch (batched eval mode).
 double evaluate(Network& net, const data::Dataset& ds, int batch_size = 64);
 
 }  // namespace falvolt::snn

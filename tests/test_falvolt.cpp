@@ -171,5 +171,28 @@ TEST(EvaluateWithFaults, RestoresFloatEngine) {
   EXPECT_DOUBLE_EQ(before, after);
 }
 
+TEST(EvaluateWithFaults, PrebuiltBatchMatchesDataset) {
+  // The EvalBatch overload (batched eval mode — one plan + fault
+  // schedule amortized across all samples) must score bit-identically
+  // to the per-dataset overload: stored grid cells depend on it.
+  Fixture& f = fixture();
+  common::Rng rng(7);
+  systolic::ArrayConfig array;
+  array.rows = array.cols = 16;
+  const fault::FaultMap map = fault::random_fault_map(
+      16, 16, 12, fault::worst_case_spec(16), rng);
+  const snn::EvalBatch batch = snn::make_eval_batch(f.split.test);
+  for (const auto handling :
+       {systolic::SystolicGemmEngine::FaultHandling::kCorrupt,
+        systolic::SystolicGemmEngine::FaultHandling::kBypass}) {
+    snn::Network net = f.fresh_copy();
+    const double from_ds =
+        evaluate_with_faults(net, f.split.test, array, map, handling);
+    const double from_batch =
+        evaluate_with_faults(net, batch, array, map, handling);
+    EXPECT_DOUBLE_EQ(from_ds, from_batch);
+  }
+}
+
 }  // namespace
 }  // namespace falvolt::core

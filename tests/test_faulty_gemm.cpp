@@ -187,6 +187,27 @@ TEST(FaultyGemm, PlanCacheInvalidatesOnWeightChange) {
   EXPECT_NEAR(c[0], 2.0f, 0.01f);
 }
 
+TEST(FaultyGemm, PlanCacheInvalidatesOnInPlaceMutation) {
+  // Regression: retraining mutates layer weights IN PLACE, so the same
+  // buffer address carries new contents under the same tag. A plan cache
+  // keyed on the pointer would keep serving the stale quantization; the
+  // cache keys on a content checksum instead.
+  ArrayConfig cfg = small_array(4);
+  SystolicGemmEngine engine(cfg, nullptr);
+  tensor::Tensor a({1, 4}, {1, 1, 1, 1});
+  tensor::Tensor w({4, 1}, 0.25f);
+  tensor::Tensor c({1, 1});
+  engine.run(a.data(), w.data(), c.data(), 1, 4, 1, "L");
+  EXPECT_NEAR(c[0], 1.0f, 0.01f);
+  for (auto& v : w) v = 0.5f;  // same buffer, new contents
+  engine.run(a.data(), w.data(), c.data(), 1, 4, 1, "L");
+  EXPECT_NEAR(c[0], 2.0f, 0.01f);
+  // And back again, to rule out a one-shot invalidation.
+  for (auto& v : w) v = -0.25f;
+  engine.run(a.data(), w.data(), c.data(), 1, 4, 1, "L");
+  EXPECT_NEAR(c[0], -1.0f, 0.01f);
+}
+
 TEST(FaultyGemm, MismatchedMapThrows) {
   fault::FaultMap map(8, 8);
   EXPECT_THROW(SystolicGemmEngine(small_array(4), &map),

@@ -146,6 +146,42 @@ TEST(Trainer, InferRatesShape) {
   }
 }
 
+TEST(Trainer, BatchedEvalIdenticalAtAnyBatchSize) {
+  // Output rows are independent through the whole eval stack (GEMM rows,
+  // eval-mode batchnorm uses running stats, dropout is identity), so
+  // accuracy is bit-identical whether the test set is scored in
+  // mini-batches, as one whole-set batch, or via a prebuilt EvalBatch.
+  // Content-addressed store cells and CI CSV diffs rely on this.
+  const data::DatasetSplit split = small_mnist();
+  Network net = make_digit_classifier("d", 1, 16, 10);
+  Adam opt(2e-2);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.eval_each_epoch = false;
+  Trainer trainer(net, opt, split.train, &split.test, tc);
+  trainer.run();
+  const double acc_minibatch = evaluate(net, split.test, 16);
+  const double acc_default = evaluate(net, split.test);
+  const double acc_whole = evaluate(net, split.test, 0);
+  const EvalBatch batch = make_eval_batch(split.test);
+  const double acc_prebuilt = evaluate(net, batch);
+  EXPECT_DOUBLE_EQ(acc_minibatch, acc_whole);
+  EXPECT_DOUBLE_EQ(acc_default, acc_whole);
+  EXPECT_DOUBLE_EQ(acc_prebuilt, acc_whole);
+}
+
+TEST(Trainer, EvalBatchLayout) {
+  const data::DatasetSplit split = small_mnist();
+  const EvalBatch batch = make_eval_batch(split.test);
+  ASSERT_EQ(batch.steps.size(), 4u);  // T = 4
+  EXPECT_EQ(batch.steps[0].shape()[0],
+            static_cast<int>(split.test.size()));
+  ASSERT_EQ(batch.labels.size(), split.test.size());
+  for (std::size_t i = 0; i < split.test.size(); ++i) {
+    EXPECT_EQ(batch.labels[i], split.test[i].label);
+  }
+}
+
 TEST(Trainer, BadConfigThrows) {
   const data::DatasetSplit split = small_mnist();
   Network net = make_digit_classifier("d", 1, 16, 10);
