@@ -27,7 +27,7 @@
 #include "core/fap.h"
 #include "core/sweep.h"
 #include "fault/fault_generator.h"
-#include "store/result_store.h"
+#include "store/result_store.h"  // store_exists + the StoreApi chain
 
 namespace falvolt::bench {
 
@@ -77,6 +77,12 @@ inline void add_common_flags(common::CliFlags& cli) {
                  "content-addressed scenario result store directory ('' = "
                  "$FALVOLT_STORE, else disabled; none = disabled). Cells "
                  "already in the store are replayed instead of recomputed");
+  cli.add_string("substituters", "",
+                 "comma list of read-only store directories consulted "
+                 "(in order) behind --store: cells computed elsewhere "
+                 "replay from the first substituter that has them, "
+                 "exactly like local hits. Needs --store; substituters "
+                 "are never written to and must already exist");
   cli.add_bool("resume", true,
                "replay cells already present in --store; 'false' "
                "recomputes every owned cell and overwrites its record");
@@ -97,7 +103,10 @@ inline bool flag_affects_results(const std::string& name) {
   static const std::set<std::string> kExecutionOnly = {
       "threads",  "sweep-parallel", "sweep-json",     "datasets",
       "repeats",  "store",          "resume",         "shard",
-      "list-scenarios"};
+      "list-scenarios", "substituters"};
+  // --substituters only changes WHERE a fingerprint-addressed record is
+  // read from, never what any cell computes, so it must not split the
+  // cache (see SweepStoreOptions::substituters).
   // --datasets subsets the grid and --repeats sizes it; neither changes
   // what any one (dataset, ..., rep) cell computes, so shards/subsets
   // of a grid share cache entries with the full run.
@@ -136,6 +145,7 @@ inline core::SweepStoreOptions store_options(
   st.dir = resolve_store_dir(cli);
   st.bench = bench_name;
   st.config = fingerprint_config(cli, aggregation_only);
+  st.substituters = split_list(cli.get_string("substituters"));
   st.resume = cli.get_bool("resume");
   const auto [index, count] = core::parse_shard_spec(cli.get_string("shard"));
   st.shard_index = index;
@@ -144,6 +154,11 @@ inline core::SweepStoreOptions store_options(
     throw std::invalid_argument(
         "--shard needs --store (or $FALVOLT_STORE): a shard's results "
         "are only useful once published to a store");
+  }
+  if (st.dir.empty() && !st.substituters.empty()) {
+    throw std::invalid_argument(
+        "--substituters needs --store (or $FALVOLT_STORE): substituted "
+        "cells replay through the local store's read chain");
   }
   return st;
 }
@@ -160,7 +175,7 @@ inline std::size_t list_scenario_rows(
     const core::SweepStoreOptions& st,
     const std::vector<core::Scenario>& scenarios,
     const std::function<std::string(const core::Scenario&)>& fp_of,
-    const falvolt::store::ResultStore* rs, const std::string& label = "",
+    const falvolt::store::StoreApi* rs, const std::string& label = "",
     std::size_t start_index = 0) {
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const std::string fp = fp_of(scenarios[i]);
@@ -188,9 +203,10 @@ inline bool list_scenarios(const common::CliFlags& cli,
                            const std::vector<core::Scenario>& scenarios) {
   if (!cli.get_bool("list-scenarios")) return false;
   const core::SweepStoreOptions& st = runner.store();
-  std::unique_ptr<falvolt::store::ResultStore> rs;
-  if (!st.dir.empty() && std::filesystem::is_directory(st.dir)) {
-    rs = std::make_unique<falvolt::store::ResultStore>(st.dir);
+  std::unique_ptr<falvolt::store::StoreApi> rs;
+  if (!st.dir.empty() && falvolt::store::store_exists(st.dir)) {
+    rs = falvolt::store::open_store(st.dir, st.substituters,
+                                    /*create=*/false);
   }
   std::printf("# %zu scenario(s), shard %d/%d%s%s\n", scenarios.size(),
               st.shard_index, st.shard_count,

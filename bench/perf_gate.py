@@ -34,10 +34,40 @@ import argparse
 import json
 import sys
 
+BASELINE_HELP = """\
+baseline update procedure (after an INTENTIONAL perf change):
+  1. build/bench/micro_kernels --out_dir=bench_out --json=BENCH_6.json \\
+         --benchmark_filter='^$'
+  2. cp bench_out/BENCH_6.json bench/baselines/BENCH_6.json
+  3. commit the new baseline in the SAME PR as the perf change, noting
+     the measured before/after ratios in the PR description.
+bench/baselines/BENCH_6.json is the only committed copy; CI regenerates
+the current summary from scratch each push. Full rationale and identity
+checks: bench/logs/faulty_gemm_speedup.md, README.md "Performance".
+"""
 
-def load(path):
-    with open(path, "r", encoding="utf-8") as f:
-        return json.load(f)
+
+def load(path, role):
+    """Read one summary JSON; a missing or corrupt file is a usage
+    error (exit 2) with the fix spelled out, not a traceback."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        fix = ("regenerate it with build/bench/micro_kernels (see --help)"
+               if role == "current" else
+               "restore bench/baselines/BENCH_6.json from git or "
+               "regenerate it (see --help)")
+        print(f"perf_gate: {role} summary {path} does not exist — {fix}",
+              file=sys.stderr)
+        sys.exit(2)
+    except json.JSONDecodeError as e:
+        fix = ("restore it from git or regenerate it (see --help)"
+               if role == "baseline" else
+               "rerun the benchmark that produces it")
+        print(f"perf_gate: {role} summary {path} is not valid JSON "
+              f"(line {e.lineno}: {e.msg}) — {fix}", file=sys.stderr)
+        sys.exit(2)
 
 
 def index_rows(rows, keys):
@@ -71,7 +101,9 @@ def warn_abs(label, base, cur, tolerance, warnings):
 
 
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
+    ap = argparse.ArgumentParser(
+        description=__doc__, epilog=BASELINE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--current", required=True,
                     help="freshly measured BENCH_6.json")
     ap.add_argument("--baseline", required=True,
@@ -88,11 +120,11 @@ def main():
                     help="also fail on absolute-time warnings")
     args = ap.parse_args()
 
-    cur = load(args.current)
-    base = load(args.baseline)
+    cur = load(args.current, "current")
+    base = load(args.baseline, "baseline")
 
     if args.fleet_json:
-        fleet = load(args.fleet_json)
+        fleet = load(args.fleet_json, "fleet")
         cur["fleet"] = {
             "grid": "fig5b_noise_resilience",
             "total_seconds": fleet["run"]["total_seconds"],

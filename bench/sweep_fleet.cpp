@@ -53,7 +53,8 @@ std::map<std::string, std::vector<std::string>> parse_overrides(
     const std::string& spec) {
   static const std::set<std::string> kFleetManaged = {
       "store", "shard",          "fast",       "seed",
-      "threads", "sweep-parallel", "sweep-json", "list-scenarios"};
+      "threads", "sweep-parallel", "sweep-json", "list-scenarios",
+      "substituters"};
   std::map<std::string, std::vector<std::string>> out;
   for (const std::string& entry : fb::split_list(spec)) {
     const std::size_t dot = entry.find('.');
@@ -273,9 +274,11 @@ int main(int argc, char** argv) try {
   // with the same fingerprints the sweep would use. Like the benches'
   // --list-scenarios it never creates store directories.
   if (cli.get_bool("list-scenarios")) {
-    std::unique_ptr<store::ResultStore> rs;
+    std::unique_ptr<store::StoreApi> rs;
     if (store::store_exists(store_dir)) {
-      rs = std::make_unique<store::ResultStore>(store_dir);
+      rs = store::open_store(store_dir,
+                             fb::split_list(cli.get_string("substituters")),
+                             /*create=*/false);
     }
     std::size_t total = 0;
     for (const FleetGridSpec& spec : specs) total += spec.scenarios.size();

@@ -1,4 +1,5 @@
-// sweep_merge — union sharded scenario-result stores and emit the final
+// sweep_merge — union sharded scenario-result stores, maintain the
+// destination store (GC + segment compaction), and emit the final
 // figure tables.
 //
 // A multi-machine sweep runs `fig<X> --shard i/n --store <dir_i>` once
@@ -13,11 +14,18 @@
 //      over manifest reachability — records no manifest references are
 //      deleted, reachable records are re-validated (frame checksum AND
 //      payload codec, so stale-format records from an epoch bump are
-//      reclaimed too) and dropped when damaged. Deleting is always
-//      safe: the worst case is a recompute on the next sweep,
-//   3. rebuilds the complete grid in manifest order from the merged
-//      store, and
-//   4. emits the generic figure table (--csv) — byte-identical to what
+//      reclaimed too) and dropped when damaged; fully-dead or damaged
+//      segments are deleted whole. Deleting is always safe: the worst
+//      case is a recompute on the next sweep,
+//   3. optionally compacts --into (--compact): packs the loose `.rec`
+//      records into one indexed append-only segment file (segment.h),
+//      durably published BEFORE the loose copies are deleted, so a
+//      crash mid-compact loses nothing and a re-run converges. Reads
+//      keep working throughout: sweeps open the store as loose objects
+//      layered over segments,
+//   4. rebuilds the complete grid in manifest order from the merged
+//      store (loose or segmented — the read chain is the same), and
+//   5. emits the generic figure table (--csv) — byte-identical to what
 //      a single unsharded sweep of the same grid produces, because every
 //      cell value is content-addressed by everything that determines
 //      it — and the machine-readable summary (--json), whose per-cell
@@ -27,7 +35,7 @@
 //
 // The bench's own figure CSV/stdout tables can afterwards be produced
 // with zero recomputation by re-running the bench against the merged
-// store (all cells hit).
+// store (all cells hit) — compacted or not.
 
 #include <cstdio>
 #include <fstream>
@@ -37,6 +45,7 @@
 #include "bench_common.h"
 #include "common/cli.h"
 #include "core/sweep.h"
+#include "store/compact.h"
 #include "store/gc.h"
 #include "store/manifest.h"
 #include "store/result_store.h"
@@ -61,13 +70,18 @@ int main(int argc, char** argv) {
   cli.add_string("json", "", "write the merged sweep JSON summary here");
   cli.add_bool("list", false,
                "print the merged store's usage stats (records + bytes per "
-               "bench, provenance epoch histogram, dedup/stale counts) and "
-               "its manifests");
+               "bench, loose/segment split, provenance epoch histogram, "
+               "dedup/stale counts) and its manifests");
   cli.add_bool("prune", false,
                "garbage-collect --into after merging: delete records no "
                "manifest references and reachable records that fail "
-               "re-validation. Run only while no sweep is writing to the "
-               "store");
+               "re-validation; delete fully-dead segments. Run only while "
+               "no sweep is writing to the store");
+  cli.add_bool("compact", false,
+               "pack --into's loose records into an indexed segment file "
+               "(published durably before any loose copy is deleted; "
+               "corrupt loose records are left for --prune). Run only "
+               "while no sweep is writing to the store");
   if (!cli.parse(argc, argv)) return 0;
 
   if (cli.get_string("into").empty()) {
@@ -78,9 +92,9 @@ int main(int argc, char** argv) {
   const std::vector<std::string> from_dirs =
       bench::split_list(cli.get_string("from"));
   // Creating --into is right when shard stores are being merged INTO
-  // it; with no --from, every operation (prune, list, table emission)
-  // reads an existing store — a typo'd path must fail, not materialize
-  // an empty store and report a successful no-op.
+  // it; with no --from, every operation (prune, compact, list, table
+  // emission) reads an existing store — a typo'd path must fail, not
+  // materialize an empty store and report a successful no-op.
   if (from_dirs.empty() && !store::store_exists(cli.get_string("into"))) {
     std::fprintf(stderr,
                  "sweep_merge: --into %s: no result store there (and no "
@@ -101,8 +115,8 @@ int main(int argc, char** argv) {
                    dir.c_str());
       return 1;
     }
-    const store::ResultStore src(dir);
-    if (src.fingerprints().empty() && store::list_manifests(src).empty()) {
+    const auto src = store::open_store(dir, {}, /*create=*/false);
+    if (src->fingerprints().empty() && src->manifests("").empty()) {
       std::fprintf(stderr,
                    "sweep_merge: --from %s: store is empty (no records, no "
                    "manifests) — did the shard run with --store?\n",
@@ -110,17 +124,19 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  store::ResultStore dst(cli.get_string("into"));
+  // The loose-objects handle (maintenance: prune/compact/list are
+  // physical-layout operations) and the layered read chain over loose +
+  // segments (everything content-addressed goes through this).
+  store::LocalDirStore dst_local(cli.get_string("into"));
+  const auto dst = store::open_store(cli.get_string("into"));
 
   for (const std::string& dir : from_dirs) {
-    const store::ResultStore src(dir);
-    const store::ResultStore::MergeStats stats = dst.merge_from(src);
+    const auto src = store::open_store(dir, {}, /*create=*/false);
+    const store::MergeStats stats = store::merge_records(*dst, *src);
     int manifests = 0;
-    for (const std::string& path : store::list_manifests(src)) {
-      if (const auto m = store::read_manifest(path)) {
-        store::write_manifest(dst, *m);
-        ++manifests;
-      }
+    for (const store::Manifest& m : src->manifests("")) {
+      dst->put_manifest(m);
+      ++manifests;
     }
     std::printf("[merge] %s: %d record(s) imported, %d already present, "
                 "%d corrupt skipped, %d manifest(s)\n",
@@ -134,27 +150,35 @@ int main(int argc, char** argv) {
     // bump obsoleted are reclaimed as well (they could only ever read
     // as a miss).
     const store::GcStats gc =
-        store::prune_store(dst, [](const std::string& payload) {
+        store::prune_store(dst_local, [](const std::string& payload) {
           core::ScenarioResult r;
           return core::decode_scenario_result(payload, r);
         });
-    std::printf("[prune] %s: %s\n", dst.root().c_str(),
+    std::printf("[prune] %s: %s\n", dst_local.root().c_str(),
                 gc.to_string().c_str());
+  }
+
+  if (cli.get_bool("compact")) {
+    const store::CompactStats stats = store::compact_store(dst_local);
+    std::printf("[compact] %s: %s\n", dst_local.root().c_str(),
+                store::to_text(stats).c_str());
   }
 
   if (cli.get_bool("list")) {
     // Compaction/dedup accounting: bytes and records per bench (charged
-    // through manifest reachability), the provenance epoch histogram,
-    // and the stale/unreadable populations --prune would reclaim.
-    std::printf("[store] %s\n", dst.root().c_str());
+    // through manifest reachability), the loose/segment split, the
+    // provenance epoch histogram, and the stale/unreadable populations
+    // --prune would reclaim.
+    std::printf("[store] %s\n", dst_local.root().c_str());
     const store::StoreStats stats = store::collect_store_stats(
-        dst, [](const std::string& payload) -> std::optional<std::uint32_t> {
+        dst_local,
+        [](const std::string& payload) -> std::optional<std::uint32_t> {
           core::ScenarioResult r;
           if (!core::decode_scenario_result(payload, r)) return std::nullopt;
           return r.provenance.store_epoch;
         });
     std::fputs(stats.to_text().c_str(), stdout);
-    for (const std::string& path : store::list_manifests(dst)) {
+    for (const std::string& path : store::list_manifests(dst_local)) {
       const auto m = store::read_manifest(path);
       std::printf("[store]   manifest %s (%s, %zu cell(s))\n", path.c_str(),
                   m ? m->bench.c_str() : "UNREADABLE",
@@ -183,12 +207,12 @@ int main(int argc, char** argv) {
       return 1;
     }
     const std::vector<std::string> candidates =
-        store::list_manifests(dst, cli.get_string("bench"));
+        store::list_manifests(dst_local, cli.get_string("bench"));
     if (candidates.empty()) {
       std::fprintf(stderr,
                    "sweep_merge: no manifest for bench '%s' in %s (did "
                    "the shards run with --store?)\n",
-                   cli.get_string("bench").c_str(), dst.root().c_str());
+                   cli.get_string("bench").c_str(), dst_local.root().c_str());
       return 1;
     }
     if (candidates.size() > 1) {
@@ -209,12 +233,16 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Rebuild the complete grid, in manifest (= grid) order.
+  // Rebuild the complete grid, in manifest (= grid) order, through the
+  // layered read chain (a compacted store serves every cell from its
+  // segments; a freshly written segment is NOT yet visible through a
+  // chain opened earlier, so reopen after --compact).
+  const auto reader = store::open_store(cli.get_string("into"));
   core::ResultTable table(manifest->entries.size());
   std::vector<std::string> missing;
   for (std::size_t i = 0; i < manifest->entries.size(); ++i) {
     const auto& [fp, key] = manifest->entries[i];
-    const std::optional<std::string> payload = dst.get(fp);
+    const std::optional<std::string> payload = reader->get(fp);
     core::ScenarioResult r;
     if (!payload || !core::decode_scenario_result(*payload, r) ||
         r.scenario.key != key) {

@@ -20,7 +20,7 @@
 #include "compute/thread_pool.h"
 #include "store/fingerprint.h"
 #include "store/manifest.h"
-#include "store/result_store.h"
+#include "store/store_api.h"
 
 namespace falvolt::core {
 
@@ -45,7 +45,7 @@ std::string json_number(double v) {
 // --------------------------------------------- ScenarioResult byte codec
 //
 // Little-endian, length-prefixed throughout. The store frame around the
-// payload already carries magic/epoch/checksum (ResultStore), so the
+// payload already carries magic/epoch/checksum (record_frame.h), so the
 // codec only needs a version word of its own plus per-field lengths that
 // the reader validates against the remaining bytes.
 
@@ -575,7 +575,7 @@ struct SweepEngine {
   struct GridState {
     const FleetGrid* grid = nullptr;
     std::string label;  // non-empty => prefixed progress/error lines
-    std::unique_ptr<store::ResultStore> rs;
+    std::unique_ptr<store::StoreApi> rs;
     std::vector<std::string> fps;
     ResultTable table;
     std::vector<int> pending;         // grid-local indices this run computes
@@ -657,7 +657,7 @@ std::vector<ResultTable> SweepEngine::run(
 
     const bool use_store = !store.dir.empty();
     if (use_store) {
-      st.rs = std::make_unique<store::ResultStore>(store.dir);
+      st.rs = store::open_store(store.dir, store.substituters);
       for (std::size_t i = 0; i < total; ++i) {
         st.fps[i] = fingerprint_cell(store, opts, scenarios[i]);
       }
@@ -669,7 +669,7 @@ std::vector<ResultTable> SweepEngine::run(
       for (std::size_t i = 0; i < total; ++i) {
         manifest.entries.emplace_back(st.fps[i], scenarios[i].key);
       }
-      store::write_manifest(*st.rs, manifest);
+      st.rs->put_manifest(manifest);
     }
 
     // Triage every cell: replay a valid cached record (any shard's),

@@ -23,7 +23,10 @@
 //    thread-safe ResultTable and emitted in scenario order.
 //
 // On top of that, a sweep can run against a persistent content-addressed
-// result store (store::ResultStore). Every cell is fingerprinted by
+// result store, opened through the store::StoreApi interface as a
+// layered chain: writable loose objects over the root's indexed
+// segments, with optional read-only substituter stores behind them
+// (store_api.h). Every cell is fingerprinted by
 // everything that determines its output (see SweepRunner::fingerprint);
 // a hit replays the stored result into the table, a miss computes and
 // publishes it. Because a cell is only ever skipped when its fingerprint
@@ -167,6 +170,14 @@ struct SweepStoreOptions {
   /// output paths, shard spec) must NOT be listed: they would split the
   /// cache without changing any result.
   std::vector<std::pair<std::string, std::string>> config;
+  /// Read-only substituter store roots consulted (in order) behind the
+  /// local store: a cell computed elsewhere replays from the first
+  /// substituter that has it, exactly like a local hit. Substituters
+  /// are never written to and must already exist (store::open_store
+  /// throws on a missing one). Execution-only: reads through the chain
+  /// are fingerprint-addressed, so WHERE a record came from cannot
+  /// change any result — the flag stays out of cell fingerprints.
+  std::vector<std::string> substituters;
   /// Replay cells already present in the store (true) or recompute and
   /// overwrite them (false).
   bool resume = true;

@@ -1,0 +1,72 @@
+#include "store/compact.h"
+
+#include <filesystem>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "store/record_frame.h"
+#include "store/result_store.h"
+#include "store/segment.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::store {
+
+CompactStats compact_store(const LocalDirStore& store) {
+  CompactStats stats;
+
+  // Fingerprints already covered by a valid segment: their loose copies
+  // are pure duplicates (content-addressed), safe to delete now.
+  std::set<std::string> segmented;
+  for (const SegmentInfo& seg : list_segments(store.root())) {
+    if (!seg.readable) continue;
+    for (const auto& [fp, length] : seg.entries) segmented.insert(fp);
+  }
+
+  std::vector<std::pair<std::string, std::string>> to_pack;
+  std::vector<std::string> duplicates;
+  for (const std::string& fp : store.fingerprints()) {
+    if (segmented.count(fp)) {
+      duplicates.push_back(fp);
+      continue;
+    }
+    std::optional<std::string> payload = store.get(fp);
+    if (!payload) {
+      ++stats.corrupt;  // left in place; GC reclaims it
+      continue;
+    }
+    to_pack.emplace_back(fp, std::move(*payload));
+  }
+
+  // Publish the new segment durably BEFORE deleting any loose copy: a
+  // crash in between leaves duplicates, never losses.
+  if (!to_pack.empty()) {
+    write_segment(store.root(), to_pack);
+    stats.segments_written = 1;
+    for (const auto& [fp, payload] : to_pack) {
+      stats.packed_bytes += kRecordHeaderBytes + payload.size();
+    }
+  }
+
+  std::error_code ec;
+  for (const auto& [fp, payload] : to_pack) {
+    fs::remove(store.object_path(fp), ec);
+    ++stats.packed;
+  }
+  for (const std::string& fp : duplicates) {
+    fs::remove(store.object_path(fp), ec);
+    ++stats.already_segmented;
+  }
+  return stats;
+}
+
+std::string to_text(const CompactStats& stats) {
+  return "compacted: packed=" + std::to_string(stats.packed) +
+         " already_segmented=" + std::to_string(stats.already_segmented) +
+         " corrupt_left=" + std::to_string(stats.corrupt) +
+         " segments_written=" + std::to_string(stats.segments_written) +
+         " packed_bytes=" + std::to_string(stats.packed_bytes);
+}
+
+}  // namespace falvolt::store

@@ -1,0 +1,47 @@
+#pragma once
+// Segment compaction: pack a store's loose `.rec` records into one
+// indexed segment file (segment.h) and delete the loose copies —
+// `sweep_merge --compact`.
+//
+// Crash-safety protocol (the order is the whole point):
+//
+//   1. Read and validate every loose record not already covered by a
+//      valid segment. Corrupt loose records are left in place for GC.
+//   2. Write ONE new segment holding those records and publish it
+//      durably (fsync + rename + directory fsync).
+//   3. Only then delete the loose copies of the records the segment
+//      (or a pre-existing one) covers.
+//
+// A crash anywhere before step 3 leaves every loose record readable —
+// at worst an orphaned tmp file or a duplicate (loose + segmented)
+// record, both harmless: loose shadows segment in the read chain, and
+// re-running compaction converges (the duplicate counts as
+// already_segmented and its loose copy is deleted). Concurrent writers
+// are safe too: compaction packs a snapshot of fingerprints and deletes
+// only the exact files it packed, so records landing mid-compact simply
+// stay loose until the next run.
+
+#include <cstdint>
+#include <string>
+
+namespace falvolt::store {
+
+class LocalDirStore;
+
+struct CompactStats {
+  int packed = 0;              ///< loose records moved into the new segment
+  int already_segmented = 0;   ///< loose copies deleted (segment already had them)
+  int corrupt = 0;             ///< invalid loose records left for GC
+  int segments_written = 0;    ///< 0 or 1
+  std::uint64_t packed_bytes = 0;  ///< framed bytes now living in segments
+};
+
+/// Compact `store`'s loose records into a segment per the protocol
+/// above. No-op (all-zero stats) when every valid record is already
+/// segmented. Throws on I/O failure writing the segment — in which case
+/// nothing has been deleted.
+CompactStats compact_store(const LocalDirStore& store);
+
+std::string to_text(const CompactStats& stats);
+
+}  // namespace falvolt::store

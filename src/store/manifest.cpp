@@ -10,6 +10,8 @@
 
 #include "store/fingerprint.h"
 #include "store/hash.h"
+#include "store/record_frame.h"
+#include "store/result_store.h"
 
 namespace fs = std::filesystem;
 
@@ -82,13 +84,13 @@ std::optional<Manifest> parse_manifest(const std::string& text) {
   return m;
 }
 
-std::string manifest_path(const ResultStore& store, const Manifest& m) {
+std::string manifest_path(const LocalDirStore& store, const Manifest& m) {
   return (fs::path(store.root()) / "manifests" /
           (m.bench + "-" + m.grid_digest().substr(0, 12) + ".manifest"))
       .string();
 }
 
-void write_manifest(const ResultStore& store, const Manifest& m) {
+void write_manifest(const LocalDirStore& store, const Manifest& m) {
   static std::atomic<std::uint64_t> seq{0};
   const std::string tmp =
       (fs::path(store.root()) / "tmp" /
@@ -108,13 +110,7 @@ void write_manifest(const ResultStore& store, const Manifest& m) {
       throw std::runtime_error("write_manifest: short write to " + tmp);
     }
   }
-  std::error_code ec;
-  fs::rename(tmp, manifest_path(store, m), ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw std::runtime_error("write_manifest: cannot publish manifest for " +
-                             m.bench);
-  }
+  durable_publish(tmp, manifest_path(store, m));
 }
 
 std::optional<Manifest> read_manifest(const std::string& path) {
@@ -125,7 +121,7 @@ std::optional<Manifest> read_manifest(const std::string& path) {
   return parse_manifest(buf.str());
 }
 
-std::vector<std::string> list_manifests(const ResultStore& store,
+std::vector<std::string> list_manifests(const LocalDirStore& store,
                                         const std::string& bench) {
   std::vector<std::string> out;
   const fs::path dir = fs::path(store.root()) / "manifests";

@@ -13,9 +13,9 @@
 #include <utility>
 #include <vector>
 
-#include "store/result_store.h"
-
 namespace falvolt::store {
+
+class LocalDirStore;
 
 struct Manifest {
   std::string bench;
@@ -37,17 +37,18 @@ std::optional<Manifest> parse_manifest(const std::string& text);
 
 /// Path this manifest lives at inside `store`:
 ///   <root>/manifests/<bench>-<grid_digest[0:12]>.manifest
-std::string manifest_path(const ResultStore& store, const Manifest& m);
+std::string manifest_path(const LocalDirStore& store, const Manifest& m);
 
-/// Atomically write `m` into `store` (stage + rename, like records).
-void write_manifest(const ResultStore& store, const Manifest& m);
+/// Atomically and durably write `m` into `store` (stage + fsync +
+/// rename + directory fsync, like records).
+void write_manifest(const LocalDirStore& store, const Manifest& m);
 
 /// Read one manifest file; nullopt if missing or malformed.
 std::optional<Manifest> read_manifest(const std::string& path);
 
 /// All manifest files in `store`, optionally filtered to one bench
 /// (matching the `bench` header field, not the file name). Sorted paths.
-std::vector<std::string> list_manifests(const ResultStore& store,
+std::vector<std::string> list_manifests(const LocalDirStore& store,
                                         const std::string& bench = "");
 
 }  // namespace falvolt::store

@@ -1,0 +1,107 @@
+#include "store/record_frame.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+
+#include "store/fingerprint.h"
+#include "store/hash.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::store {
+
+void encode_le(std::uint8_t* out, std::uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+std::uint64_t decode_le(const std::uint8_t* in, int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) {
+    v |= std::uint64_t{in[i]} << (8 * i);
+  }
+  return v;
+}
+
+std::string frame_record(const std::string& payload) {
+  Sha256 h;
+  h.update(payload);
+  const Sha256::Digest checksum = h.digest();
+  std::uint8_t header[kRecordHeaderBytes];
+  encode_le(header, kRecordMagic, 4);
+  encode_le(header + 4, kStoreFormatEpoch, 4);
+  encode_le(header + 8, payload.size(), 8);
+  std::memcpy(header + 16, checksum.data(), checksum.size());
+  std::string out;
+  out.reserve(sizeof(header) + payload.size());
+  out.append(reinterpret_cast<const char*>(header), sizeof(header));
+  out += payload;
+  return out;
+}
+
+std::optional<std::string> unframe_record(const std::string& bytes) {
+  if (bytes.size() < kRecordHeaderBytes) return std::nullopt;
+  const std::uint8_t* header =
+      reinterpret_cast<const std::uint8_t*>(bytes.data());
+  if (decode_le(header, 4) != kRecordMagic ||
+      decode_le(header + 4, 4) != kStoreFormatEpoch) {
+    return std::nullopt;
+  }
+  // The length must match the frame exactly: a truncated payload AND a
+  // record with trailing garbage both read as a miss.
+  const std::uint64_t payload_len = decode_le(header + 8, 8);
+  if (payload_len != bytes.size() - kRecordHeaderBytes) return std::nullopt;
+
+  std::string payload = bytes.substr(kRecordHeaderBytes);
+  Sha256 h;
+  h.update(payload);
+  const Sha256::Digest digest = h.digest();
+  if (std::memcmp(digest.data(), header + 16, digest.size()) != 0) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+namespace {
+
+// fsync by path; read-only open is enough for fsync on every platform
+// we build for (Linux/macOS). Returns false on any failure.
+bool fsync_path(const char* path) {
+  const int fd = ::open(path, O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+void durable_publish(const std::string& tmp_path,
+                     const std::string& final_path) {
+  std::error_code ec;
+  // Data first: the rename must never publish a name whose bytes are
+  // still only in the page cache.
+  if (!fsync_path(tmp_path.c_str())) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("durable_publish: cannot fsync " + tmp_path);
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    throw std::runtime_error("durable_publish: cannot publish " + final_path);
+  }
+  // Then the directory entry itself — without this a crash can forget
+  // the rename and lose a record the writer already reported durable.
+  const std::string dir = fs::path(final_path).parent_path().string();
+  if (!fsync_path(dir.empty() ? "." : dir.c_str())) {
+    throw std::runtime_error("durable_publish: cannot fsync directory of " +
+                             final_path);
+  }
+}
+
+}  // namespace falvolt::store

@@ -1,0 +1,50 @@
+#pragma once
+// The record frame shared by every physical store backend: loose `.rec`
+// files (LocalDirStore) and records embedded in indexed segment files
+// (SegmentStore) carry the exact same bytes, so compaction can move a
+// record between layouts verbatim and readers validate one format.
+//
+// Frame: magic u32, store format epoch u32, payload length u64 — all
+// explicitly little-endian so stores move between machines regardless
+// of host byte order — then the 32-byte SHA-256 of the payload, then
+// the payload itself. Validation checks every field AND that the frame
+// length matches exactly (a truncated payload and trailing garbage
+// both fail), so damage of any kind degrades to "miss" (recompute),
+// never to a throw or a wrong payload.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace falvolt::store {
+
+constexpr std::uint32_t kRecordMagic = 0x46565253;  // "FVRS"
+
+/// Frame header size: magic u32 + epoch u32 + payload length u64 +
+/// SHA-256 digest (32 bytes).
+constexpr std::size_t kRecordHeaderBytes =
+    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) + 32;
+
+/// Little-endian integer helpers shared by the frame and the segment
+/// index codec.
+void encode_le(std::uint8_t* out, std::uint64_t v, int bytes);
+std::uint64_t decode_le(const std::uint8_t* in, int bytes);
+
+/// Frame `payload` into the on-disk record bytes (header + payload).
+std::string frame_record(const std::string& payload);
+
+/// Validate a full frame and return its payload; nullopt on bad magic,
+/// foreign epoch, length mismatch (truncation OR trailing garbage), or
+/// checksum mismatch. Never throws on damage.
+std::optional<std::string> unframe_record(const std::string& bytes);
+
+/// Durably publish a staged file: fsync `tmp_path`, rename it onto
+/// `final_path` (atomic), then fsync the containing directory so a host
+/// crash after the rename cannot lose the directory entry — renamed
+/// records/manifests/segments must survive power loss once a writer has
+/// returned (the multi-host trust story assumes it). Throws on failure,
+/// removing the staged file.
+void durable_publish(const std::string& tmp_path,
+                     const std::string& final_path);
+
+}  // namespace falvolt::store

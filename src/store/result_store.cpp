@@ -4,13 +4,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "store/fingerprint.h"
-#include "store/hash.h"
+#include "store/manifest.h"
+#include "store/record_frame.h"
 
 namespace fs = std::filesystem;
 
@@ -18,32 +18,9 @@ namespace falvolt::store {
 
 namespace {
 
-constexpr std::uint32_t kRecordMagic = 0x46565253;  // "FVRS"
-
-// Frame header preceding every payload: magic u32, format epoch u32,
-// payload length u64 — all explicitly little-endian so stores move
-// between machines regardless of host byte order — then the 32-byte
-// SHA-256 of the payload.
-constexpr std::size_t kHeaderBytes =
-    sizeof(std::uint32_t) * 2 + sizeof(std::uint64_t) + 32;
-
-void encode_le(std::uint8_t* out, std::uint64_t v, int bytes) {
-  for (int i = 0; i < bytes; ++i) {
-    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
-  }
-}
-
-std::uint64_t decode_le(const std::uint8_t* in, int bytes) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < bytes; ++i) {
-    v |= std::uint64_t{in[i]} << (8 * i);
-  }
-  return v;
-}
-
 void require_fingerprint(const std::string& fp) {
   if (!is_fingerprint(fp)) {
-    throw std::invalid_argument("ResultStore: malformed fingerprint '" + fp +
+    throw std::invalid_argument("LocalDirStore: malformed fingerprint '" + fp +
                                 "'");
   }
 }
@@ -52,36 +29,42 @@ void require_fingerprint(const std::string& fp) {
 
 bool store_exists(const std::string& root) {
   std::error_code ec;
-  return !root.empty() && fs::is_directory(fs::path(root) / "objects", ec);
+  if (root.empty()) return false;
+  return fs::is_directory(fs::path(root) / "objects", ec) ||
+         fs::is_directory(fs::path(root) / "segments", ec);
 }
 
-ResultStore::ResultStore(std::string root) : root_(std::move(root)) {
+LocalDirStore::LocalDirStore(std::string root, bool create)
+    : root_(std::move(root)), writable_(create) {
   if (root_.empty()) {
-    throw std::invalid_argument("ResultStore: empty root directory");
+    throw std::invalid_argument("LocalDirStore: empty root directory");
   }
+  if (!create) return;
   std::error_code ec;
   fs::create_directories(fs::path(root_) / "objects", ec);
   fs::create_directories(fs::path(root_) / "manifests", ec);
   fs::create_directories(fs::path(root_) / "tmp", ec);
   if (ec) {
-    throw std::runtime_error("ResultStore: cannot create " + root_ + ": " +
+    throw std::runtime_error("LocalDirStore: cannot create " + root_ + ": " +
                              ec.message());
   }
 }
 
-std::string ResultStore::object_path(const std::string& fingerprint) const {
+std::string LocalDirStore::describe() const { return "dir:" + root_; }
+
+std::string LocalDirStore::object_path(const std::string& fingerprint) const {
   require_fingerprint(fingerprint);
   return (fs::path(root_) / "objects" / fingerprint.substr(0, 2) /
           (fingerprint + ".rec"))
       .string();
 }
 
-bool ResultStore::contains(const std::string& fingerprint) const {
+bool LocalDirStore::contains(const std::string& fingerprint) const {
   std::error_code ec;
   return fs::exists(object_path(fingerprint), ec);
 }
 
-std::string ResultStore::stage(const std::string& payload) const {
+std::string LocalDirStore::stage(const std::string& payload) const {
   // Unique staging name: pid + a process-wide counter. Concurrent
   // writers (threads of one sweep, or several shard processes sharing a
   // store) each stage privately and race only on the final rename,
@@ -93,80 +76,48 @@ std::string ResultStore::stage(const std::string& payload) const {
         std::to_string(seq.fetch_add(1)) + ".tmp"))
           .string();
 
-  Sha256 h;
-  h.update(payload);
-  const Sha256::Digest checksum = h.digest();
-  std::uint8_t header[kHeaderBytes];
-  encode_le(header, kRecordMagic, 4);
-  encode_le(header + 4, kStoreFormatEpoch, 4);
-  encode_le(header + 8, payload.size(), 8);
-  std::memcpy(header + 16, checksum.data(), checksum.size());
-
+  const std::string framed = frame_record(payload);
   std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("ResultStore: cannot stage " + tmp);
-  out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out) throw std::runtime_error("LocalDirStore: cannot stage " + tmp);
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
   out.flush();
   if (!out) {
     std::error_code ec;
     fs::remove(tmp, ec);
-    throw std::runtime_error("ResultStore: short write staging " + tmp);
+    throw std::runtime_error("LocalDirStore: short write staging " + tmp);
   }
   out.close();
   return tmp;
 }
 
-void ResultStore::put(const std::string& fingerprint,
-                      const std::string& payload) const {
+void LocalDirStore::put(const std::string& fingerprint,
+                        const std::string& payload) {
   const std::string final_path = object_path(fingerprint);
+  if (!writable_) {
+    throw std::logic_error("LocalDirStore: put into read-only store " +
+                           describe());
+  }
   std::error_code ec;
   fs::create_directories(fs::path(final_path).parent_path(), ec);
   if (ec) {
-    throw std::runtime_error("ResultStore: cannot create shard dir for " +
+    throw std::runtime_error("LocalDirStore: cannot create shard dir for " +
                              fingerprint + ": " + ec.message());
   }
-  const std::string tmp = stage(payload);
-  fs::rename(tmp, final_path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    throw std::runtime_error("ResultStore: cannot publish " + final_path);
-  }
+  durable_publish(stage(payload), final_path);
 }
 
-std::optional<std::string> ResultStore::get(
+std::optional<std::string> LocalDirStore::get(
     const std::string& fingerprint) const {
   const std::string path = object_path(fingerprint);
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
-  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
-  in.seekg(0);
-  if (file_size < kHeaderBytes) return std::nullopt;
-
-  std::uint8_t header[kHeaderBytes];
-  in.read(reinterpret_cast<char*>(header), sizeof(header));
-  if (!in || decode_le(header, 4) != kRecordMagic ||
-      decode_le(header + 4, 4) != kStoreFormatEpoch) {
-    return std::nullopt;
-  }
-  // The length must match the file exactly: a truncated payload AND a
-  // record with trailing garbage both read as a miss.
-  const std::uint64_t payload_len = decode_le(header + 8, 8);
-  if (payload_len != file_size - kHeaderBytes) return std::nullopt;
-
-  std::string payload(payload_len, '\0');
-  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
-  if (!in) return std::nullopt;
-
-  Sha256 h;
-  h.update(payload);
-  const Sha256::Digest digest = h.digest();
-  if (std::memcmp(digest.data(), header + 16, digest.size()) != 0) {
-    return std::nullopt;
-  }
-  return payload;
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (!in && !in.eof()) return std::nullopt;
+  return unframe_record(bytes);
 }
 
-std::vector<std::string> ResultStore::fingerprints() const {
+std::vector<std::string> LocalDirStore::fingerprints() const {
   std::vector<std::string> out;
   const fs::path objects = fs::path(root_) / "objects";
   std::error_code ec;
@@ -182,22 +133,22 @@ std::vector<std::string> ResultStore::fingerprints() const {
   return out;
 }
 
-ResultStore::MergeStats ResultStore::merge_from(const ResultStore& src) const {
-  MergeStats stats;
-  for (const std::string& fp : src.fingerprints()) {
-    if (contains(fp)) {
-      ++stats.present;
-      continue;
-    }
-    const std::optional<std::string> payload = src.get(fp);
-    if (!payload) {
-      ++stats.corrupt;
-      continue;
-    }
-    put(fp, *payload);
-    ++stats.copied;
+void LocalDirStore::put_manifest(const Manifest& m) {
+  if (!writable_) {
+    throw std::logic_error("LocalDirStore: put_manifest into read-only store " +
+                           describe());
   }
-  return stats;
+  write_manifest(*this, m);
+}
+
+std::vector<Manifest> LocalDirStore::manifests(const std::string& bench) const {
+  std::vector<Manifest> out;
+  for (const std::string& path : list_manifests(*this, bench)) {
+    if (std::optional<Manifest> m = read_manifest(path)) {
+      out.push_back(std::move(*m));
+    }
+  }
+  return out;
 }
 
 }  // namespace falvolt::store

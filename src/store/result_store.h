@@ -1,78 +1,71 @@
 #pragma once
-// Persistent, content-addressed blob store for scenario results.
+// LocalDirStore: the loose-object StoreApi backend — a persistent,
+// content-addressed directory of one record file per fingerprint.
 //
 // Layout (one directory tree per store):
 //
 //   <root>/objects/<fp[0:2]>/<fp>.rec   one record per fingerprint
 //   <root>/manifests/<bench>-<grid>.manifest   grid manifests (manifest.h)
+//   <root>/segments/<digest>.seg        indexed segment files (segment.h,
+//                                       written by compaction — read via
+//                                       a SegmentStore layered below)
 //   <root>/tmp/                         staging area for atomic writes
 //
-// Records are framed with a magic, the store format epoch, the payload
-// length, and a SHA-256 checksum of the payload. Writes stage into tmp/
-// and publish with an atomic rename, so concurrent writers (several
-// sweep shards pointed at one directory) and crashes can never leave a
-// half-written record visible under its final name. Reads validate the
-// whole frame before returning: a truncated, foreign-epoch, or
-// bit-flipped record reads as "miss" (recompute), never as a throw —
-// the same degrade-to-recompute contract as core::load_params.
+// Records are framed per record_frame.h. Writes stage into tmp/ and
+// publish with fsync + atomic rename + directory fsync, so concurrent
+// writers (several sweep shards pointed at one directory) and crashes
+// can never leave a half-written record visible under its final name,
+// and a published record survives power loss. Reads validate the whole
+// frame before returning: a truncated, foreign-epoch, or bit-flipped
+// record reads as "miss" (recompute), never as a throw — the same
+// degrade-to-recompute contract as core::load_params.
 
-#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "store/store_api.h"
+
 namespace falvolt::store {
 
-/// True when `root` already holds a store (its objects/ directory
-/// exists). ResultStore's constructor CREATES missing directories — the
-/// right behavior for a destination, but read-side callers (merge
-/// sources, GC targets) must check this first so a typo'd path reads as
-/// an error instead of silently materializing an empty store.
+/// True when `root` already holds a store: its objects/ directory
+/// exists, or it is segments-only (fully compacted). LocalDirStore's
+/// constructor CREATES missing directories by default — the right
+/// behavior for a destination, but read-side callers (merge sources, GC
+/// targets, substituters) must check this first so a typo'd path reads
+/// as an error instead of silently materializing an empty store.
 bool store_exists(const std::string& root);
 
-class ResultStore {
+class LocalDirStore : public StoreApi {
  public:
-  /// Opens (creating if needed) the store rooted at `root`. Throws if
-  /// the directories cannot be created.
-  explicit ResultStore(std::string root);
+  /// Opens the store rooted at `root`. With create=true (the default)
+  /// missing directories are created and the store is writable; throws
+  /// if they cannot be. With create=false nothing is materialized and
+  /// the store is read-only (put/put_manifest throw std::logic_error) —
+  /// the mode substituter layers open with.
+  explicit LocalDirStore(std::string root, bool create = true);
 
   const std::string& root() const { return root_; }
 
   /// Final path of a record (whether or not it exists yet).
   std::string object_path(const std::string& fingerprint) const;
 
-  bool contains(const std::string& fingerprint) const;
-
-  /// Store `payload` under `fingerprint` (atomic tmp+rename; an existing
-  /// record is replaced). Throws only on I/O errors writing the staged
-  /// file — a store that silently drops records would defeat --resume.
-  void put(const std::string& fingerprint, const std::string& payload) const;
-
-  /// Read and validate the record. nullopt means "no usable record":
-  /// missing file, bad magic, foreign format epoch, truncated payload,
-  /// trailing garbage, or checksum mismatch. Never throws on damage.
-  std::optional<std::string> get(const std::string& fingerprint) const;
-
-  /// Every fingerprint with a record file in this store (unvalidated —
-  /// names only), sorted.
-  std::vector<std::string> fingerprints() const;
-
-  struct MergeStats {
-    int copied = 0;    ///< records imported from `src`
-    int present = 0;   ///< already in this store (content-addressed skip)
-    int corrupt = 0;   ///< records in `src` that failed validation
-  };
-
-  /// Union `src` into this store. Every candidate record is re-validated
-  /// before import (a corrupt shard record is skipped and counted, not
-  /// propagated); existing records are kept — with content addressing
-  /// both sides agree, so last-writer-wins is harmless.
-  MergeStats merge_from(const ResultStore& src) const;
+  std::string describe() const override;
+  bool writable() const override { return writable_; }
+  bool contains(const std::string& fingerprint) const override;
+  void put(const std::string& fingerprint,
+           const std::string& payload) override;
+  std::optional<std::string> get(
+      const std::string& fingerprint) const override;
+  std::vector<std::string> fingerprints() const override;
+  void put_manifest(const Manifest& m) override;
+  std::vector<Manifest> manifests(const std::string& bench) const override;
 
  private:
   std::string stage(const std::string& payload) const;
 
   std::string root_;
+  bool writable_;
 };
 
 }  // namespace falvolt::store

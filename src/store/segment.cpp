@@ -1,0 +1,287 @@
+#include "store/segment.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <tuple>
+
+#include "store/fingerprint.h"
+#include "store/hash.h"
+#include "store/record_frame.h"
+
+namespace fs = std::filesystem;
+
+namespace falvolt::store {
+
+namespace {
+
+std::string hex_encode(const std::uint8_t* bytes, std::size_t n) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(n * 2, '\0');
+  for (std::size_t i = 0; i < n; ++i) {
+    out[2 * i] = kHex[bytes[i] >> 4];
+    out[2 * i + 1] = kHex[bytes[i] & 0xF];
+  }
+  return out;
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+// Decode a 64-char hex fingerprint into 32 raw bytes; false on any
+// non-hex character.
+bool hex_decode_fp(const std::string& fp, std::uint8_t out[32]) {
+  if (fp.size() != 64) return false;
+  for (std::size_t i = 0; i < 32; ++i) {
+    const int hi = hex_nibble(fp[2 * i]);
+    const int lo = hex_nibble(fp[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+  return true;
+}
+
+struct ParsedIndex {
+  /// (hex fingerprint, offset, length), index order (sorted by raw fp).
+  std::vector<std::tuple<std::string, std::uint64_t, std::uint64_t>> entries;
+  std::uint64_t file_bytes = 0;
+};
+
+// Validate one segment's footer + index and return its entries; nullopt
+// on ANY damage (short file, bad magic, foreign epoch, index checksum
+// mismatch, out-of-range extents). Never throws.
+std::optional<ParsedIndex> parse_segment_index(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  if (file_size < kSegmentFooterBytes) return std::nullopt;
+
+  std::uint8_t footer[kSegmentFooterBytes];
+  in.seekg(static_cast<std::streamoff>(file_size - kSegmentFooterBytes));
+  in.read(reinterpret_cast<char*>(footer), sizeof(footer));
+  if (!in || decode_le(footer, 4) != kSegmentMagic ||
+      decode_le(footer + 4, 4) != kStoreFormatEpoch) {
+    return std::nullopt;
+  }
+  const std::uint64_t entry_count = decode_le(footer + 8, 8);
+  const std::uint64_t index_offset = decode_le(footer + 16, 8);
+  const std::uint64_t index_bytes = entry_count * kSegmentIndexEntryBytes;
+  if (index_offset + index_bytes != file_size - kSegmentFooterBytes) {
+    return std::nullopt;
+  }
+
+  std::string index(index_bytes, '\0');
+  in.seekg(static_cast<std::streamoff>(index_offset));
+  in.read(index.data(), static_cast<std::streamsize>(index.size()));
+  if (!in) return std::nullopt;
+  Sha256 h;
+  h.update(index);
+  const Sha256::Digest digest = h.digest();
+  if (std::memcmp(digest.data(), footer + 24, digest.size()) != 0) {
+    return std::nullopt;
+  }
+
+  ParsedIndex parsed;
+  parsed.file_bytes = file_size;
+  parsed.entries.reserve(entry_count);
+  const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(index.data());
+  for (std::uint64_t i = 0; i < entry_count; ++i) {
+    const std::uint8_t* e = p + i * kSegmentIndexEntryBytes;
+    const std::uint64_t offset = decode_le(e + 32, 8);
+    const std::uint64_t length = decode_le(e + 40, 8);
+    if (offset + length > index_offset) return std::nullopt;
+    parsed.entries.emplace_back(hex_encode(e, 32), offset, length);
+  }
+  return parsed;
+}
+
+std::vector<std::string> segment_paths(const std::string& root) {
+  std::vector<std::string> out;
+  const fs::path dir = fs::path(root) / "segments";
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (!it->is_regular_file(ec)) continue;
+    if (it->path().extension() != ".seg") continue;
+    out.push_back(it->path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<SegmentInfo> list_segments(const std::string& root) {
+  std::vector<SegmentInfo> out;
+  for (const std::string& path : segment_paths(root)) {
+    SegmentInfo info;
+    info.path = path;
+    if (const std::optional<ParsedIndex> parsed = parse_segment_index(path)) {
+      info.readable = true;
+      info.file_bytes = parsed->file_bytes;
+      for (const auto& [fp, offset, length] : parsed->entries) {
+        info.record_bytes += length;
+        info.entries.emplace_back(fp, length);
+      }
+    } else {
+      std::error_code ec;
+      info.file_bytes = fs::file_size(path, ec);
+      if (ec) info.file_bytes = 0;
+    }
+    out.push_back(std::move(info));
+  }
+  return out;
+}
+
+std::string write_segment(
+    const std::string& root,
+    const std::vector<std::pair<std::string, std::string>>& records) {
+  if (records.empty()) {
+    throw std::invalid_argument("write_segment: empty record set");
+  }
+
+  // Sort by fingerprint: the index is binary-search-friendly and the
+  // segment name digest is order-independent of the caller.
+  std::vector<const std::pair<std::string, std::string>*> ordered;
+  ordered.reserve(records.size());
+  for (const auto& rec : records) ordered.push_back(&rec);
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  Sha256 name_hash;
+  for (const auto* rec : ordered) {
+    name_hash.update(rec->first);
+    name_hash.update("\n");
+  }
+  const std::string digest = name_hash.hex();
+
+  std::error_code ec;
+  fs::create_directories(fs::path(root) / "segments", ec);
+  fs::create_directories(fs::path(root) / "tmp", ec);
+  if (ec) {
+    throw std::runtime_error("write_segment: cannot create dirs under " +
+                             root + ": " + ec.message());
+  }
+
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      (fs::path(root) / "tmp" /
+       ("seg." + std::to_string(::getpid()) + "." +
+        std::to_string(seq.fetch_add(1)) + ".tmp"))
+          .string();
+  const std::string final_path =
+      (fs::path(root) / "segments" / (digest.substr(0, 12) + ".seg")).string();
+
+  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("write_segment: cannot stage " + tmp);
+
+  std::string index;
+  index.reserve(ordered.size() * kSegmentIndexEntryBytes);
+  std::uint64_t offset = 0;
+  for (const auto* rec : ordered) {
+    std::uint8_t raw_fp[32];
+    if (!hex_decode_fp(rec->first, raw_fp)) {
+      std::error_code rm;
+      fs::remove(tmp, rm);
+      throw std::invalid_argument("write_segment: malformed fingerprint '" +
+                                  rec->first + "'");
+    }
+    const std::string framed = frame_record(rec->second);
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+
+    std::uint8_t entry[kSegmentIndexEntryBytes];
+    std::memcpy(entry, raw_fp, 32);
+    encode_le(entry + 32, offset, 8);
+    encode_le(entry + 40, framed.size(), 8);
+    index.append(reinterpret_cast<const char*>(entry), sizeof(entry));
+    offset += framed.size();
+  }
+
+  out.write(index.data(), static_cast<std::streamsize>(index.size()));
+
+  Sha256 index_hash;
+  index_hash.update(index);
+  const Sha256::Digest index_digest = index_hash.digest();
+  std::uint8_t footer[kSegmentFooterBytes];
+  encode_le(footer, kSegmentMagic, 4);
+  encode_le(footer + 4, kStoreFormatEpoch, 4);
+  encode_le(footer + 8, ordered.size(), 8);
+  encode_le(footer + 16, offset, 8);
+  std::memcpy(footer + 24, index_digest.data(), index_digest.size());
+  out.write(reinterpret_cast<const char*>(footer), sizeof(footer));
+  out.flush();
+  if (!out) {
+    fs::remove(tmp, ec);
+    throw std::runtime_error("write_segment: short write staging " + tmp);
+  }
+  out.close();
+
+  durable_publish(tmp, final_path);
+  return final_path;
+}
+
+SegmentStore::SegmentStore(std::string root) : root_(std::move(root)) {
+  for (const std::string& path : segment_paths(root_)) {
+    const std::optional<ParsedIndex> parsed = parse_segment_index(path);
+    if (!parsed) continue;  // damaged segment: all its records miss
+    ++segment_files_;
+    for (const auto& [fp, offset, length] : parsed->entries) {
+      // Duplicate fingerprints across segments agree by content
+      // addressing; first segment wins.
+      index_.emplace(fp, Location{path, offset, length});
+    }
+  }
+}
+
+std::string SegmentStore::describe() const { return "seg:" + root_; }
+
+bool SegmentStore::contains(const std::string& fingerprint) const {
+  return index_.count(fingerprint) != 0;
+}
+
+std::optional<std::string> SegmentStore::get(
+    const std::string& fingerprint) const {
+  const auto it = index_.find(fingerprint);
+  if (it == index_.end()) return std::nullopt;
+  const Location& loc = it->second;
+  std::ifstream in(loc.path, std::ios::binary);
+  if (!in) return std::nullopt;
+  in.seekg(static_cast<std::streamoff>(loc.offset));
+  std::string framed(loc.length, '\0');
+  in.read(framed.data(), static_cast<std::streamsize>(framed.size()));
+  if (!in) return std::nullopt;
+  // Per-record frame validation, exactly as for loose files: a bit flip
+  // inside one record degrades only that record to recompute.
+  return unframe_record(framed);
+}
+
+void SegmentStore::put(const std::string& fingerprint, const std::string&) {
+  throw std::logic_error("SegmentStore: put('" + fingerprint +
+                         "') into read-only segment store " + describe());
+}
+
+std::vector<std::string> SegmentStore::fingerprints() const {
+  std::vector<std::string> out;
+  out.reserve(index_.size());
+  for (const auto& [fp, loc] : index_) out.push_back(fp);
+  return out;  // std::map iteration order: already sorted + deduped
+}
+
+void SegmentStore::put_manifest(const Manifest& m) {
+  throw std::logic_error("SegmentStore: put_manifest('" + m.bench +
+                         "') into read-only segment store " + describe());
+}
+
+std::vector<Manifest> SegmentStore::manifests(const std::string&) const {
+  return {};  // manifests live in the loose-object store
+}
+
+}  // namespace falvolt::store

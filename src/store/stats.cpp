@@ -6,6 +6,7 @@
 #include <set>
 
 #include "store/manifest.h"
+#include "store/segment.h"
 
 namespace fs = std::filesystem;
 
@@ -31,18 +32,43 @@ std::string human_bytes(std::uint64_t bytes) {
 }  // namespace
 
 StoreStats collect_store_stats(
-    const ResultStore& rs,
+    const LocalDirStore& rs,
     const std::function<std::optional<std::uint32_t>(const std::string&)>&
         epoch_of) {
   StoreStats stats;
 
-  // On-disk size of every record file (unvalidated — disk usage is a
-  // property of the file, not of its content).
+  // On-disk size of every loose record file (unvalidated — disk usage is
+  // a property of the file, not of its content). Loose copies are the
+  // canonical charge for an address: they shadow segments in the read
+  // chain.
   std::map<std::string, std::uint64_t> record_bytes;
   for (const std::string& fp : rs.fingerprints()) {
     std::error_code ec;
     const std::uintmax_t size = fs::file_size(rs.object_path(fp), ec);
     record_bytes.emplace(fp, ec ? 0 : static_cast<std::uint64_t>(size));
+  }
+  stats.loose_records = record_bytes.size();
+  for (const auto& [fp, bytes] : record_bytes) {
+    (void)fp;
+    stats.loose_bytes += bytes;
+  }
+
+  // Fold in the segments: an entry not shadowed by a loose copy (or an
+  // earlier segment's) becomes the canonical copy of its address; a
+  // shadowed entry is dead weight until recompaction.
+  for (const SegmentInfo& seg : list_segments(rs.root())) {
+    ++stats.segment_files;
+    stats.segment_file_bytes += seg.file_bytes;
+    if (!seg.readable) {
+      stats.segment_dead_bytes += seg.file_bytes;
+      continue;
+    }
+    stats.segment_records += seg.entries.size();
+    for (const auto& [fp, length] : seg.entries) {
+      if (!record_bytes.emplace(fp, length).second) {
+        stats.segment_dead_bytes += length;
+      }
+    }
   }
   stats.total_records = record_bytes.size();
   for (const auto& [fp, bytes] : record_bytes) {
@@ -85,10 +111,13 @@ StoreStats collect_store_stats(
   }
   if (unreferenced.records > 0) stats.benches.push_back(unreferenced);
 
-  // Epoch histogram from the record payloads.
+  // Epoch histogram from the record payloads, read through the same
+  // loose-then-segments chain a sweep would use.
+  const SegmentStore segments(rs.root());
   for (const auto& [fp, bytes] : record_bytes) {
     (void)bytes;
-    const std::optional<std::string> payload = rs.get(fp);
+    std::optional<std::string> payload = rs.get(fp);
+    if (!payload) payload = segments.get(fp);
     if (!payload) {
       ++stats.unreadable_records;
       continue;
@@ -108,6 +137,24 @@ std::string StoreStats::to_text() const {
   std::snprintf(line, sizeof(line), "[store] %zu record(s), %s\n",
                 total_records, human_bytes(total_bytes).c_str());
   out += line;
+  std::snprintf(line, sizeof(line),
+                "[store]   loose: %zu record(s) %s\n", loose_records,
+                human_bytes(loose_bytes).c_str());
+  out += line;
+  if (segment_files > 0) {
+    const double packed =
+        total_records
+            ? 100.0 * static_cast<double>(total_records - loose_records) /
+                  static_cast<double>(total_records)
+            : 0.0;
+    std::snprintf(line, sizeof(line),
+                  "[store]   segments: %zu file(s), %zu indexed record(s), "
+                  "%s on disk (%s dead), %.0f%% of records packed\n",
+                  segment_files, segment_records,
+                  human_bytes(segment_file_bytes).c_str(),
+                  human_bytes(segment_dead_bytes).c_str(), packed);
+    out += line;
+  }
   for (const BenchUsage& b : benches) {
     std::snprintf(line, sizeof(line), "[store]   %-24s %6zu record(s) %12s\n",
                   b.bench.c_str(), b.records, human_bytes(b.bytes).c_str());

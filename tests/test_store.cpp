@@ -100,7 +100,7 @@ class ResultStoreTest : public ::testing::Test {
 };
 
 TEST_F(ResultStoreTest, PutGetRoundTrip) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   const std::string fp = fp_of("cell1");
   EXPECT_FALSE(store.contains(fp));
   EXPECT_EQ(store.get(fp), std::nullopt);
@@ -115,13 +115,13 @@ TEST_F(ResultStoreTest, PutGetRoundTrip) {
 }
 
 TEST_F(ResultStoreTest, MalformedFingerprintThrows) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   EXPECT_THROW(store.put("nope", "x"), std::invalid_argument);
   EXPECT_THROW(store.get("../escape"), std::invalid_argument);
 }
 
 TEST_F(ResultStoreTest, TruncatedRecordReadsAsMiss) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   const std::string fp = fp_of("trunc");
   store.put(fp, std::string(256, 'x'));
   const std::string path = store.object_path(fp);
@@ -132,7 +132,7 @@ TEST_F(ResultStoreTest, TruncatedRecordReadsAsMiss) {
 }
 
 TEST_F(ResultStoreTest, TrailingGarbageReadsAsMiss) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   const std::string fp = fp_of("tail");
   store.put(fp, "payload");
   std::ofstream out(store.object_path(fp),
@@ -143,7 +143,7 @@ TEST_F(ResultStoreTest, TrailingGarbageReadsAsMiss) {
 }
 
 TEST_F(ResultStoreTest, FlippedPayloadByteFailsChecksum) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   const std::string fp = fp_of("flip");
   store.put(fp, std::string(64, 'y'));
   const std::string path = store.object_path(fp);
@@ -157,7 +157,7 @@ TEST_F(ResultStoreTest, FlippedPayloadByteFailsChecksum) {
 }
 
 TEST_F(ResultStoreTest, ConcurrentWritersStayConsistent) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   const std::string shared_fp = fp_of("shared");
   const std::string shared_payload(512, 's');
   constexpr int kThreads = 8;
@@ -190,9 +190,9 @@ TEST_F(ResultStoreTest, ConcurrentWritersStayConsistent) {
 }
 
 TEST_F(ResultStoreTest, MergeUnionsAndSkipsCorrupt) {
-  ResultStore a(root_ + "_a");
-  ResultStore b(root_ + "_b");
-  ResultStore dst(root_);
+  LocalDirStore a(root_ + "_a");
+  LocalDirStore b(root_ + "_b");
+  LocalDirStore dst(root_);
   a.put(fp_of("one"), "1");
   a.put(fp_of("both"), "same");
   b.put(fp_of("both"), "same");
@@ -200,11 +200,11 @@ TEST_F(ResultStoreTest, MergeUnionsAndSkipsCorrupt) {
   b.put(fp_of("rot"), "will rot");
   fs::resize_file(b.object_path(fp_of("rot")), 20);  // corrupt in place
 
-  const ResultStore::MergeStats sa = dst.merge_from(a);
+  const MergeStats sa = merge_records(dst, a);
   EXPECT_EQ(sa.copied, 2);
   EXPECT_EQ(sa.present, 0);
   EXPECT_EQ(sa.corrupt, 0);
-  const ResultStore::MergeStats sb = dst.merge_from(b);
+  const MergeStats sb = merge_records(dst, b);
   EXPECT_EQ(sb.copied, 1);   // "two"
   EXPECT_EQ(sb.present, 1);  // "both"
   EXPECT_EQ(sb.corrupt, 1);  // "rot" skipped, not propagated
@@ -217,7 +217,7 @@ TEST_F(ResultStoreTest, MergeUnionsAndSkipsCorrupt) {
 }
 
 TEST_F(ResultStoreTest, ManifestRoundTripAndListing) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   Manifest m;
   m.bench = "fig5b_fault_count";
   m.entries = {{sha256_hex("c0"), "MNIST/faulty=0/rep=0"},
@@ -242,7 +242,7 @@ TEST_F(ResultStoreTest, ManifestRoundTripAndListing) {
 }
 
 TEST_F(ResultStoreTest, TruncatedManifestIsRejected) {
-  ResultStore store(root_);
+  LocalDirStore store(root_);
   Manifest m;
   m.bench = "b";
   m.entries = {{sha256_hex("x"), "k0"}, {sha256_hex("y"), "k1"}};

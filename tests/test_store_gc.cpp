@@ -38,8 +38,8 @@ class StoreGcTest : public ::testing::Test {
 
   // A store with records a..{a+n-1}; a manifest references the first
   // `referenced` of them.
-  ResultStore seeded(int n, int referenced) {
-    ResultStore rs(dir_);
+  LocalDirStore seeded(int n, int referenced) {
+    LocalDirStore rs(dir_);
     Manifest m;
     m.bench = "gc_test";
     for (int i = 0; i < n; ++i) {
@@ -61,7 +61,7 @@ class StoreGcTest : public ::testing::Test {
 };
 
 TEST_F(StoreGcTest, UnreachableRecordsDeletedReachableSurvive) {
-  const ResultStore rs = seeded(6, 4);
+  const LocalDirStore rs = seeded(6, 4);
   const GcStats stats = prune_store(rs, decodes);
   EXPECT_EQ(stats.live, 4u);
   EXPECT_EQ(stats.unreachable, 2u);
@@ -77,7 +77,7 @@ TEST_F(StoreGcTest, UnreachableRecordsDeletedReachableSurvive) {
 }
 
 TEST_F(StoreGcTest, CorruptReachableRecordCountedAndRemovedNotFatal) {
-  const ResultStore rs = seeded(4, 4);
+  const LocalDirStore rs = seeded(4, 4);
   // Flip bytes in one reachable record (disk rot mid-file).
   {
     std::fstream f(rs.object_path(fp_of('b')),
@@ -93,7 +93,7 @@ TEST_F(StoreGcTest, CorruptReachableRecordCountedAndRemovedNotFatal) {
 }
 
 TEST_F(StoreGcTest, StalePayloadFormatReclaimedThroughPayloadCheck) {
-  const ResultStore rs = seeded(2, 2);
+  LocalDirStore rs = seeded(2, 2);
   // A frame-valid record whose payload the codec rejects — what an
   // epoch/codec bump leaves behind (recompute-on-read, reclaim-on-GC).
   Manifest m;
@@ -112,7 +112,7 @@ TEST_F(StoreGcTest, StalePayloadFormatReclaimedThroughPayloadCheck) {
 }
 
 TEST_F(StoreGcTest, UnreadableManifestRemovedAndItsCellsSwept) {
-  const ResultStore rs = seeded(3, 3);
+  const LocalDirStore rs = seeded(3, 3);
   const std::string dead =
       (fs::path(dir_) / "manifests" / "dead-000000000000.manifest").string();
   std::ofstream(dead) << "falvolt-manifest 999\ngarbage\n";
@@ -124,7 +124,7 @@ TEST_F(StoreGcTest, UnreadableManifestRemovedAndItsCellsSwept) {
 }
 
 TEST_F(StoreGcTest, StagingLeftoversCleared) {
-  const ResultStore rs = seeded(1, 1);
+  const LocalDirStore rs = seeded(1, 1);
   std::ofstream(fs::path(dir_) / "tmp" / "rec.123.0.tmp") << "half a write";
   std::ofstream(fs::path(dir_) / "tmp" / "manifest.123.0.tmp") << "half";
   const GcStats stats = prune_store(rs, decodes);
@@ -136,7 +136,7 @@ TEST_F(StoreGcTest, StoreExistsDistinguishesStoresFromTyposAndPlainDirs) {
   EXPECT_FALSE(store_exists(dir_));            // nothing there yet
   fs::create_directories(dir_);
   EXPECT_FALSE(store_exists(dir_));            // a dir is not a store
-  { ResultStore rs(dir_); }
+  { LocalDirStore rs(dir_); }
   EXPECT_TRUE(store_exists(dir_));
   EXPECT_FALSE(store_exists(""));
 }
@@ -183,7 +183,7 @@ TEST_F(StoreGcTest, PrunedStoreStillReproducesByteIdenticalTables) {
   abandoned.config = {{"epochs", "9"}};
   run_with(abandoned);
   EXPECT_EQ(computed.load(), 10);
-  const ResultStore rs(dir_);
+  const LocalDirStore rs(dir_);
   ASSERT_EQ(rs.fingerprints().size(), 10u);
   for (const std::string& path : list_manifests(rs)) {
     const auto m = read_manifest(path);

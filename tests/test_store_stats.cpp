@@ -53,7 +53,7 @@ class StoreStatsTest : public ::testing::Test {
 };
 
 TEST_F(StoreStatsTest, ChargesBenchesThroughManifestsOverMixedEpochs) {
-  ResultStore rs(dir_);
+  LocalDirStore rs(dir_);
   // bench_a owns a, b (epochs 1 and 2); bench_b owns c (epoch 2) and
   // ALSO references b (deduplicated); d is unreferenced (epoch 1).
   rs.put(fp_of('a'), record("a=0", 1));
@@ -103,7 +103,7 @@ TEST_F(StoreStatsTest, ChargesBenchesThroughManifestsOverMixedEpochs) {
 }
 
 TEST_F(StoreStatsTest, CountsStaleAndUnreadableRecords) {
-  ResultStore rs(dir_);
+  LocalDirStore rs(dir_);
   rs.put(fp_of('a'), record("a=0", 2));
   // Valid frame, foreign payload codec: readable but stale.
   rs.put(fp_of('b'), "not a scenario-result payload");
@@ -131,7 +131,7 @@ TEST_F(StoreStatsTest, CountsStaleAndUnreadableRecords) {
 }
 
 TEST_F(StoreStatsTest, EmptyStoreYieldsZeroes) {
-  ResultStore rs(dir_);
+  LocalDirStore rs(dir_);
   const StoreStats stats = collect_store_stats(rs, epoch_of);
   EXPECT_EQ(stats.total_records, 0u);
   EXPECT_EQ(stats.total_bytes, 0u);

@@ -411,11 +411,11 @@ TEST_F(SweepWorkloadTest, StoreShardsMergeAndWarmRunsAreByteIdentical) {
   EXPECT_EQ(t0.computed_cells() + t1.computed_cells(), scenarios.size());
   EXPECT_FALSE(t0.complete());
 
-  const store::ResultStore merged(store_root + "_m");
-  merged.merge_from(store::ResultStore(store_root + "_a"));
-  merged.merge_from(store::ResultStore(store_root + "_b"));
+  store::LocalDirStore merged(store_root + "_m");
+  store::merge_records(merged, store::LocalDirStore(store_root + "_a"));
+  store::merge_records(merged, store::LocalDirStore(store_root + "_b"));
   const auto manifest = store::read_manifest(
-      store::list_manifests(store::ResultStore(store_root + "_a"),
+      store::list_manifests(store::LocalDirStore(store_root + "_a"),
                             "fig5b_like")
           .front());
   ASSERT_TRUE(manifest.has_value());
@@ -502,8 +502,10 @@ TEST_F(SweepWorkloadTest, RetrainGridShardsAndWarmRunsAreByteIdentical) {
   run_with(store_root + "_a", 0, 2);
   run_with(store_root + "_b", 1, 2);
   EXPECT_EQ(computed.load(), 4);
-  store::ResultStore(store_root + "_a")
-      .merge_from(store::ResultStore(store_root + "_b"));
+  {
+    store::LocalDirStore merge_dst(store_root + "_a");
+    store::merge_records(merge_dst, store::LocalDirStore(store_root + "_b"));
+  }
   const ResultTable merged = run_with(store_root + "_a", 0, 1);
   EXPECT_EQ(computed.load(), 4) << "merged store must satisfy every cell";
   EXPECT_EQ(merged.computed_cells(), 0u);

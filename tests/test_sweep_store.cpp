@@ -1,4 +1,4 @@
-// SweepRunner x ResultStore integration: resume/warm-run semantics,
+// SweepRunner x LocalDirStore integration: resume/warm-run semantics,
 // deterministic sharding, fingerprint invalidation, and the codec the
 // records travel through. Uses workload-free scenario functions so the
 // store machinery is exercised without training anything.
@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "core/sweep.h"
+#include "store/compact.h"
 #include "store/manifest.h"
 #include "store/result_store.h"
 
@@ -152,10 +153,10 @@ TEST_F(SweepStoreTest, ShardsPartitionDeterministicallyAndMergeExactly) {
 
   // Union the shard stores and rebuild the grid from the manifest —
   // exactly what the sweep_merge tool does.
-  const store::ResultStore merged(dir_ + "_m");
-  const store::ResultStore a(dir_ + "_a"), b(dir_ + "_b");
-  merged.merge_from(a);
-  merged.merge_from(b);
+  store::LocalDirStore merged(dir_ + "_m");
+  const store::LocalDirStore a(dir_ + "_a"), b(dir_ + "_b");
+  store::merge_records(merged, a);
+  store::merge_records(merged, b);
   const auto manifest =
       store::read_manifest(store::list_manifests(a, "grid_test").front());
   ASSERT_TRUE(manifest.has_value());
@@ -250,7 +251,7 @@ TEST_F(SweepStoreTest, CorruptRecordIsRecomputedNotTrusted) {
   cold.run(scenarios, counting_fn(computed));
 
   // Truncate one record in place (mid-download crash, disk rot...).
-  const store::ResultStore rs(dir_);
+  const store::LocalDirStore rs(dir_);
   const std::string fp = cold.fingerprint(scenarios[2]);
   ASSERT_TRUE(rs.contains(fp));
   fs::resize_file(rs.object_path(fp), 20);
@@ -262,6 +263,67 @@ TEST_F(SweepStoreTest, CorruptRecordIsRecomputedNotTrusted) {
   EXPECT_EQ(t.cached_cells(), 5u);
   EXPECT_EQ(t.computed_cells(), 1u);
   EXPECT_TRUE(rs.get(fp).has_value()) << "record must be healed";
+}
+
+TEST_F(SweepStoreTest, CompactedStoreWarmRerunComputesNothing) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  const ResultTable t_cold =
+      runner(store_opts(dir_)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+
+  // Pack every cell into a segment; no loose record remains.
+  const store::LocalDirStore rs(dir_);
+  const store::CompactStats stats = store::compact_store(rs);
+  EXPECT_EQ(stats.packed, 6);
+  EXPECT_TRUE(rs.fingerprints().empty());
+
+  // The warm run is served entirely from the segment — zero cells
+  // computed, tables byte-identical to the loose-store run.
+  const ResultTable t_warm =
+      runner(store_opts(dir_)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6) << "compacted store must not recompute";
+  EXPECT_TRUE(t_warm.complete());
+  EXPECT_EQ(t_warm.computed_cells(), 0u);
+  EXPECT_EQ(t_warm.cached_cells(), 6u);
+  EXPECT_EQ(t_cold.to_csv(), t_warm.to_csv());
+  EXPECT_EQ(without_run_line(t_cold.to_json("grid_test")),
+            without_run_line(t_warm.to_json("grid_test")));
+}
+
+TEST_F(SweepStoreTest, SubstitutersServeCellsComputedElsewhere) {
+  const std::vector<Scenario> scenarios = grid();
+  std::atomic<int> computed{0};
+  // Machine A computes the grid into its own store (then compacts, so
+  // the substituter path is exercised through segments too).
+  const std::string dir_a = dir_ + "_a";
+  const ResultTable t_a =
+      runner(store_opts(dir_a)).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6);
+  store::compact_store(store::LocalDirStore(dir_a));
+
+  // Machine B starts empty but substitutes from A: zero recompute, and
+  // nothing is ever written into A.
+  SweepStoreOptions st_b = store_opts(dir_);
+  st_b.substituters = {dir_a};
+  const ResultTable t_b = runner(st_b).run(scenarios, counting_fn(computed));
+  EXPECT_EQ(computed.load(), 6) << "every cell substituted";
+  EXPECT_TRUE(t_b.complete());
+  EXPECT_EQ(t_b.computed_cells(), 0u);
+  EXPECT_EQ(t_b.cached_cells(), 6u);
+  EXPECT_EQ(t_a.to_csv(), t_b.to_csv());
+  EXPECT_TRUE(store::LocalDirStore(dir_a, /*create=*/false)
+                  .fingerprints()
+                  .empty())
+      << "substituter stays read-only (records live in its segment)";
+
+  // A typo'd substituter fails loudly instead of missing everything.
+  SweepStoreOptions st_typo = store_opts(dir_ + "_fresh");
+  st_typo.substituters = {dir_ + "_nope"};
+  EXPECT_THROW(runner(st_typo).run(scenarios, counting_fn(computed)),
+               std::invalid_argument);
+  fs::remove_all(dir_a);
+  fs::remove_all(dir_ + "_fresh");
 }
 
 TEST(SweepStoreCodec, RoundTripsEveryField) {
