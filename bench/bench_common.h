@@ -27,6 +27,8 @@
 #include "core/fap.h"
 #include "core/sweep.h"
 #include "fault/fault_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/result_store.h"  // store_exists + the StoreApi chain
 
 namespace falvolt::bench {
@@ -93,6 +95,15 @@ inline void add_common_flags(common::CliFlags& cli) {
   cli.add_bool("list-scenarios", false,
                "print the scenario grid (index, owning shard, "
                "fingerprint, store status) and exit without computing");
+  cli.add_string("trace", "",
+                 "Chrome trace-event JSON output path ('' = $FALVOLT_TRACE, "
+                 "else disabled; none = disabled). Spans cover baselines, "
+                 "cells, and store I/O; load the file in Perfetto or "
+                 "chrome://tracing. Observation only — tables and "
+                 "fingerprints are byte-identical with tracing on or off");
+  cli.add_string("metrics-json", "",
+                 "write the process metrics registry (counters/timers) as "
+                 "JSON to this path on exit ('' = disabled)");
 }
 
 /// Flags that never change a cell's value — execution knobs and output
@@ -103,7 +114,7 @@ inline bool flag_affects_results(const std::string& name) {
   static const std::set<std::string> kExecutionOnly = {
       "threads",  "sweep-parallel", "sweep-json",     "datasets",
       "repeats",  "store",          "resume",         "shard",
-      "list-scenarios", "substituters"};
+      "list-scenarios", "substituters", "trace",      "metrics-json"};
   // --substituters only changes WHERE a fingerprint-addressed record is
   // read from, never what any cell computes, so it must not split the
   // cache (see SweepStoreOptions::substituters).
@@ -128,6 +139,49 @@ inline std::vector<std::pair<std::string, std::string>> fingerprint_config(
   }
   return out;
 }
+
+/// RAII telemetry session for a bench main. Construct right after
+/// CliFlags::parse so every baseline/cell/store span lands inside the
+/// session: starts Chrome tracing when --trace (or $FALVOLT_TRACE)
+/// names a file, and on destruction stops the trace and dumps the
+/// process metrics registry to --metrics-json when set. Both knobs are
+/// execution-only (flag_affects_results) — they never reach a cell
+/// fingerprint, and with neither set this is a no-op.
+class ObsScope {
+ public:
+  explicit ObsScope(const common::CliFlags& cli)
+      : metrics_path_(cli.get_string("metrics-json")) {
+    const std::string path =
+        obs::resolve_trace_path(cli.get_string("trace"));
+    if (!path.empty()) {
+      obs::trace_start(path);  // fail-fast: bad path dies before compute
+      trace_path_ = path;
+    }
+  }
+  ObsScope(const ObsScope&) = delete;
+  ObsScope& operator=(const ObsScope&) = delete;
+  ~ObsScope() {
+    if (!trace_path_.empty()) {
+      const std::size_t events = obs::trace_stop();
+      std::fprintf(stderr, "[obs] %zu trace event(s) written to %s\n",
+                   events, trace_path_.c_str());
+    }
+    if (metrics_path_.empty()) return;
+    try {
+      obs::write_metrics_json(metrics_path_);
+      std::fprintf(stderr, "[obs] metrics written to %s\n",
+                   metrics_path_.c_str());
+    } catch (const std::exception& e) {
+      // The bench's results are already on disk; a failed metrics dump
+      // must not turn a finished sweep into an error exit.
+      std::fprintf(stderr, "[obs] metrics dump failed: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::string metrics_path_;
+  std::string trace_path_;
+};
 
 /// Resolved --store directory; empty string disables the store.
 inline std::string resolve_store_dir(const common::CliFlags& cli) {

@@ -100,6 +100,42 @@ def warn_abs(label, base, cur, tolerance, warnings):
         warnings.append(label)
 
 
+def fleet_metric_warnings(base_m, cur_m, tolerance, warnings):
+    """Warn-only comparison of two fleet metrics blocks: the store hit
+    rate (cells replayed instead of recomputed) and the faulty-GEMM
+    vector-path share (columns taking the 8-wide fast path). Both are
+    ratios of counters from the same run, so they are machine-portable —
+    but a fleet's hit rate legitimately changes with the store's warmth,
+    hence warn-only, never gated. Returns True if anything printed."""
+
+    def hit_rate(m):
+        hits = sum(v for k, v in m.items()
+                   if k.startswith("store.chain.layer") and k.endswith(".hit"))
+        total = hits + m.get("store.chain.miss", 0)
+        return hits / total if total else None
+
+    def vector_share(m):
+        vec = m.get("kernel.faulty_gemm.vector_cols", 0)
+        total = (vec + m.get("kernel.faulty_gemm.scalar_cols", 0) +
+                 m.get("kernel.faulty_gemm.fallback_cols", 0))
+        return vec / total if total else None
+
+    printed = False
+    for label, rate in (("fleet store hit rate", hit_rate),
+                        ("faulty_gemm vector-path share", vector_share)):
+        b, c = rate(base_m), rate(cur_m)
+        if b is None or c is None:
+            continue
+        printed = True
+        if b - c > tolerance * max(b, 1e-9):
+            print(f"  [      warn] {label}: {b:.1%} -> {c:.1%} "
+                  f"(dropped beyond {tolerance:.0%} — not gated)")
+            warnings.append(label)
+        else:
+            print(f"  [        ok] {label}: {b:.1%} -> {c:.1%}")
+    return printed
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__, epilog=BASELINE_HELP,
@@ -131,6 +167,13 @@ def main():
             "workers": fleet["run"]["workers"],
             "cells_computed": fleet["run"]["cells_computed"],
         }
+        # The fleet telemetry block (sweep_fleet --json "metrics"): flat
+        # name -> count samples. Carried into the uploaded artifact and
+        # used for the warn-only store/kernel checks below. Older fleet
+        # JSONs (and the committed baseline) may predate it — absence is
+        # fine, the checks just skip.
+        if isinstance(fleet.get("metrics"), dict):
+            cur["fleet"]["metrics"] = fleet["metrics"]
     if args.out:
         with open(args.out, "w", encoding="utf-8") as f:
             json.dump(cur, f, indent=2)
@@ -181,6 +224,17 @@ def main():
                  cur["fleet"]["total_seconds"], args.tolerance, warnings)
     if not warnings:
         print("  (none)")
+
+    print("fleet telemetry (store hit rate, kernel path mix — warn only):")
+    base_m = (base.get("fleet") or {}).get("metrics")
+    cur_m = (cur.get("fleet") or {}).get("metrics")
+    if isinstance(base_m, dict) and isinstance(cur_m, dict):
+        if not fleet_metric_warnings(base_m, cur_m, args.tolerance, warnings):
+            print("  (no comparable fleet metrics)")
+    else:
+        # The committed baseline predates the metrics block, or the fleet
+        # ran without --json: nothing to compare, nothing to warn about.
+        print("  (skipped: baseline or current has no fleet metrics block)")
 
     if failures:
         print(f"\nperf gate FAILED: {len(failures)} ratio regression(s) "

@@ -54,7 +54,7 @@ std::map<std::string, std::vector<std::string>> parse_overrides(
   static const std::set<std::string> kFleetManaged = {
       "store", "shard",          "fast",       "seed",
       "threads", "sweep-parallel", "sweep-json", "list-scenarios",
-      "substituters"};
+      "substituters", "trace", "metrics-json"};
   std::map<std::string, std::vector<std::string>> out;
   for (const std::string& entry : fb::split_list(spec)) {
     const std::size_t dot = entry.find('.');
@@ -111,6 +111,7 @@ int main(int argc, char** argv) try {
                  "grids), 'claim' keeps legacy grid-major order. Tables "
                  "are byte-identical either way");
   if (!cli.parse(argc, argv)) return 0;
+  fb::ObsScope obs_scope(cli);
   const core::SchedulePolicy schedule =
       core::parse_schedule_policy(cli.get_string("schedule"));
 
@@ -208,6 +209,7 @@ int main(int argc, char** argv) try {
       "store",     // forwarded below as the resolved shared store dir
       "datasets",  // forwarded per grid, narrowed to the grid's axis
       "sweep-json", "list-scenarios",  // fleet-handled, not per-grid
+      "trace", "metrics-json",  // one telemetry session, owned by the fleet
       "workers", "grids", "set", "json", "schedule"};  // fleet-only flags
   std::vector<std::string> forwards;
   for (const auto& [flag, value] : cli.items()) {
@@ -400,7 +402,12 @@ int main(int argc, char** argv) try {
           << ", \"absent\": " << tables[g].absent_cells() << "}"
           << (g + 1 == tables.size() ? "\n" : ",\n");
     }
-    out << "  ]\n}\n";
+    // The full metrics registry rides along in the (already volatile)
+    // fleet summary: store hit/miss per layer, kernel path mix, pool and
+    // sweep counters — everything perf_gate.py and the nightly job
+    // summary read. Figure tables and cell records never carry it.
+    out << "  ],\n  \"metrics\": "
+        << obs::encode_metrics_json(obs::snapshot_metrics(), 2) << "\n}\n";
     std::printf("[fleet] summary JSON written to %s\n",
                 cli.get_string("json").c_str());
   }

@@ -44,6 +44,7 @@
 
 #include "bench_common.h"
 #include "common/cli.h"
+#include "common/json.h"
 #include "core/sweep.h"
 #include "store/compact.h"
 #include "store/gc.h"
@@ -72,6 +73,10 @@ int main(int argc, char** argv) {
                "print the merged store's usage stats (records + bytes per "
                "bench, loose/segment split, provenance epoch histogram, "
                "dedup/stale counts) and its manifests");
+  cli.add_string("stats-json", "",
+                 "write the --list usage stats machine-readably to this "
+                 "path, in the same flat-sample JSON schema as the fleet "
+                 "summary's \"metrics\" block ('' = disabled)");
   cli.add_bool("prune", false,
                "garbage-collect --into after merging: delete records no "
                "manifest references and reachable records that fail "
@@ -164,12 +169,12 @@ int main(int argc, char** argv) {
                 store::to_text(stats).c_str());
   }
 
-  if (cli.get_bool("list")) {
+  if (cli.get_bool("list") || !cli.get_string("stats-json").empty()) {
     // Compaction/dedup accounting: bytes and records per bench (charged
     // through manifest reachability), the loose/segment split, the
     // provenance epoch histogram, and the stale/unreadable populations
-    // --prune would reclaim.
-    std::printf("[store] %s\n", dst_local.root().c_str());
+    // --prune would reclaim. One scan serves both the human --list block
+    // and the machine-readable --stats-json dump.
     const store::StoreStats stats = store::collect_store_stats(
         dst_local,
         [](const std::string& payload) -> std::optional<std::uint32_t> {
@@ -177,12 +182,28 @@ int main(int argc, char** argv) {
           if (!core::decode_scenario_result(payload, r)) return std::nullopt;
           return r.provenance.store_epoch;
         });
-    std::fputs(stats.to_text().c_str(), stdout);
-    for (const std::string& path : store::list_manifests(dst_local)) {
-      const auto m = store::read_manifest(path);
-      std::printf("[store]   manifest %s (%s, %zu cell(s))\n", path.c_str(),
-                  m ? m->bench.c_str() : "UNREADABLE",
-                  m ? m->entries.size() : 0);
+    if (cli.get_bool("list")) {
+      std::printf("[store] %s\n", dst_local.root().c_str());
+      std::fputs(stats.to_text().c_str(), stdout);
+      for (const std::string& path : store::list_manifests(dst_local)) {
+        const auto m = store::read_manifest(path);
+        std::printf("[store]   manifest %s (%s, %zu cell(s))\n", path.c_str(),
+                    m ? m->bench.c_str() : "UNREADABLE",
+                    m ? m->entries.size() : 0);
+      }
+    }
+    if (!cli.get_string("stats-json").empty()) {
+      std::ofstream out(cli.get_string("stats-json"));
+      if (!out) {
+        std::fprintf(stderr, "sweep_merge: cannot open %s\n",
+                     cli.get_string("stats-json").c_str());
+        return 1;
+      }
+      out << "{\n  \"store\": \"" << common::json_escape(dst_local.root())
+          << "\",\n  \"store_stats\": " << stats.to_json(/*indent=*/2)
+          << "\n}\n";
+      std::printf("[store] usage stats written to %s\n",
+                  cli.get_string("stats-json").c_str());
     }
   }
 

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/env.h"
+#include "obs/metrics.h"
 
 namespace falvolt::compute {
 
@@ -51,12 +52,16 @@ void ThreadPool::worker_loop() {
       ++workers_active_;
     }
     t_in_parallel_region = true;
+    static obs::Counter& chunks = obs::counter("pool.chunks");
+    int claimed = 0;
     for (;;) {
       const int lo = next_.fetch_add(chunk_, std::memory_order_relaxed);
       if (lo >= end_) break;
+      ++claimed;
       (*body)(lo, std::min(lo + chunk_, end_));
     }
     t_in_parallel_region = false;
+    if (claimed > 0) chunks.add(static_cast<std::uint64_t>(claimed));
     {
       std::lock_guard<std::mutex> lock(mu_);
       --workers_active_;
@@ -67,13 +72,26 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(int begin, int end, int grain,
                               const std::function<void(int, int)>& body) {
+  // Queue/task telemetry (obs/metrics.h): every call is counted, inline
+  // executions separately (nested regions, tiny spans, 1-thread pools),
+  // and dispatched regions get wall time + claimed-chunk counts. The
+  // counters are sharded relaxed adds — the GEMM hot path sees only a
+  // handful per parallel_for, never per-element work.
+  static obs::Counter& calls = obs::counter("pool.parallel_for.calls");
+  static obs::Counter& inline_calls = obs::counter("pool.parallel_for.inline");
+  static obs::Counter& dispatch_ns = obs::counter("pool.parallel_for.ns");
+  static obs::Counter& dispatch_count = obs::counter("pool.parallel_for.count");
+  static obs::Counter& chunks = obs::counter("pool.chunks");
   if (end <= begin) return;
+  calls.add(1);
   const int span = end - begin;
   const int threads = size();
   if (threads == 1 || t_in_parallel_region || span <= std::max(grain, 1)) {
+    inline_calls.add(1);
     body(begin, end);
     return;
   }
+  obs::ScopedTimer timed(dispatch_ns, dispatch_count);
   // Aim for a few chunks per thread so dynamic claiming balances load
   // without shrinking chunks below the grain.
   const int chunk =
@@ -89,12 +107,15 @@ void ThreadPool::parallel_for(int begin, int end, int grain,
   work_cv_.notify_all();
   // The caller is a full participant.
   t_in_parallel_region = true;
+  int claimed = 0;
   for (;;) {
     const int lo = next_.fetch_add(chunk, std::memory_order_relaxed);
     if (lo >= end) break;
+    ++claimed;
     body(lo, std::min(lo + chunk, end));
   }
   t_in_parallel_region = false;
+  if (claimed > 0) chunks.add(static_cast<std::uint64_t>(claimed));
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return workers_active_ == 0; });
   body_ = nullptr;

@@ -18,6 +18,8 @@
 #include "common/timer.h"
 #include "common/version.h"
 #include "compute/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "store/fingerprint.h"
 #include "store/manifest.h"
 #include "store/store_api.h"
@@ -586,8 +588,13 @@ struct SweepEngine {
       SweepContext& ctx, const WorkloadOptions& opts,
       const std::function<void(const Workload&)>& on_baseline,
       const std::set<DatasetKind>& kinds) {
+    static obs::Counter& ns = obs::counter("sweep.baseline.ns");
+    static obs::Counter& count = obs::counter("sweep.baseline.count");
     for (const DatasetKind kind : kinds) {
       if (ctx.baselines_.count(kind)) continue;
+      obs::TraceSpan span("sweep",
+                          std::string("baseline:") + dataset_name(kind));
+      obs::ScopedTimer timed(ns, count);
       Workload wl = prepare_workload(kind, opts);
       std::vector<tensor::Tensor> snapshot = wl.net.snapshot_params();
       if (on_baseline) on_baseline(wl);
@@ -675,11 +682,25 @@ std::vector<ResultTable> SweepEngine::run(
     // Triage every cell: replay a valid cached record (any shard's),
     // otherwise compute it if this shard owns it, otherwise leave the
     // slot absent for sweep_merge to fill from the other shards' stores.
+    static obs::Counter& cached_cells = obs::counter("sweep.cells.cached");
+    static obs::Counter& get_ns = obs::counter("sweep.store.get.ns");
+    static obs::Counter& get_count = obs::counter("sweep.store.get.count");
+    obs::TraceSpan triage_span(
+        "sweep", "triage:" + (store.bench.empty() ? "sweep" : store.bench));
     for (std::size_t i = 0; i < total; ++i) {
       st.table.rows_[i].scenario = scenarios[i];
       st.table.rows_[i].fingerprint = st.fps[i];
       if (use_store && store.resume) {
-        const std::optional<std::string> payload = st.rs->get(st.fps[i]);
+        obs::TraceSpan span("store", "triage.get");
+        if (obs::trace_enabled()) {
+          span.arg("key", scenarios[i].key);
+          span.arg("fingerprint", st.fps[i].substr(0, 16));
+        }
+        std::optional<std::string> payload;
+        {
+          obs::ScopedTimer timed(get_ns, get_count);
+          payload = st.rs->get(st.fps[i]);
+        }
         if (payload) {
           ScenarioResult cached;
           if (decode_scenario_result(*payload, cached) &&
@@ -687,11 +708,14 @@ std::vector<ResultTable> SweepEngine::run(
             cached.scenario = scenarios[i];
             cached.fingerprint = st.fps[i];
             st.table.set_slot(i, std::move(cached), ResultTable::kCached);
+            cached_cells.add(1);
+            span.arg("cached", true);
             continue;
           }
           // Fingerprint collision with a foreign key, or a record the
           // codec rejects: both read as a miss.
         }
+        span.arg("cached", false);
       }
       if (static_cast<int>(i % static_cast<std::size_t>(
                                    store.shard_count)) == store.shard_index) {
@@ -796,24 +820,52 @@ std::vector<ResultTable> SweepEngine::run(
   // must not burn hours draining the rest of the grid first.
   std::atomic<bool> failed{false};
   const auto run_one = [&](int slot, int worker) {
+    static obs::Counter& computed_cells = obs::counter("sweep.cells.computed");
+    static obs::Counter& failed_cells = obs::counter("sweep.cells.failed");
+    static obs::Counter& put_ns = obs::counter("sweep.store.put.ns");
+    static obs::Counter& put_count = obs::counter("sweep.store.put.count");
     const QueueEntry& entry = queue[static_cast<std::size_t>(slot)];
     GridState& st = gs[static_cast<std::size_t>(entry.grid)];
     const std::size_t idx = static_cast<std::size_t>(entry.index);
     const Scenario& scenario = st.grid->scenarios[idx];
+    // One span per computed cell, on the claiming worker's track; the
+    // args are exactly what an operator needs to find the cell again
+    // (bench, key, fingerprint prefix) plus the schedule facts (worker,
+    // cached=false — cached cells replay during triage, not here).
+    obs::TraceSpan cell_span("sweep", "cell");
+    if (obs::trace_enabled()) {
+      cell_span.arg("bench", st.grid->store.bench.empty()
+                                 ? (st.label.empty() ? "sweep" : st.label)
+                                 : st.grid->store.bench);
+      cell_span.arg("key", scenario.key);
+      if (!st.fps[idx].empty()) {
+        cell_span.arg("fingerprint", st.fps[idx].substr(0, 16));
+      }
+      cell_span.arg("worker", worker);
+      cell_span.arg("cached", false);
+    }
     common::Timer t;
     const char* status = "";
     try {
-      ScenarioResult r = st.grid->fn(scenario, ctx);
+      ScenarioResult r;
+      {
+        obs::TraceSpan eval_span("sweep", "eval");
+        r = st.grid->fn(scenario, ctx);
+      }
       r.scenario = scenario;
       r.fingerprint = st.fps[idx];
       r.seconds = t.seconds();
       r.provenance = make_provenance();
       if (st.rs) {
+        obs::TraceSpan put_span("store", "put");
+        obs::ScopedTimer timed(put_ns, put_count);
         st.rs->put(st.fps[idx], encode_scenario_result(r));
       }
       st.table.put(idx, std::move(r));
+      computed_cells.add(1);
     } catch (const std::exception& e) {
       failed.store(true);
+      failed_cells.add(1);
       status = " FAILED";
       std::lock_guard<std::mutex> lock(err_mu);
       errors.push_back((st.label.empty() ? "" : st.label + ": ") +
@@ -847,6 +899,9 @@ std::vector<ResultTable> SweepEngine::run(
     compute::ThreadPool pool(parallel);
     pool.parallel_for(0, parallel, 1, [&](int wb, int we) {
       for (int w = wb; w < we; ++w) {
+        if (obs::trace_enabled()) {
+          obs::set_trace_thread_name("worker " + std::to_string(w));
+        }
         while (!failed.load()) {
           const int i = next.fetch_add(1);
           if (i >= np) break;

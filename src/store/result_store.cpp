@@ -8,6 +8,7 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "store/fingerprint.h"
 #include "store/manifest.h"
 #include "store/record_frame.h"
@@ -104,17 +105,43 @@ void LocalDirStore::put(const std::string& fingerprint,
                              fingerprint + ": " + ec.message());
   }
   durable_publish(stage(payload), final_path);
+  static obs::Counter& puts = obs::counter("store.local.put");
+  static obs::Counter& put_bytes = obs::counter("store.local.put_bytes");
+  puts.add(1);
+  put_bytes.add(payload.size());
 }
 
 std::optional<std::string> LocalDirStore::get(
     const std::string& fingerprint) const {
+  // Telemetry (observation only — never changes what get returns):
+  // hit/miss for the read chain, degraded for a record file that EXISTS
+  // but fails frame validation — the population that silently turns a
+  // warm run into a recompute, which is exactly what fleet operators
+  // need surfaced.
+  static obs::Counter& hits = obs::counter("store.local.hit");
+  static obs::Counter& misses = obs::counter("store.local.miss");
+  static obs::Counter& degraded = obs::counter("store.local.degraded");
+  static obs::Counter& get_bytes = obs::counter("store.local.get_bytes");
   const std::string path = object_path(fingerprint);
   std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    misses.add(1);
+    return std::nullopt;
+  }
   std::string bytes((std::istreambuf_iterator<char>(in)),
                     std::istreambuf_iterator<char>());
-  if (!in && !in.eof()) return std::nullopt;
-  return unframe_record(bytes);
+  if (!in && !in.eof()) {
+    degraded.add(1);
+    return std::nullopt;
+  }
+  std::optional<std::string> payload = unframe_record(bytes);
+  if (!payload) {
+    degraded.add(1);
+    return std::nullopt;
+  }
+  hits.add(1);
+  get_bytes.add(payload->size());
+  return payload;
 }
 
 std::vector<std::string> LocalDirStore::fingerprints() const {

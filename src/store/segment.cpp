@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "obs/metrics.h"
 #include "store/fingerprint.h"
 #include "store/hash.h"
 #include "store/record_frame.h"
@@ -249,18 +250,40 @@ bool SegmentStore::contains(const std::string& fingerprint) const {
 
 std::optional<std::string> SegmentStore::get(
     const std::string& fingerprint) const {
+  static obs::Counter& hits = obs::counter("store.segment.hit");
+  static obs::Counter& misses = obs::counter("store.segment.miss");
+  static obs::Counter& degraded = obs::counter("store.segment.degraded");
+  static obs::Counter& get_bytes = obs::counter("store.segment.get_bytes");
   const auto it = index_.find(fingerprint);
-  if (it == index_.end()) return std::nullopt;
+  if (it == index_.end()) {
+    misses.add(1);
+    return std::nullopt;
+  }
   const Location& loc = it->second;
   std::ifstream in(loc.path, std::ios::binary);
-  if (!in) return std::nullopt;
+  if (!in) {
+    degraded.add(1);
+    return std::nullopt;
+  }
   in.seekg(static_cast<std::streamoff>(loc.offset));
   std::string framed(loc.length, '\0');
   in.read(framed.data(), static_cast<std::streamsize>(framed.size()));
-  if (!in) return std::nullopt;
+  if (!in) {
+    degraded.add(1);
+    return std::nullopt;
+  }
   // Per-record frame validation, exactly as for loose files: a bit flip
-  // inside one record degrades only that record to recompute.
-  return unframe_record(framed);
+  // inside one record degrades only that record to recompute (and is
+  // counted — an indexed entry that fails validation is degraded, not a
+  // plain miss).
+  std::optional<std::string> payload = unframe_record(framed);
+  if (!payload) {
+    degraded.add(1);
+    return std::nullopt;
+  }
+  hits.add(1);
+  get_bytes.add(payload->size());
+  return payload;
 }
 
 void SegmentStore::put(const std::string& fingerprint, const std::string&) {

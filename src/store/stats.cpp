@@ -5,6 +5,7 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "store/manifest.h"
 #include "store/segment.h"
 
@@ -187,6 +188,32 @@ std::string StoreStats::to_text() const {
     out += line;
   }
   return out;
+}
+
+std::string StoreStats::to_json(int indent) const {
+  std::vector<obs::MetricSample> samples;
+  const auto add = [&samples](std::string name, std::uint64_t value) {
+    samples.push_back(obs::MetricSample{std::move(name), value});
+  };
+  add("store.total_records", total_records);
+  add("store.total_bytes", total_bytes);
+  add("store.loose_records", loose_records);
+  add("store.loose_bytes", loose_bytes);
+  add("store.segment_files", segment_files);
+  add("store.segment_records", segment_records);
+  add("store.segment_file_bytes", segment_file_bytes);
+  add("store.segment_dead_bytes", segment_dead_bytes);
+  add("store.deduplicated_refs", deduplicated_refs);
+  add("store.stale_payloads", stale_payloads);
+  add("store.unreadable_records", unreadable_records);
+  for (const BenchUsage& b : benches) {
+    add("store.bench." + b.bench + ".records", b.records);
+    add("store.bench." + b.bench + ".bytes", b.bytes);
+  }
+  for (const auto& [epoch, count] : epoch_histogram) {
+    add("store.epoch." + std::to_string(epoch) + ".records", count);
+  }
+  return obs::encode_metrics_json(samples, indent);
 }
 
 }  // namespace falvolt::store

@@ -69,6 +69,12 @@ struct StoreStats {
 
   /// Human-readable multi-line report (the `--list` output block).
   std::string to_text() const;
+
+  /// Machine-readable JSON object (sweep_merge --stats-json), flattened
+  /// to "store.*" samples and rendered by the same encoder as the fleet
+  /// summary's "metrics" block (obs::encode_metrics_json), so fleet and
+  /// merge telemetry share one schema. `indent` as for the encoder.
+  std::string to_json(int indent = 0) const;
 };
 
 /// Scan every record (loose and segmented) and manifest of `rs`.

@@ -16,6 +16,13 @@ LayeredStore::LayeredStore(std::vector<std::unique_ptr<StoreApi>> layers)
   for (const auto& layer : layers_) {
     if (!layer) throw std::invalid_argument("LayeredStore: null layer");
   }
+  layer_hit_.reserve(layers_.size());
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layer_hit_.push_back(
+        &obs::counter("store.chain.layer" + std::to_string(i) + ".hit"));
+  }
+  chain_miss_ = &obs::counter("store.chain.miss");
+  substituter_hit_ = &obs::counter("store.substituter.hit");
 }
 
 std::string LayeredStore::describe() const {
@@ -39,11 +46,16 @@ bool LayeredStore::contains(const std::string& fingerprint) const {
 
 std::optional<std::string> LayeredStore::get(
     const std::string& fingerprint) const {
-  for (const auto& layer : layers_) {
-    if (std::optional<std::string> payload = layer->get(fingerprint)) {
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (std::optional<std::string> payload = layers_[i]->get(fingerprint)) {
+      layer_hit_[i]->add(1);
+      // open_store layers substituter pairs behind the local pair; a
+      // hit there is a cell this host never paid for.
+      if (i >= 2) substituter_hit_->add(1);
       return payload;
     }
   }
+  chain_miss_->add(1);
   return std::nullopt;
 }
 

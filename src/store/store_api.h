@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "store/manifest.h"
 
 namespace falvolt::store {
@@ -101,6 +102,15 @@ class LayeredStore : public StoreApi {
 
  private:
   std::vector<std::unique_ptr<StoreApi>> layers_;
+  // Chain telemetry (obs/metrics.h), resolved once at construction so
+  // the read path pays only relaxed adds: which layer POSITION served
+  // each hit ("store.chain.layer<i>.hit" — open_store puts the local
+  // loose objects at 0, local segments at 1, substituter pairs behind),
+  // whole-chain misses, and the substituter-served subset. Registry
+  // entries are immortal, so these pointers never dangle.
+  std::vector<obs::Counter*> layer_hit_;
+  obs::Counter* chain_miss_ = nullptr;
+  obs::Counter* substituter_hit_ = nullptr;
 };
 
 struct MergeStats {

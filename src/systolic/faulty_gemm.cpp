@@ -9,6 +9,7 @@
 #include "common/env.h"
 #include "compute/simd.h"
 #include "compute/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace falvolt::systolic {
 
@@ -222,6 +223,10 @@ void SystolicGemmEngine::run_rows(const LayerPlan& plan, const float* a,
                                   float* c, int i0, int i1, int n) {
   const fx::FixedFormat& fmt = cfg_.format;
   std::uint64_t local_steps = 0;
+  // Path-taken telemetry, accumulated locally like local_steps so the
+  // hot loops pay plain increments and each worker publishes once.
+  std::uint64_t local_vector = 0, local_scalar = 0, local_fallback = 0,
+                local_reference = 0;
   std::vector<int> nz;  // nonzero positions of the current row
   nz.reserve(static_cast<std::size_t>(plan.k));
 
@@ -246,6 +251,7 @@ void SystolicGemmEngine::run_rows(const LayerPlan& plan, const float* a,
       // reference loop handles them (and is the byte-for-byte oracle the
       // FALVOLT_FORCE_SCALAR knob pins every row to).
       reference_row(plan, arow, crow, n, local_steps);
+      ++local_reference;
       continue;
     }
 
@@ -268,10 +274,12 @@ void SystolicGemmEngine::run_rows(const LayerPlan& plan, const float* a,
         }
         local_steps +=
             static_cast<std::uint64_t>(compute::kI32Lanes) * count;
+        local_vector += static_cast<std::uint64_t>(compute::kI32Lanes);
         continue;
       }
       for (int lane = 0; lane < compute::kI32Lanes; ++lane) {
         exact_binary_column(plan, nz, j + lane, crow, local_steps);
+        ++local_fallback;
       }
     }
     for (; j < n; ++j) {
@@ -282,12 +290,33 @@ void SystolicGemmEngine::run_rows(const LayerPlan& plan, const float* a,
         for (int t = 0; t < count; ++t) acc += col[nz[static_cast<std::size_t>(t)]];
         crow[j] = static_cast<float>(fmt.dequantize(acc));
         local_steps += static_cast<std::uint64_t>(count);
+        ++local_scalar;
       } else {
         exact_binary_column(plan, nz, j, crow, local_steps);
+        ++local_fallback;
       }
     }
   }
   steps_.fetch_add(local_steps, std::memory_order_relaxed);
+  vector_cols_.fetch_add(local_vector, std::memory_order_relaxed);
+  scalar_cols_.fetch_add(local_scalar, std::memory_order_relaxed);
+  fallback_cols_.fetch_add(local_fallback, std::memory_order_relaxed);
+  reference_rows_.fetch_add(local_reference, std::memory_order_relaxed);
+  // Fleet-wide mirrors of the same counts (obs/metrics.h), so the path
+  // mix shows up in --metrics-json without threading engine pointers up
+  // through the sweep layers.
+  static obs::Counter& g_vector = obs::counter("kernel.faulty_gemm.vector_cols");
+  static obs::Counter& g_scalar = obs::counter("kernel.faulty_gemm.scalar_cols");
+  static obs::Counter& g_fallback =
+      obs::counter("kernel.faulty_gemm.fallback_cols");
+  static obs::Counter& g_reference =
+      obs::counter("kernel.faulty_gemm.reference_rows");
+  static obs::Counter& g_steps = obs::counter("kernel.faulty_gemm.steps");
+  if (local_vector) g_vector.add(local_vector);
+  if (local_scalar) g_scalar.add(local_scalar);
+  if (local_fallback) g_fallback.add(local_fallback);
+  if (local_reference) g_reference.add(local_reference);
+  if (local_steps) g_steps.add(local_steps);
 }
 
 void SystolicGemmEngine::run(const float* a, const float* w, float* c, int m,
