@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -27,6 +28,7 @@
 #include "core/fap.h"
 #include "core/sweep.h"
 #include "fault/fault_generator.h"
+#include "io/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/result_store.h"  // store_exists + the StoreApi chain
@@ -104,6 +106,15 @@ inline void add_common_flags(common::CliFlags& cli) {
   cli.add_string("metrics-json", "",
                  "write the process metrics registry (counters/timers) as "
                  "JSON to this path on exit ('' = disabled)");
+  cli.add_string("faults", "",
+                 "I/O fault-injection spec, e.g. "
+                 "'mode=independent,p=0.01,seed=7' or "
+                 "'mode=runlength,runlen=12,kill=1' ('' = $FALVOLT_FAULTS, "
+                 "else disabled; none = disabled). Tears/bit-flips store "
+                 "writes and arms PullThePlug process-kill points to "
+                 "exercise the store's crash-safety guarantees. Execution "
+                 "only: never fingerprinted, and surviving output is "
+                 "byte-identical to an uninjected run");
 }
 
 /// Flags that never change a cell's value — execution knobs and output
@@ -114,10 +125,15 @@ inline bool flag_affects_results(const std::string& name) {
   static const std::set<std::string> kExecutionOnly = {
       "threads",  "sweep-parallel", "sweep-json",     "datasets",
       "repeats",  "store",          "resume",         "shard",
-      "list-scenarios", "substituters", "trace",      "metrics-json"};
+      "list-scenarios", "substituters", "trace",      "metrics-json",
+      "faults"};
   // --substituters only changes WHERE a fingerprint-addressed record is
   // read from, never what any cell computes, so it must not split the
   // cache (see SweepStoreOptions::substituters).
+  // --faults corrupts I/O, never values: damaged records degrade to
+  // recompute and the recompute produces the same bytes, so an injected
+  // run must address (and eventually publish) the SAME cells as a clean
+  // run — fingerprinting the spec would defeat the resume harness.
   // --datasets subsets the grid and --repeats sizes it; neither changes
   // what any one (dataset, ..., rep) cell computes, so shards/subsets
   // of a grid share cache entries with the full run.
@@ -140,6 +156,51 @@ inline std::vector<std::pair<std::string, std::string>> fingerprint_config(
   return out;
 }
 
+/// Resolved --faults spec; empty string disables injection.
+inline std::string resolve_fault_spec(const std::string& flag_value) {
+  if (flag_value == "none") return "";
+  if (!flag_value.empty()) return flag_value;
+  const std::string env = common::env_or("FALVOLT_FAULTS", "");
+  return env == "none" ? "" : env;
+}
+
+/// RAII fault-injection session: parses the resolved --faults /
+/// $FALVOLT_FAULTS spec and arms io::FaultInjector for the process
+/// lifetime; on destruction disarms and prints the FaultTestReport-style
+/// summary line. A malformed spec exits 1 immediately — injection
+/// misconfiguration must never be discovered hours into a sweep (and a
+/// typo'd spec silently running clean would be worse). No-op when the
+/// spec is empty.
+class FaultScope {
+ public:
+  explicit FaultScope(const std::string& flag_value) {
+    const std::string spec = resolve_fault_spec(flag_value);
+    if (spec.empty()) return;
+    io::FaultSpec parsed;
+    try {
+      parsed = io::parse_fault_spec(spec);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      std::exit(1);
+    }
+    if (!parsed.enabled()) return;
+    io::arm_faults(parsed);
+    armed_ = true;
+    std::fprintf(stderr, "[faults] armed: %s\n",
+                 io::to_string(parsed).c_str());
+  }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+  ~FaultScope() {
+    if (!armed_) return;
+    io::disarm_faults();
+    std::fprintf(stderr, "%s\n", io::fault_report_line().c_str());
+  }
+
+ private:
+  bool armed_ = false;
+};
+
 /// RAII telemetry session for a bench main. Construct right after
 /// CliFlags::parse so every baseline/cell/store span lands inside the
 /// session: starts Chrome tracing when --trace (or $FALVOLT_TRACE)
@@ -147,10 +208,16 @@ inline std::vector<std::pair<std::string, std::string>> fingerprint_config(
 /// process metrics registry to --metrics-json when set. Both knobs are
 /// execution-only (flag_affects_results) — they never reach a cell
 /// fingerprint, and with neither set this is a no-op.
+///
+/// Also owns the process's FaultScope (--faults / $FALVOLT_FAULTS):
+/// every bench driver that constructs an ObsScope gets fault injection
+/// armed before any store I/O and the injection report on exit, with
+/// the io.faults.* counters landing in the same --metrics-json dump.
 class ObsScope {
  public:
   explicit ObsScope(const common::CliFlags& cli)
-      : metrics_path_(cli.get_string("metrics-json")) {
+      : faults_(cli.get_string("faults")),
+        metrics_path_(cli.get_string("metrics-json")) {
     const std::string path =
         obs::resolve_trace_path(cli.get_string("trace"));
     if (!path.empty()) {
@@ -179,6 +246,8 @@ class ObsScope {
   }
 
  private:
+  FaultScope faults_;  // first member: armed before, disarmed after,
+                       // everything else in the session
   std::string metrics_path_;
   std::string trace_path_;
 };

@@ -54,7 +54,7 @@ std::map<std::string, std::vector<std::string>> parse_overrides(
   static const std::set<std::string> kFleetManaged = {
       "store", "shard",          "fast",       "seed",
       "threads", "sweep-parallel", "sweep-json", "list-scenarios",
-      "substituters", "trace", "metrics-json"};
+      "substituters", "trace", "metrics-json", "faults"};
   std::map<std::string, std::vector<std::string>> out;
   for (const std::string& entry : fb::split_list(spec)) {
     const std::size_t dot = entry.find('.');
@@ -210,6 +210,7 @@ int main(int argc, char** argv) try {
       "datasets",  // forwarded per grid, narrowed to the grid's axis
       "sweep-json", "list-scenarios",  // fleet-handled, not per-grid
       "trace", "metrics-json",  // one telemetry session, owned by the fleet
+      "faults",  // one process-wide injection session, armed by the fleet
       "workers", "grids", "set", "json", "schedule"};  // fleet-only flags
   std::vector<std::string> forwards;
   for (const auto& [flag, value] : cli.items()) {

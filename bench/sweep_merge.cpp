@@ -87,7 +87,12 @@ int main(int argc, char** argv) {
                "(published durably before any loose copy is deleted; "
                "corrupt loose records are left for --prune). Run only "
                "while no sweep is writing to the store");
+  cli.add_string("faults", "",
+                 "I/O fault-injection spec (see the benches' --faults; '' "
+                 "= $FALVOLT_FAULTS, none = disabled) — faults merge/"
+                 "compact/prune store I/O the same way");
   if (!cli.parse(argc, argv)) return 0;
+  bench::FaultScope fault_scope(cli.get_string("faults"));
 
   if (cli.get_string("into").empty()) {
     std::fprintf(stderr, "sweep_merge: --into is required\n%s",

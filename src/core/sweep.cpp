@@ -18,6 +18,7 @@
 #include "common/timer.h"
 #include "common/version.h"
 #include "compute/thread_pool.h"
+#include "io/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "store/fingerprint.h"
@@ -859,7 +860,12 @@ std::vector<ResultTable> SweepEngine::run(
       if (st.rs) {
         obs::TraceSpan put_span("store", "put");
         obs::ScopedTimer timed(put_ns, put_count);
+        // Plug-pull points bracketing the cell's publish: a kill before
+        // loses exactly this (unpublished) cell to recompute on resume;
+        // a kill after must lose nothing — the paid work is durable.
+        FALVOLT_PTP(io::FaultSensitivity::kHigh);
         st.rs->put(st.fps[idx], encode_scenario_result(r));
+        FALVOLT_PTP();
       }
       st.table.put(idx, std::move(r));
       computed_cells.add(1);

@@ -1,15 +1,13 @@
 #include "store/compact.h"
 
-#include <filesystem>
 #include <set>
 #include <utility>
 #include <vector>
 
+#include "io/env.h"
 #include "store/record_frame.h"
 #include "store/result_store.h"
 #include "store/segment.h"
-
-namespace fs = std::filesystem;
 
 namespace falvolt::store {
 
@@ -49,13 +47,12 @@ CompactStats compact_store(const LocalDirStore& store) {
     }
   }
 
-  std::error_code ec;
   for (const auto& [fp, payload] : to_pack) {
-    fs::remove(store.object_path(fp), ec);
+    io::env().unlink_file(store.object_path(fp));
     ++stats.packed;
   }
   for (const std::string& fp : duplicates) {
-    fs::remove(store.object_path(fp), ec);
+    io::env().unlink_file(store.object_path(fp));
     ++stats.already_segmented;
   }
   return stats;

@@ -3,6 +3,7 @@
 #include <filesystem>
 #include <set>
 
+#include "io/env.h"
 #include "store/manifest.h"
 #include "store/segment.h"
 
@@ -41,7 +42,7 @@ GcStats prune_store(const LocalDirStore& store, const PayloadCheck& check) {
   for (const std::string& path : list_manifests(store)) {
     const std::optional<Manifest> m = read_manifest(path);
     if (!m) {
-      if (fs::remove(path, ec)) ++stats.manifests_invalid;
+      if (io::env().unlink_file(path)) ++stats.manifests_invalid;
       continue;
     }
     ++stats.manifests;
@@ -58,7 +59,7 @@ GcStats prune_store(const LocalDirStore& store, const PayloadCheck& check) {
     // Counters only move when the remove actually happened — a
     // read-only mount must not report reclamation it never did.
     if (!reachable.count(fp)) {
-      if (fs::remove(path, ec)) ++stats.unreachable;
+      if (io::env().unlink_file(path)) ++stats.unreachable;
       continue;
     }
     const std::optional<std::string> payload = store.get(fp);
@@ -66,7 +67,7 @@ GcStats prune_store(const LocalDirStore& store, const PayloadCheck& check) {
       // Corrupt, foreign-epoch, or codec-stale: every future read is a
       // miss anyway, so reclaim the bytes and let the owning sweep
       // recompute the cell.
-      if (fs::remove(path, ec)) ++stats.invalid;
+      if (io::env().unlink_file(path)) ++stats.invalid;
       continue;
     }
     ++stats.live;
@@ -88,7 +89,7 @@ GcStats prune_store(const LocalDirStore& store, const PayloadCheck& check) {
       }
     }
     if (!seg.readable || seg_live == 0) {
-      if (fs::remove(seg.path, ec)) ++stats.segments_deleted;
+      if (io::env().unlink_file(seg.path)) ++stats.segments_deleted;
       continue;
     }
     ++stats.segments_kept;
@@ -112,7 +113,7 @@ GcStats prune_store(const LocalDirStore& store, const PayloadCheck& check) {
   const fs::path tmp = fs::path(store.root()) / "tmp";
   for (fs::directory_iterator it(tmp, ec), end; !ec && it != end;
        it.increment(ec)) {
-    if (fs::remove(it->path(), ec)) ++stats.tmp_removed;
+    if (io::env().unlink_file(it->path().string())) ++stats.tmp_removed;
   }
 
   return stats;

@@ -1,13 +1,10 @@
 #include "store/manifest.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "io/env.h"
 #include "store/fingerprint.h"
 #include "store/hash.h"
 #include "store/record_frame.h"
@@ -91,34 +88,14 @@ std::string manifest_path(const LocalDirStore& store, const Manifest& m) {
 }
 
 void write_manifest(const LocalDirStore& store, const Manifest& m) {
-  static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp =
-      (fs::path(store.root()) / "tmp" /
-       ("manifest." + std::to_string(::getpid()) + "." +
-        std::to_string(seq.fetch_add(1)) + ".tmp"))
-          .string();
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      throw std::runtime_error("write_manifest: cannot stage " + tmp);
-    }
-    out << m.to_text();
-    out.flush();
-    if (!out) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
-      throw std::runtime_error("write_manifest: short write to " + tmp);
-    }
-  }
-  durable_publish(tmp, manifest_path(store, m));
+  io::atomic_publish((fs::path(store.root()) / "tmp").string(), "manifest",
+                     manifest_path(store, m), m.to_text());
 }
 
 std::optional<Manifest> read_manifest(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  return parse_manifest(buf.str());
+  const std::optional<std::string> text = io::env().read_file(path);
+  if (!text) return std::nullopt;
+  return parse_manifest(*text);
 }
 
 std::vector<std::string> list_manifests(const LocalDirStore& store,

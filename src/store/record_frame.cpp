@@ -1,16 +1,9 @@
 #include "store/record_frame.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstring>
-#include <filesystem>
-#include <stdexcept>
 
 #include "store/fingerprint.h"
 #include "store/hash.h"
-
-namespace fs = std::filesystem;
 
 namespace falvolt::store {
 
@@ -65,43 +58,6 @@ std::optional<std::string> unframe_record(const std::string& bytes) {
     return std::nullopt;
   }
   return payload;
-}
-
-namespace {
-
-// fsync by path; read-only open is enough for fsync on every platform
-// we build for (Linux/macOS). Returns false on any failure.
-bool fsync_path(const char* path) {
-  const int fd = ::open(path, O_RDONLY);
-  if (fd < 0) return false;
-  const bool ok = ::fsync(fd) == 0;
-  ::close(fd);
-  return ok;
-}
-
-}  // namespace
-
-void durable_publish(const std::string& tmp_path,
-                     const std::string& final_path) {
-  std::error_code ec;
-  // Data first: the rename must never publish a name whose bytes are
-  // still only in the page cache.
-  if (!fsync_path(tmp_path.c_str())) {
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("durable_publish: cannot fsync " + tmp_path);
-  }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
-    throw std::runtime_error("durable_publish: cannot publish " + final_path);
-  }
-  // Then the directory entry itself — without this a crash can forget
-  // the rename and lose a record the writer already reported durable.
-  const std::string dir = fs::path(final_path).parent_path().string();
-  if (!fsync_path(dir.empty() ? "." : dir.c_str())) {
-    throw std::runtime_error("durable_publish: cannot fsync directory of " +
-                             final_path);
-  }
 }
 
 }  // namespace falvolt::store

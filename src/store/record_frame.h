@@ -38,13 +38,8 @@ std::string frame_record(const std::string& payload);
 /// checksum mismatch. Never throws on damage.
 std::optional<std::string> unframe_record(const std::string& bytes);
 
-/// Durably publish a staged file: fsync `tmp_path`, rename it onto
-/// `final_path` (atomic), then fsync the containing directory so a host
-/// crash after the rename cannot lose the directory entry — renamed
-/// records/manifests/segments must survive power loss once a writer has
-/// returned (the multi-host trust story assumes it). Throws on failure,
-/// removing the staged file.
-void durable_publish(const std::string& tmp_path,
-                     const std::string& final_path);
+// Durable publishing lives in io::atomic_publish (io/env.h): records,
+// manifests, and segments all stage + rename + dir-fsync through the
+// one injectable entry point, which is what the crash harness faults.
 
 }  // namespace falvolt::store

@@ -1,13 +1,10 @@
 #include "store/result_store.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
 
+#include "io/env.h"
 #include "obs/metrics.h"
 #include "store/fingerprint.h"
 #include "store/manifest.h"
@@ -41,13 +38,11 @@ LocalDirStore::LocalDirStore(std::string root, bool create)
     throw std::invalid_argument("LocalDirStore: empty root directory");
   }
   if (!create) return;
-  std::error_code ec;
-  fs::create_directories(fs::path(root_) / "objects", ec);
-  fs::create_directories(fs::path(root_) / "manifests", ec);
-  fs::create_directories(fs::path(root_) / "tmp", ec);
-  if (ec) {
-    throw std::runtime_error("LocalDirStore: cannot create " + root_ + ": " +
-                             ec.message());
+  const bool ok = io::env().mkdirs((fs::path(root_) / "objects").string()) &&
+                  io::env().mkdirs((fs::path(root_) / "manifests").string()) &&
+                  io::env().mkdirs((fs::path(root_) / "tmp").string());
+  if (!ok) {
+    throw std::runtime_error("LocalDirStore: cannot create " + root_);
   }
 }
 
@@ -65,32 +60,6 @@ bool LocalDirStore::contains(const std::string& fingerprint) const {
   return fs::exists(object_path(fingerprint), ec);
 }
 
-std::string LocalDirStore::stage(const std::string& payload) const {
-  // Unique staging name: pid + a process-wide counter. Concurrent
-  // writers (threads of one sweep, or several shard processes sharing a
-  // store) each stage privately and race only on the final rename,
-  // which is atomic.
-  static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp =
-      (fs::path(root_) / "tmp" /
-       ("rec." + std::to_string(::getpid()) + "." +
-        std::to_string(seq.fetch_add(1)) + ".tmp"))
-          .string();
-
-  const std::string framed = frame_record(payload);
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("LocalDirStore: cannot stage " + tmp);
-  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-  out.flush();
-  if (!out) {
-    std::error_code ec;
-    fs::remove(tmp, ec);
-    throw std::runtime_error("LocalDirStore: short write staging " + tmp);
-  }
-  out.close();
-  return tmp;
-}
-
 void LocalDirStore::put(const std::string& fingerprint,
                         const std::string& payload) {
   const std::string final_path = object_path(fingerprint);
@@ -98,13 +67,12 @@ void LocalDirStore::put(const std::string& fingerprint,
     throw std::logic_error("LocalDirStore: put into read-only store " +
                            describe());
   }
-  std::error_code ec;
-  fs::create_directories(fs::path(final_path).parent_path(), ec);
-  if (ec) {
+  if (!io::env().mkdirs(fs::path(final_path).parent_path().string())) {
     throw std::runtime_error("LocalDirStore: cannot create shard dir for " +
-                             fingerprint + ": " + ec.message());
+                             fingerprint);
   }
-  durable_publish(stage(payload), final_path);
+  io::atomic_publish((fs::path(root_) / "tmp").string(), "rec", final_path,
+                     frame_record(payload));
   static obs::Counter& puts = obs::counter("store.local.put");
   static obs::Counter& put_bytes = obs::counter("store.local.put_bytes");
   puts.add(1);
@@ -123,18 +91,18 @@ std::optional<std::string> LocalDirStore::get(
   static obs::Counter& degraded = obs::counter("store.local.degraded");
   static obs::Counter& get_bytes = obs::counter("store.local.get_bytes");
   const std::string path = object_path(fingerprint);
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    misses.add(1);
+  std::optional<std::string> bytes = io::env().read_file(path);
+  if (!bytes) {
+    // Distinguish "no record" from "record exists but cannot be read":
+    // the first is a cold miss, the second counts as degraded damage.
+    if (io::env().file_size(path)) {
+      degraded.add(1);
+    } else {
+      misses.add(1);
+    }
     return std::nullopt;
   }
-  std::string bytes((std::istreambuf_iterator<char>(in)),
-                    std::istreambuf_iterator<char>());
-  if (!in && !in.eof()) {
-    degraded.add(1);
-    return std::nullopt;
-  }
-  std::optional<std::string> payload = unframe_record(bytes);
+  std::optional<std::string> payload = unframe_record(*bytes);
   if (!payload) {
     degraded.add(1);
     return std::nullopt;

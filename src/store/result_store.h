@@ -62,8 +62,6 @@ class LocalDirStore : public StoreApi {
   std::vector<Manifest> manifests(const std::string& bench) const override;
 
  private:
-  std::string stage(const std::string& payload) const;
-
   std::string root_;
   bool writable_;
 };

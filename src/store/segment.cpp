@@ -1,15 +1,12 @@
 #include "store/segment.h"
 
-#include <unistd.h>
-
 #include <algorithm>
-#include <atomic>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <stdexcept>
 #include <tuple>
 
+#include "io/env.h"
 #include "obs/metrics.h"
 #include "store/fingerprint.h"
 #include "store/hash.h"
@@ -60,15 +57,17 @@ struct ParsedIndex {
 // on ANY damage (short file, bad magic, foreign epoch, index checksum
 // mismatch, out-of-range extents). Never throws.
 std::optional<ParsedIndex> parse_segment_index(const std::string& path) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) return std::nullopt;
-  const std::uint64_t file_size = static_cast<std::uint64_t>(in.tellg());
+  const std::optional<std::uint64_t> size = io::env().file_size(path);
+  if (!size) return std::nullopt;
+  const std::uint64_t file_size = *size;
   if (file_size < kSegmentFooterBytes) return std::nullopt;
 
-  std::uint8_t footer[kSegmentFooterBytes];
-  in.seekg(static_cast<std::streamoff>(file_size - kSegmentFooterBytes));
-  in.read(reinterpret_cast<char*>(footer), sizeof(footer));
-  if (!in || decode_le(footer, 4) != kSegmentMagic ||
+  const std::optional<std::string> footer_bytes = io::env().read_range(
+      path, file_size - kSegmentFooterBytes, kSegmentFooterBytes);
+  if (!footer_bytes) return std::nullopt;
+  const std::uint8_t* footer =
+      reinterpret_cast<const std::uint8_t*>(footer_bytes->data());
+  if (decode_le(footer, 4) != kSegmentMagic ||
       decode_le(footer + 4, 4) != kStoreFormatEpoch) {
     return std::nullopt;
   }
@@ -79,12 +78,11 @@ std::optional<ParsedIndex> parse_segment_index(const std::string& path) {
     return std::nullopt;
   }
 
-  std::string index(index_bytes, '\0');
-  in.seekg(static_cast<std::streamoff>(index_offset));
-  in.read(index.data(), static_cast<std::streamsize>(index.size()));
-  if (!in) return std::nullopt;
+  const std::optional<std::string> index =
+      io::env().read_range(path, index_offset, index_bytes);
+  if (!index) return std::nullopt;
   Sha256 h;
-  h.update(index);
+  h.update(*index);
   const Sha256::Digest digest = h.digest();
   if (std::memcmp(digest.data(), footer + 24, digest.size()) != 0) {
     return std::nullopt;
@@ -93,7 +91,7 @@ std::optional<ParsedIndex> parse_segment_index(const std::string& path) {
   ParsedIndex parsed;
   parsed.file_bytes = file_size;
   parsed.entries.reserve(entry_count);
-  const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(index.data());
+  const std::uint8_t* p = reinterpret_cast<const std::uint8_t*>(index->data());
   for (std::uint64_t i = 0; i < entry_count; ++i) {
     const std::uint8_t* e = p + i * kSegmentIndexEntryBytes;
     const std::uint64_t offset = decode_le(e + 32, 8);
@@ -164,39 +162,28 @@ std::string write_segment(
   }
   const std::string digest = name_hash.hex();
 
-  std::error_code ec;
-  fs::create_directories(fs::path(root) / "segments", ec);
-  fs::create_directories(fs::path(root) / "tmp", ec);
-  if (ec) {
-    throw std::runtime_error("write_segment: cannot create dirs under " +
-                             root + ": " + ec.message());
+  if (!io::env().mkdirs((fs::path(root) / "segments").string())) {
+    throw std::runtime_error("write_segment: cannot create dirs under " + root);
   }
-
-  static std::atomic<std::uint64_t> seq{0};
-  const std::string tmp =
-      (fs::path(root) / "tmp" /
-       ("seg." + std::to_string(::getpid()) + "." +
-        std::to_string(seq.fetch_add(1)) + ".tmp"))
-          .string();
   const std::string final_path =
       (fs::path(root) / "segments" / (digest.substr(0, 12) + ".seg")).string();
 
-  std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("write_segment: cannot stage " + tmp);
-
+  // Assemble the whole segment (records, index, footer) in memory, then
+  // publish the one blob atomically — readers can never race a
+  // half-written index, and the fault harness covers the entire write
+  // with one torn/flip/kill surface.
+  std::string blob;
   std::string index;
   index.reserve(ordered.size() * kSegmentIndexEntryBytes);
   std::uint64_t offset = 0;
   for (const auto* rec : ordered) {
     std::uint8_t raw_fp[32];
     if (!hex_decode_fp(rec->first, raw_fp)) {
-      std::error_code rm;
-      fs::remove(tmp, rm);
       throw std::invalid_argument("write_segment: malformed fingerprint '" +
                                   rec->first + "'");
     }
     const std::string framed = frame_record(rec->second);
-    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    blob += framed;
 
     std::uint8_t entry[kSegmentIndexEntryBytes];
     std::memcpy(entry, raw_fp, 32);
@@ -206,7 +193,7 @@ std::string write_segment(
     offset += framed.size();
   }
 
-  out.write(index.data(), static_cast<std::streamsize>(index.size()));
+  blob += index;
 
   Sha256 index_hash;
   index_hash.update(index);
@@ -217,15 +204,10 @@ std::string write_segment(
   encode_le(footer + 8, ordered.size(), 8);
   encode_le(footer + 16, offset, 8);
   std::memcpy(footer + 24, index_digest.data(), index_digest.size());
-  out.write(reinterpret_cast<const char*>(footer), sizeof(footer));
-  out.flush();
-  if (!out) {
-    fs::remove(tmp, ec);
-    throw std::runtime_error("write_segment: short write staging " + tmp);
-  }
-  out.close();
+  blob.append(reinterpret_cast<const char*>(footer), sizeof(footer));
 
-  durable_publish(tmp, final_path);
+  io::atomic_publish((fs::path(root) / "tmp").string(), "seg", final_path,
+                     blob);
   return final_path;
 }
 
@@ -260,15 +242,9 @@ std::optional<std::string> SegmentStore::get(
     return std::nullopt;
   }
   const Location& loc = it->second;
-  std::ifstream in(loc.path, std::ios::binary);
-  if (!in) {
-    degraded.add(1);
-    return std::nullopt;
-  }
-  in.seekg(static_cast<std::streamoff>(loc.offset));
-  std::string framed(loc.length, '\0');
-  in.read(framed.data(), static_cast<std::streamsize>(framed.size()));
-  if (!in) {
+  const std::optional<std::string> framed =
+      io::env().read_range(loc.path, loc.offset, loc.length);
+  if (!framed) {
     degraded.add(1);
     return std::nullopt;
   }
@@ -276,7 +252,7 @@ std::optional<std::string> SegmentStore::get(
   // inside one record degrades only that record to recompute (and is
   // counted — an indexed entry that fails validation is degraded, not a
   // plain miss).
-  std::optional<std::string> payload = unframe_record(framed);
+  std::optional<std::string> payload = unframe_record(*framed);
   if (!payload) {
     degraded.add(1);
     return std::nullopt;
