@@ -52,6 +52,96 @@ inline std::vector<std::string> split_list(const std::string& spec,
   return out;
 }
 
+// ----------------------------------------------------- execution flags
+// Execution-only flags — knobs that change HOW a run executes (where
+// telemetry goes, how processes are laid out, what I/O faults are
+// injected), never WHAT any cell computes. Declaring one here is the
+// whole job: registration (add_exec_flags), the fingerprint exemption
+// (flag_affects_results), and the fleet driver's managed/not-forwarded
+// bookkeeping all read this one table. Adding a new execution-only
+// flag anywhere else is a bug.
+
+enum ExecFlagGroup : unsigned {
+  kExecObs = 1u << 0,    ///< telemetry + fault injection (every driver)
+  kExecFleet = 1u << 1,  ///< daemon/worker process layout (sweep_fleet)
+};
+
+struct ExecFlagDef {
+  const char* name;
+  enum Kind { kString, kBool, kInt } kind;
+  const char* str_default;
+  int int_default;
+  unsigned groups;
+  const char* help;
+};
+
+inline const std::vector<ExecFlagDef>& exec_flag_defs() {
+  static const std::vector<ExecFlagDef> defs = {
+      {"trace", ExecFlagDef::kString, "", 0, kExecObs,
+       "Chrome trace-event JSON output path ('' = $FALVOLT_TRACE, "
+       "else disabled; none = disabled). Spans cover baselines, "
+       "cells, and store I/O; load the file in Perfetto or "
+       "chrome://tracing. Observation only — tables and "
+       "fingerprints are byte-identical with tracing on or off"},
+      {"metrics-json", ExecFlagDef::kString, "", 0, kExecObs,
+       "write the process metrics registry (counters/timers) as "
+       "JSON to this path on exit ('' = disabled)"},
+      {"faults", ExecFlagDef::kString, "", 0, kExecObs,
+       "I/O fault-injection spec, e.g. "
+       "'mode=independent,p=0.01,seed=7' or "
+       "'mode=runlength,runlen=12,kill=1' ('' = $FALVOLT_FAULTS, "
+       "else disabled; none = disabled). Tears/bit-flips store "
+       "writes and arms PullThePlug process-kill points to "
+       "exercise the store's crash-safety guarantees. Execution "
+       "only: never fingerprinted, and surviving output is "
+       "byte-identical to an uninjected run"},
+      {"hosts", ExecFlagDef::kInt, nullptr, 0, kExecFleet,
+       "run the fleet as a scheduler daemon over N forked worker "
+       "processes claiming cells over a UNIX socket (0 = in-process; "
+       "results are byte-identical either way)"},
+      {"daemon-socket", ExecFlagDef::kString, "", 0, kExecFleet,
+       "fleet daemon socket path. With --hosts: where the daemon "
+       "listens ('' = /tmp/falvolt-fleet-<pid>.sock). Without "
+       "--hosts: run as a WORKER claiming cells from the daemon at "
+       "this path (workers are normally forked by the daemon, not "
+       "launched by hand)"},
+      {"worker-faults", ExecFlagDef::kString, "", 0, kExecFleet,
+       "per-worker fault-injection spec 'i:spec' applied (via "
+       "$FALVOLT_FAULTS) to forked worker i only, e.g. "
+       "'1:mode=runlength,runlen=30,kill=1' — the crash-harness "
+       "hook for killing one fleet worker while the rest run clean"},
+  };
+  return defs;
+}
+
+/// Register the execution-only flags of the given groups.
+inline void add_exec_flags(common::CliFlags& cli,
+                           unsigned groups = kExecObs) {
+  for (const ExecFlagDef& def : exec_flag_defs()) {
+    if (!(def.groups & groups)) continue;
+    switch (def.kind) {
+      case ExecFlagDef::kString:
+        cli.add_string(def.name, def.str_default, def.help);
+        break;
+      case ExecFlagDef::kBool:
+        cli.add_bool(def.name, def.int_default != 0, def.help);
+        break;
+      case ExecFlagDef::kInt:
+        cli.add_int(def.name, def.int_default, def.help);
+        break;
+    }
+  }
+}
+
+/// True when `name` is declared in the exec-flag table (any group by
+/// default).
+inline bool is_exec_flag(const std::string& name, unsigned groups = ~0u) {
+  for (const ExecFlagDef& def : exec_flag_defs()) {
+    if ((def.groups & groups) && name == def.name) return true;
+  }
+  return false;
+}
+
 /// Standard flags shared by every figure bench.
 inline void add_common_flags(common::CliFlags& cli) {
   cli.add_bool("fast", common::fast_mode(),
@@ -78,15 +168,18 @@ inline void add_common_flags(common::CliFlags& cli) {
                  "machine-readable sweep summary path ('' = "
                  "<bench>_sweep.json, none = disabled)");
   cli.add_string("store", "",
-                 "content-addressed scenario result store directory ('' = "
+                 "content-addressed scenario result store spec: "
+                 "local:<dir>, segment:<dir> (read-only compacted "
+                 "archive), or a bare directory path ('' = "
                  "$FALVOLT_STORE, else disabled; none = disabled). Cells "
                  "already in the store are replayed instead of recomputed");
   cli.add_string("substituters", "",
-                 "comma list of read-only store directories consulted "
-                 "(in order) behind --store: cells computed elsewhere "
-                 "replay from the first substituter that has them, "
-                 "exactly like local hits. Needs --store; substituters "
-                 "are never written to and must already exist");
+                 "comma list of read-only store specs (same grammar as "
+                 "--store) consulted in order behind it: cells computed "
+                 "elsewhere replay from the first substituter that has "
+                 "them, exactly like local hits. Needs --store; "
+                 "substituters are never written to and must already "
+                 "exist");
   cli.add_bool("resume", true,
                "replay cells already present in --store; 'false' "
                "recomputes every owned cell and overwrites its record");
@@ -97,24 +190,7 @@ inline void add_common_flags(common::CliFlags& cli) {
   cli.add_bool("list-scenarios", false,
                "print the scenario grid (index, owning shard, "
                "fingerprint, store status) and exit without computing");
-  cli.add_string("trace", "",
-                 "Chrome trace-event JSON output path ('' = $FALVOLT_TRACE, "
-                 "else disabled; none = disabled). Spans cover baselines, "
-                 "cells, and store I/O; load the file in Perfetto or "
-                 "chrome://tracing. Observation only — tables and "
-                 "fingerprints are byte-identical with tracing on or off");
-  cli.add_string("metrics-json", "",
-                 "write the process metrics registry (counters/timers) as "
-                 "JSON to this path on exit ('' = disabled)");
-  cli.add_string("faults", "",
-                 "I/O fault-injection spec, e.g. "
-                 "'mode=independent,p=0.01,seed=7' or "
-                 "'mode=runlength,runlen=12,kill=1' ('' = $FALVOLT_FAULTS, "
-                 "else disabled; none = disabled). Tears/bit-flips store "
-                 "writes and arms PullThePlug process-kill points to "
-                 "exercise the store's crash-safety guarantees. Execution "
-                 "only: never fingerprinted, and surviving output is "
-                 "byte-identical to an uninjected run");
+  add_exec_flags(cli, kExecObs);
 }
 
 /// Flags that never change a cell's value — execution knobs and output
@@ -125,8 +201,8 @@ inline bool flag_affects_results(const std::string& name) {
   static const std::set<std::string> kExecutionOnly = {
       "threads",  "sweep-parallel", "sweep-json",     "datasets",
       "repeats",  "store",          "resume",         "shard",
-      "list-scenarios", "substituters", "trace",      "metrics-json",
-      "faults"};
+      "list-scenarios", "substituters"};
+  if (is_exec_flag(name)) return false;
   // --substituters only changes WHERE a fingerprint-addressed record is
   // read from, never what any cell computes, so it must not split the
   // cache (see SweepStoreOptions::substituters).
@@ -201,21 +277,22 @@ class FaultScope {
   bool armed_ = false;
 };
 
-/// RAII telemetry session for a bench main. Construct right after
-/// CliFlags::parse so every baseline/cell/store span lands inside the
-/// session: starts Chrome tracing when --trace (or $FALVOLT_TRACE)
-/// names a file, and on destruction stops the trace and dumps the
-/// process metrics registry to --metrics-json when set. Both knobs are
-/// execution-only (flag_affects_results) — they never reach a cell
-/// fingerprint, and with neither set this is a no-op.
+/// RAII session for the exec-flag table's kExecObs group — THE scope
+/// helper a driver constructs right after CliFlags::parse so every
+/// baseline/cell/store span lands inside the session: starts Chrome
+/// tracing when --trace (or $FALVOLT_TRACE) names a file, and on
+/// destruction stops the trace and dumps the process metrics registry
+/// to --metrics-json when set. All knobs are execution-only
+/// (flag_affects_results) — they never reach a cell fingerprint, and
+/// with none set this is a no-op.
 ///
 /// Also owns the process's FaultScope (--faults / $FALVOLT_FAULTS):
-/// every bench driver that constructs an ObsScope gets fault injection
+/// every bench driver that constructs an ExecScope gets fault injection
 /// armed before any store I/O and the injection report on exit, with
 /// the io.faults.* counters landing in the same --metrics-json dump.
-class ObsScope {
+class ExecScope {
  public:
-  explicit ObsScope(const common::CliFlags& cli)
+  explicit ExecScope(const common::CliFlags& cli)
       : faults_(cli.get_string("faults")),
         metrics_path_(cli.get_string("metrics-json")) {
     const std::string path =
@@ -225,9 +302,9 @@ class ObsScope {
       trace_path_ = path;
     }
   }
-  ObsScope(const ObsScope&) = delete;
-  ObsScope& operator=(const ObsScope&) = delete;
-  ~ObsScope() {
+  ExecScope(const ExecScope&) = delete;
+  ExecScope& operator=(const ExecScope&) = delete;
+  ~ExecScope() {
     if (!trace_path_.empty()) {
       const std::size_t events = obs::trace_stop();
       std::fprintf(stderr, "[obs] %zu trace event(s) written to %s\n",
@@ -300,10 +377,18 @@ inline std::size_t list_scenario_rows(
     const std::function<std::string(const core::Scenario&)>& fp_of,
     const falvolt::store::StoreApi* rs, const std::string& label = "",
     std::size_t start_index = 0) {
+  // The same cost-balanced partition (greedy LPT over static cost
+  // estimates) the engine computes — the listing's "shard" column IS
+  // the plan every independently launched shard follows.
+  std::vector<double> costs(scenarios.size());
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    costs[i] = core::scenario_cost_estimate(scenarios[i]);
+  }
+  const std::vector<int> owners =
+      core::shard_partition(costs, st.shard_count);
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
     const std::string fp = fp_of(scenarios[i]);
-    const int owner =
-        static_cast<int>(i % static_cast<std::size_t>(st.shard_count));
+    const int owner = owners[i];
     const char* status = rs          ? (rs->contains(fp) ? "HIT" : "MISS")
                          : st.dir.empty() ? "-"
                                           : "MISS";
@@ -327,7 +412,7 @@ inline bool list_scenarios(const common::CliFlags& cli,
   if (!cli.get_bool("list-scenarios")) return false;
   const core::SweepStoreOptions& st = runner.store();
   std::unique_ptr<falvolt::store::StoreApi> rs;
-  if (!st.dir.empty() && falvolt::store::store_exists(st.dir)) {
+  if (!st.dir.empty() && falvolt::store::store_spec_exists(st.dir)) {
     rs = falvolt::store::open_store(st.dir, st.substituters,
                                     /*create=*/false);
   }

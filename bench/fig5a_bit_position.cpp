@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   fb::add_common_flags(cli);
   def.add_flags(cli);
   if (!cli.parse(argc, argv)) return 0;
-  fb::ObsScope obs(cli);
+  fb::ExecScope obs(cli);
 
   fb::banner("Fig. 5a", def.title);
 

@@ -57,10 +57,13 @@ using namespace falvolt;
 int main(int argc, char** argv) {
   common::CliFlags cli("sweep_merge");
   cli.add_string("into", "",
-                 "destination store directory (created if missing)");
+                 "destination store spec: local:<dir>, segment:<dir> "
+                 "(read-only — table emission and --list only), or a "
+                 "bare directory path (created if missing)");
   cli.add_string("from", "",
-                 "comma list of shard store directories to union into "
-                 "--into ('' = only emit tables from --into)");
+                 "comma list of shard store specs (same grammar as "
+                 "--into) to union into --into ('' = only emit tables "
+                 "from --into)");
   cli.add_string("bench", "",
                  "bench whose grid to emit (selects the manifest; "
                  "required with --csv/--json unless --manifest is given)");
@@ -101,11 +104,34 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::string> from_dirs =
       bench::split_list(cli.get_string("from"));
+  // Parse every spec up front: an unknown scheme or empty path exits 1
+  // with the supported list before anything is opened or created.
+  store::StoreSpec into_spec;
+  try {
+    into_spec = store::parse_store_spec(cli.get_string("into"));
+    for (const std::string& dir : from_dirs) {
+      (void)store::parse_store_spec(dir);
+    }
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "sweep_merge: %s\n", e.what());
+    return 1;
+  }
+  const bool into_writable = into_spec.scheme != "segment";
+  if (!into_writable &&
+      (!from_dirs.empty() || cli.get_bool("prune") ||
+       cli.get_bool("compact"))) {
+    std::fprintf(stderr,
+                 "sweep_merge: --into %s is a read-only segment: store — "
+                 "merge/--prune/--compact need a writable local:<dir> or "
+                 "bare-path destination\n",
+                 cli.get_string("into").c_str());
+    return 1;
+  }
   // Creating --into is right when shard stores are being merged INTO
   // it; with no --from, every operation (prune, compact, list, table
   // emission) reads an existing store — a typo'd path must fail, not
   // materialize an empty store and report a successful no-op.
-  if (from_dirs.empty() && !store::store_exists(cli.get_string("into"))) {
+  if (from_dirs.empty() && !store::store_spec_exists(cli.get_string("into"))) {
     std::fprintf(stderr,
                  "sweep_merge: --into %s: no result store there (and no "
                  "--from to merge into it)\n",
@@ -120,7 +146,7 @@ int main(int argc, char** argv) {
   // an empty destination husk that would satisfy the guard above next
   // time.
   for (const std::string& dir : from_dirs) {
-    if (!store::store_exists(dir)) {
+    if (!store::store_spec_exists(dir)) {
       std::fprintf(stderr, "sweep_merge: --from %s: no result store there\n",
                    dir.c_str());
       return 1;
@@ -134,11 +160,37 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+  // A fleet still publishing into any involved store means a merge or
+  // table emission would capture a half-published shard: a "complete"
+  // looking CSV missing the cells that land a second later. The sweep
+  // engine and the fleet daemon hold pid-stamped in-progress markers
+  // (store::InProgressGuard) for exactly this check; dead markers from
+  // SIGKILLed runs are reaped, only LIVE publishers block.
+  {
+    std::vector<std::string> roots = {into_spec.path};
+    for (const std::string& dir : from_dirs) {
+      roots.push_back(store::parse_store_spec(dir).path);
+    }
+    bool busy = false;
+    for (const std::string& root : roots) {
+      for (const int pid : store::live_inprogress_pids(root)) {
+        std::fprintf(stderr,
+                     "sweep_merge: store %s: a sweep (pid %d) is still "
+                     "publishing into it — wait for the fleet to finish "
+                     "before merging or emitting tables\n",
+                     root.c_str(), pid);
+        busy = true;
+      }
+    }
+    if (busy) return 1;
+  }
   // The loose-objects handle (maintenance: prune/compact/list are
-  // physical-layout operations) and the layered read chain over loose +
-  // segments (everything content-addressed goes through this).
-  store::LocalDirStore dst_local(cli.get_string("into"));
-  const auto dst = store::open_store(cli.get_string("into"));
+  // physical-layout operations; read-only for a segment: destination)
+  // and the layered read chain over loose + segments (everything
+  // content-addressed goes through this).
+  store::LocalDirStore dst_local(into_spec.path, /*create=*/into_writable);
+  const auto dst = store::open_store(cli.get_string("into"), {},
+                                     /*create=*/into_writable);
 
   for (const std::string& dir : from_dirs) {
     const auto src = store::open_store(dir, {}, /*create=*/false);
@@ -263,7 +315,8 @@ int main(int argc, char** argv) {
   // layered read chain (a compacted store serves every cell from its
   // segments; a freshly written segment is NOT yet visible through a
   // chain opened earlier, so reopen after --compact).
-  const auto reader = store::open_store(cli.get_string("into"));
+  const auto reader = store::open_store(cli.get_string("into"), {},
+                                        /*create=*/into_writable);
   core::ResultTable table(manifest->entries.size());
   std::vector<std::string> missing;
   for (std::size_t i = 0; i < manifest->entries.size(); ++i) {

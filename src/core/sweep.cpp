@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "common/bytes.h"
 #include "common/csv.h"
 #include "common/env.h"
 #include "common/json.h"
@@ -23,6 +24,7 @@
 #include "obs/trace.h"
 #include "store/fingerprint.h"
 #include "store/manifest.h"
+#include "store/result_store.h"
 #include "store/store_api.h"
 
 namespace falvolt::core {
@@ -47,10 +49,12 @@ std::string json_number(double v) {
 
 // --------------------------------------------- ScenarioResult byte codec
 //
-// Little-endian, length-prefixed throughout. The store frame around the
-// payload already carries magic/epoch/checksum (record_frame.h), so the
-// codec only needs a version word of its own plus per-field lengths that
-// the reader validates against the remaining bytes.
+// Little-endian, length-prefixed throughout (common/bytes.h — the same
+// primitives the fleet wire protocol frames with). The store frame
+// around the payload already carries magic/epoch/checksum
+// (record_frame.h), so the codec only needs a version word of its own
+// plus per-field lengths that the reader validates against the
+// remaining bytes.
 
 // v2 appended the provenance block (host, version, unix_time,
 // store_epoch). decode rejects foreign versions, so a store written by
@@ -81,87 +85,12 @@ Provenance make_provenance() {
   return p;
 }
 
-void put_u32(std::string& b, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    b += static_cast<char>((v >> (8 * i)) & 0xff);
-  }
-}
-
-void put_u64(std::string& b, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    b += static_cast<char>((v >> (8 * i)) & 0xff);
-  }
-}
-
-void put_i32(std::string& b, std::int32_t v) {
-  put_u32(b, static_cast<std::uint32_t>(v));
-}
-
-void put_f64(std::string& b, double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  put_u64(b, bits);
-}
-
-void put_str(std::string& b, const std::string& s) {
-  put_u32(b, static_cast<std::uint32_t>(s.size()));
-  b += s;
-}
-
-// Cursor over the payload; every read checks the remaining byte count
-// first, so a truncated or garbage record can only ever fail a read,
-// never over-read or allocate from a damaged length word.
-struct ByteReader {
-  const std::string& bytes;
-  std::size_t pos = 0;
-
-  std::size_t remaining() const { return bytes.size() - pos; }
-
-  bool u32(std::uint32_t& out) {
-    if (remaining() < 4) return false;
-    out = 0;
-    for (int i = 0; i < 4; ++i) {
-      out |= std::uint32_t{static_cast<unsigned char>(bytes[pos + i])}
-             << (8 * i);
-    }
-    pos += 4;
-    return true;
-  }
-
-  bool u64(std::uint64_t& out) {
-    if (remaining() < 8) return false;
-    out = 0;
-    for (int i = 0; i < 8; ++i) {
-      out |= std::uint64_t{static_cast<unsigned char>(bytes[pos + i])}
-             << (8 * i);
-    }
-    pos += 8;
-    return true;
-  }
-
-  bool i32(std::int32_t& out) {
-    std::uint32_t raw = 0;
-    if (!u32(raw)) return false;
-    out = static_cast<std::int32_t>(raw);
-    return true;
-  }
-
-  bool f64(double& out) {
-    std::uint64_t bits = 0;
-    if (!u64(bits)) return false;
-    std::memcpy(&out, &bits, sizeof(out));
-    return true;
-  }
-
-  bool str(std::string& out) {
-    std::uint32_t len = 0;
-    if (!u32(len)) return false;
-    if (len > remaining()) return false;
-    out.assign(bytes, pos, len);
-    pos += len;
-    return true;
-  }
-};
+using common::ByteReader;
+using common::put_f64;
+using common::put_i32;
+using common::put_str;
+using common::put_u32;
+using common::put_u64;
 
 }  // namespace
 
@@ -286,6 +215,40 @@ std::pair<int, int> parse_shard_spec(const std::string& spec) {
                                 "' needs 0 <= i < n");
   }
   return {index, count};
+}
+
+std::vector<int> shard_partition(const std::vector<double>& costs,
+                                 int shard_count) {
+  if (shard_count < 1) {
+    throw std::invalid_argument("shard_partition: shard_count must be >= 1");
+  }
+  std::vector<int> owners(costs.size(), 0);
+  if (shard_count == 1) return owners;
+  // Greedy LPT: visit cells most-expensive-first (stable sort, so equal
+  // costs keep grid order and the partition is deterministic), assign
+  // each to the least-loaded shard so far (ties to the lowest shard id).
+  std::vector<int> order(costs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&costs](int a, int b) {
+    return costs[static_cast<std::size_t>(a)] >
+           costs[static_cast<std::size_t>(b)];
+  });
+  std::vector<double> load(static_cast<std::size_t>(shard_count), 0.0);
+  for (const int i : order) {
+    int best = 0;
+    for (int s = 1; s < shard_count; ++s) {
+      if (load[static_cast<std::size_t>(s)] <
+          load[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    owners[static_cast<std::size_t>(i)] = best;
+    load[static_cast<std::size_t>(best)] +=
+        costs[static_cast<std::size_t>(i)];
+  }
+  return owners;
 }
 
 double scenario_cost_estimate(const Scenario& s) {
@@ -629,14 +592,16 @@ struct SweepEngine {
       const WorkloadOptions& opts, SweepContext& ctx, bool prepare_baselines,
       const std::function<void(const Workload&)>& on_baseline,
       const std::vector<FleetGrid>& grids, bool labeled,
-      SchedulePolicy schedule, std::vector<WorkerStats>& worker_stats);
+      SchedulePolicy schedule, std::vector<WorkerStats>& worker_stats,
+      CellQueue* external_queue);
 };
 
 std::vector<ResultTable> SweepEngine::run(
     const WorkloadOptions& opts, SweepContext& ctx, bool prepare_baselines,
     const std::function<void(const Workload&)>& on_baseline,
     const std::vector<FleetGrid>& grids, bool labeled,
-    SchedulePolicy schedule, std::vector<WorkerStats>& worker_stats) {
+    SchedulePolicy schedule, std::vector<WorkerStats>& worker_stats,
+    CellQueue* external_queue) {
   std::vector<GridState> gs(grids.size());
   for (std::size_t g = 0; g < grids.size(); ++g) {
     GridState& st = gs[g];
@@ -671,13 +636,27 @@ std::vector<ResultTable> SweepEngine::run(
       }
       // The manifest lists the FULL grid (all shards) and is identical
       // across the shards of one grid; written before any compute so a
-      // killed sweep still leaves the merge/plan tooling its grid.
-      store::Manifest manifest;
-      manifest.bench = store.bench.empty() ? "sweep" : store.bench;
-      for (std::size_t i = 0; i < total; ++i) {
-        manifest.entries.emplace_back(st.fps[i], scenarios[i].key);
+      // killed sweep still leaves the merge/plan tooling its grid. A
+      // read-only store (segment:) can only replay, never publish —
+      // whether that suffices is decided after triage below.
+      if (st.rs->writable()) {
+        store::Manifest manifest;
+        manifest.bench = store.bench.empty() ? "sweep" : store.bench;
+        for (std::size_t i = 0; i < total; ++i) {
+          manifest.entries.emplace_back(st.fps[i], scenarios[i].key);
+        }
+        st.rs->put_manifest(manifest);
       }
-      st.rs->put_manifest(manifest);
+    }
+    // Cost-balanced shard ownership over the STATIC cost estimates (every
+    // independently launched shard derives the identical partition).
+    std::vector<int> owners;
+    if (store.shard_count > 1) {
+      std::vector<double> est(total);
+      for (std::size_t i = 0; i < total; ++i) {
+        est[i] = scenario_cost_estimate(scenarios[i]);
+      }
+      owners = shard_partition(est, store.shard_count);
     }
 
     // Triage every cell: replay a valid cached record (any shard's),
@@ -718,8 +697,7 @@ std::vector<ResultTable> SweepEngine::run(
         }
         span.arg("cached", false);
       }
-      if (static_cast<int>(i % static_cast<std::size_t>(
-                                   store.shard_count)) == store.shard_index) {
+      if (store.shard_count == 1 || owners[i] == store.shard_index) {
         // Estimated cost for the cost-ordered queue. On a warm store a
         // recompute run (--resume false) refines the grid's static
         // estimate with the wall-clock the cell took last time — the
@@ -739,6 +717,14 @@ std::vector<ResultTable> SweepEngine::run(
         st.pending.push_back(static_cast<int>(i));
         st.pending_cost.push_back(cost);
       }
+    }
+    if (use_store && !st.rs->writable() && !st.pending.empty()) {
+      throw std::runtime_error(
+          (st.label.empty() ? std::string("sweep") : st.label) +
+          ": store '" + store.dir + "' is read-only but " +
+          std::to_string(st.pending.size()) +
+          " owned cell(s) still need computing — publish to a writable "
+          "store (local:<dir> or a bare path) instead");
     }
     if (use_store) {
       const std::string where = st.label.empty()
@@ -811,6 +797,24 @@ std::vector<ResultTable> SweepEngine::run(
     st.table.threads_ = threads;
   }
 
+  // While this run still has cells to publish, mark every writable
+  // destination store in-progress (a pid-stamped marker under tmp/):
+  // sweep_merge refuses to emit a partial table from a store a live
+  // fleet is still publishing into. RAII — markers vanish on every exit
+  // path, and a SIGKILL leaves only a dead-pid marker later runs ignore.
+  std::vector<std::unique_ptr<store::InProgressGuard>> inprogress;
+  {
+    std::set<std::string> marked;
+    for (const GridState& st : gs) {
+      if (st.pending.empty() || !st.rs || !st.rs->writable()) continue;
+      const std::string root =
+          store::parse_store_spec(st.grid->store.dir).path;
+      if (marked.insert(root).second) {
+        inprogress.push_back(std::make_unique<store::InProgressGuard>(root));
+      }
+    }
+  }
+
   common::Timer timer;
   std::mutex err_mu;
   std::vector<std::string> errors;
@@ -820,15 +824,41 @@ std::vector<ResultTable> SweepEngine::run(
   // then run() throws) — a deterministic error affecting every cell
   // must not burn hours draining the rest of the grid first.
   std::atomic<bool> failed{false};
-  const auto run_one = [&](int slot, int worker) {
+  const auto run_one = [&](const QueueEntry& entry, int worker) {
     static obs::Counter& computed_cells = obs::counter("sweep.cells.computed");
     static obs::Counter& failed_cells = obs::counter("sweep.cells.failed");
     static obs::Counter& put_ns = obs::counter("sweep.store.put.ns");
     static obs::Counter& put_count = obs::counter("sweep.store.put.count");
-    const QueueEntry& entry = queue[static_cast<std::size_t>(slot)];
+    static obs::Counter& recheck_cells =
+        obs::counter("sweep.cells.recheck_cached");
     GridState& st = gs[static_cast<std::size_t>(entry.grid)];
     const std::size_t idx = static_cast<std::size_t>(entry.index);
     const Scenario& scenario = st.grid->scenarios[idx];
+    const CellQueue::Claim claim{entry.grid, entry.index, entry.cost};
+    // An at-least-once queue may deliver a cell twice (a SIGKILLed
+    // worker's in-flight claims are re-queued, and the original may in
+    // fact have published before dying). Re-probing the shared store
+    // before computing turns the duplicate into a replay of the
+    // paid-for record — the "zero lost paid work" half of the crash
+    // contract costs one store read, not a recompute.
+    if (external_queue && external_queue->at_least_once() && st.rs &&
+        st.grid->store.resume && !st.fps[idx].empty()) {
+      if (const std::optional<std::string> payload = st.rs->get(st.fps[idx])) {
+        ScenarioResult r;
+        if (decode_scenario_result(*payload, r) &&
+            r.scenario.key == scenario.key) {
+          r.scenario = scenario;
+          r.fingerprint = st.fps[idx];
+          st.table.put_cached(idx, std::move(r));
+          recheck_cells.add(1);
+          std::fprintf(stderr, "[sweep %d/?] %s%s%s (already published)\n",
+                       done.fetch_add(1) + 1, st.label.c_str(),
+                       st.label.empty() ? "" : ":", scenario.key.c_str());
+          external_queue->complete(claim, /*cached=*/true, 0.0);
+          return;
+        }
+      }
+    }
     // One span per computed cell, on the claiming worker's track; the
     // args are exactly what an operator needs to find the cell again
     // (bench, key, fingerprint prefix) plus the schedule facts (worker,
@@ -869,13 +899,21 @@ std::vector<ResultTable> SweepEngine::run(
       }
       st.table.put(idx, std::move(r));
       computed_cells.add(1);
+      if (external_queue) {
+        external_queue->complete(claim, /*cached=*/false, t.seconds());
+      }
     } catch (const std::exception& e) {
       failed.store(true);
       failed_cells.add(1);
       status = " FAILED";
-      std::lock_guard<std::mutex> lock(err_mu);
-      errors.push_back((st.label.empty() ? "" : st.label + ": ") +
-                       scenario.key + ": " + e.what());
+      {
+        std::lock_guard<std::mutex> lock(err_mu);
+        errors.push_back((st.label.empty() ? "" : st.label + ": ") +
+                         scenario.key + ": " + e.what());
+      }
+      if (external_queue) {
+        external_queue->fail(claim, scenario.key + ": " + e.what());
+      }
     }
     // Each worker slot writes only its own entry — no lock needed.
     WorkerStats& ws = worker_stats[static_cast<std::size_t>(worker)];
@@ -890,8 +928,50 @@ std::vector<ResultTable> SweepEngine::run(
                  t.seconds(), status);
   };
 
-  if (parallel <= 1) {
-    for (int i = 0; i < np && !failed.load(); ++i) run_one(i, 0);
+  // Externally-fed mode (daemon fleet worker): the local cost-ordered
+  // queue only seeded triage and baseline prep; actual work arrives as
+  // socket claims, one cell per round-trip, until the daemon answers a
+  // claim request with SHUTDOWN (nullopt).
+  const auto drain_external = [&](int w) {
+    while (!failed.load()) {
+      const std::optional<CellQueue::Claim> c = external_queue->claim(w);
+      if (!c) break;
+      if (c->grid < 0 || c->grid >= static_cast<int>(gs.size()) ||
+          c->index < 0 ||
+          c->index >= static_cast<int>(
+              gs[static_cast<std::size_t>(c->grid)].grid->scenarios.size())) {
+        failed.store(true);
+        const std::string what = "claim (" + std::to_string(c->grid) + ", " +
+                                 std::to_string(c->index) +
+                                 ") is out of range for this worker's grids";
+        {
+          std::lock_guard<std::mutex> lock(err_mu);
+          errors.push_back(what);
+        }
+        external_queue->fail(*c, what);
+        break;
+      }
+      run_one(QueueEntry{c->grid, c->index, c->cost}, w);
+    }
+  };
+  if (external_queue) {
+    if (parallel <= 1) {
+      drain_external(0);
+    } else {
+      compute::ThreadPool pool(parallel);
+      pool.parallel_for(0, parallel, 1, [&](int wb, int we) {
+        for (int w = wb; w < we; ++w) {
+          if (obs::trace_enabled()) {
+            obs::set_trace_thread_name("worker " + std::to_string(w));
+          }
+          drain_external(w);
+        }
+      });
+    }
+  } else if (parallel <= 1) {
+    for (int i = 0; i < np && !failed.load(); ++i) {
+      run_one(queue[static_cast<std::size_t>(i)], 0);
+    }
   } else {
     // Scenario bodies run on pool workers, so nested GEMM parallel_for
     // calls execute inline — the sweep never runs more than `parallel`
@@ -911,7 +991,7 @@ std::vector<ResultTable> SweepEngine::run(
         while (!failed.load()) {
           const int i = next.fetch_add(1);
           if (i >= np) break;
-          run_one(i, w);
+          run_one(queue[static_cast<std::size_t>(i)], w);
         }
       }
     });
@@ -968,7 +1048,8 @@ ResultTable SweepRunner::run(const std::vector<Scenario>& scenarios,
   grids.push_back(FleetGrid{store_, scenarios, fn});
   std::vector<ResultTable> tables = SweepEngine::run(
       opts_, ctx_, prepare_baselines_, on_baseline_, grids,
-      /*labeled=*/false, schedule_, worker_stats_);
+      /*labeled=*/false, schedule_, worker_stats_,
+      /*external_queue=*/nullptr);
   return std::move(tables.front());
 }
 
@@ -999,7 +1080,7 @@ std::vector<ResultTable> FleetRunner::run() {
   }
   return SweepEngine::run(opts_, ctx_, prepare_baselines_, on_baseline_,
                           grids_, /*labeled=*/true, schedule_,
-                          worker_stats_);
+                          worker_stats_, cell_queue_);
 }
 
 }  // namespace falvolt::core

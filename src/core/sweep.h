@@ -40,6 +40,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
@@ -161,7 +162,11 @@ bool decode_scenario_result(const std::string& bytes, ScenarioResult& out);
 
 /// How a sweep uses the persistent result store.
 struct SweepStoreOptions {
-  /// Store root directory; empty disables the store entirely.
+  /// Store spec — "local:<dir>", "segment:<dir>", or a bare directory
+  /// path (see store::parse_store_spec); empty disables the store
+  /// entirely. A read-only spec (segment:) can only replay cells, never
+  /// publish: a sweep against one fails if any owned cell still needs
+  /// computing.
   std::string dir;
   /// Grid owner — the bench name; part of every cell fingerprint.
   std::string bench;
@@ -181,9 +186,11 @@ struct SweepStoreOptions {
   /// Replay cells already present in the store (true) or recompute and
   /// overwrite them (false).
   bool resume = true;
-  /// Deterministic grid partition: this run computes cells whose grid
-  /// index i satisfies i % shard_count == shard_index. Cached cells of
-  /// other shards are still replayed when available.
+  /// Deterministic grid partition: this run computes the cells
+  /// shard_partition() assigns to shard_index (cost-balanced greedy LPT
+  /// over the static cost estimates — NOT index-modulo, so a shard's
+  /// share of retrain cells matches its share of total cost). Cached
+  /// cells of other shards are still replayed when available.
   int shard_index = 0;
   int shard_count = 1;
 };
@@ -192,6 +199,21 @@ struct SweepStoreOptions {
 /// spec means the whole grid ({0, 1}). Throws std::invalid_argument on
 /// malformed specs or i >= n.
 std::pair<int, int> parse_shard_spec(const std::string& spec);
+
+/// Cost-balanced deterministic grid partition: owner shard of every grid
+/// index, by greedy LPT (longest-processing-time) over `costs` — walk
+/// the cells most-expensive-first (stable: equal costs keep index order)
+/// and assign each to the shard with the smallest cumulative cost so far
+/// (ties to the lowest shard id). With equal costs this degenerates to
+/// round-robin (index % shard_count); with skewed costs no shard ends up
+/// more than ~4/3 of the optimal max load (the classic LPT bound), where
+/// index-modulo can be arbitrarily unbalanced. Deterministic in `costs`
+/// alone, and every shard MUST derive costs from the same static
+/// scenario_cost_estimate() so independently launched shards agree on
+/// the partition — never from store-refined timings, which differ per
+/// machine.
+std::vector<int> shard_partition(const std::vector<double>& costs,
+                                 int shard_count);
 
 /// Content-address of one cell: SHA-256 over the store format epoch,
 /// the bench name, the bench config, the workload identity
@@ -208,6 +230,51 @@ std::string fingerprint_cell(const SweepStoreOptions& store,
 
 struct SweepEngine;  // internal executor shared by SweepRunner/FleetRunner
 class FleetRunner;
+
+/// Where a sweep's workers get their next cell. The engine's built-in
+/// queue (a cost-sorted vector drained through one atomic counter) is
+/// the in-process default; the fleet daemon's socket-fed workers install
+/// a fleet::SocketCellQueue instead — the engine's triage, baseline
+/// sharing, compute, publish, and accounting paths are identical either
+/// way, which is what keeps daemon-fed and in-process runs
+/// byte-identical.
+class CellQueue {
+ public:
+  /// One claimed cell: which added grid, which grid-local scenario
+  /// index, and the cost estimate that scheduled it.
+  struct Claim {
+    int grid = 0;
+    int index = 0;
+    double cost = 0.0;
+  };
+
+  virtual ~CellQueue() = default;
+
+  /// Next cell for worker slot `worker`, or nullopt when the queue is
+  /// drained (the worker then exits its claim loop). May block (the
+  /// socket queue waits on the daemon). Must be callable concurrently
+  /// from several worker slots.
+  virtual std::optional<Claim> claim(int worker) = 0;
+
+  /// The claimed cell's record is durably published (cached=false) or
+  /// was found already published by someone else (cached=true — the
+  /// at-least-once re-check hit). Either way the cell is done.
+  virtual void complete(const Claim& claim, bool cached,
+                        double seconds) = 0;
+
+  /// The claimed cell's scenario function threw. The engine still fails
+  /// the sweep fast afterwards; an external queue uses this to tell the
+  /// scheduler before the process exits.
+  virtual void fail(const Claim& claim, const std::string& error) = 0;
+
+  /// True when claims come from an external scheduler that may deliver
+  /// a cell more than once (at-least-once: a worker killed after
+  /// publishing but before reporting gets its in-flight cell re-queued).
+  /// The engine then re-checks the store before computing every claim,
+  /// so duplicate delivery replays the paid-for record instead of
+  /// recomputing it.
+  virtual bool at_least_once() const = 0;
+};
 
 /// Thread-safe, order-preserving aggregation of scenario results plus
 /// CSV / JSON emission. Slot `i` belongs to scenario `i` of the sweep.
@@ -429,9 +496,9 @@ struct FleetGrid {
 /// standalone (same bench name, config, and workload identity), so the
 /// shared store is interchangeable between fleet and per-bench runs:
 /// cells computed by the fleet replay in the bench, and vice versa.
-/// Per-grid shard specs are honored (cell i of a grid is owned by shard
-/// i % n), so a fleet can itself be sharded across machines and merged
-/// with sweep_merge like any other sweep.
+/// Per-grid shard specs are honored (shard_partition assigns each cell
+/// a cost-balanced owner), so a fleet can itself be sharded across
+/// machines and merged with sweep_merge like any other sweep.
 class FleetRunner {
  public:
   /// `opts.sweep_parallel` is the fleet-wide worker count (resolved via
@@ -461,6 +528,14 @@ class FleetRunner {
     return worker_stats_;
   }
 
+  /// Replace the engine's built-in work queue with an external one (the
+  /// fleet daemon's socket queue). `queue` must outlive run(); nullptr
+  /// restores the built-in queue. With an external queue the engine
+  /// still triages and replays cached cells itself, but computes only
+  /// the cells the queue hands it — and re-checks the store before each
+  /// when the queue is at_least_once().
+  void set_cell_queue(CellQueue* queue) { cell_queue_ = queue; }
+
   /// Register one grid. Scenario keys must be unique within a grid
   /// (validated at run(); across grids the bench name disambiguates).
   void add_grid(FleetGrid grid);
@@ -482,6 +557,7 @@ class FleetRunner {
   std::function<void(const Workload&)> on_baseline_;
   bool prepare_baselines_ = true;
   SchedulePolicy schedule_ = SchedulePolicy::kCostOrdered;
+  CellQueue* cell_queue_ = nullptr;
   std::vector<WorkerStats> worker_stats_;
 };
 

@@ -1,0 +1,125 @@
+#include "fleet/protocol.h"
+
+#include <stdexcept>
+
+#include "common/bytes.h"
+
+namespace falvolt::fleet {
+
+using common::ByteReader;
+using common::put_f64;
+using common::put_i32;
+using common::put_str;
+using common::put_u32;
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(5 + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size() + 1));
+  out += static_cast<char>(type);
+  out += payload;
+  return out;
+}
+
+std::optional<Frame> FrameBuffer::next() {
+  ByteReader r{buf_};
+  std::uint32_t length = 0;
+  if (!r.u32(length)) return std::nullopt;
+  if (length == 0 || length > kMaxFrameBytes) {
+    throw std::runtime_error("fleet protocol: bad frame length " +
+                             std::to_string(length));
+  }
+  if (r.remaining() < length) return std::nullopt;
+  Frame frame;
+  frame.type = static_cast<FrameType>(
+      static_cast<unsigned char>(buf_[r.pos]));
+  frame.payload.assign(buf_, r.pos + 1, length - 1);
+  buf_.erase(0, r.pos + length);
+  return frame;
+}
+
+std::string encode_hello(const HelloFrame& f) {
+  std::string p;
+  put_u32(p, f.version);
+  put_str(p, f.worker);
+  return encode_frame(FrameType::kHello, p);
+}
+
+bool decode_hello(const Frame& frame, HelloFrame& out) {
+  if (frame.type != FrameType::kHello) return false;
+  ByteReader r{frame.payload};
+  return r.u32(out.version) && r.str(out.worker) && r.remaining() == 0;
+}
+
+std::string encode_welcome(const WelcomeFrame& f) {
+  std::string p;
+  put_u32(p, f.version);
+  put_i32(p, f.worker_id);
+  return encode_frame(FrameType::kWelcome, p);
+}
+
+bool decode_welcome(const Frame& frame, WelcomeFrame& out) {
+  if (frame.type != FrameType::kWelcome) return false;
+  ByteReader r{frame.payload};
+  return r.u32(out.version) && r.i32(out.worker_id) && r.remaining() == 0;
+}
+
+std::string encode_claim_request() {
+  return encode_frame(FrameType::kClaimRequest, "");
+}
+
+std::string encode_claim(const ClaimFrame& f) {
+  std::string p;
+  put_str(p, f.bench);
+  put_str(p, f.key);
+  put_str(p, f.fingerprint);
+  put_f64(p, f.cost);
+  return encode_frame(FrameType::kClaim, p);
+}
+
+bool decode_claim(const Frame& frame, ClaimFrame& out) {
+  if (frame.type != FrameType::kClaim) return false;
+  ByteReader r{frame.payload};
+  return r.str(out.bench) && r.str(out.key) && r.str(out.fingerprint) &&
+         r.f64(out.cost) && r.remaining() == 0;
+}
+
+std::string encode_result(const ResultFrame& f) {
+  std::string p;
+  put_str(p, f.bench);
+  put_str(p, f.key);
+  put_str(p, f.fingerprint);
+  put_u32(p, f.cached ? 1 : 0);
+  put_f64(p, f.seconds);
+  return encode_frame(FrameType::kResult, p);
+}
+
+bool decode_result(const Frame& frame, ResultFrame& out) {
+  if (frame.type != FrameType::kResult) return false;
+  ByteReader r{frame.payload};
+  std::uint32_t cached = 0;
+  if (!(r.str(out.bench) && r.str(out.key) && r.str(out.fingerprint) &&
+        r.u32(cached) && r.f64(out.seconds) && r.remaining() == 0)) {
+    return false;
+  }
+  out.cached = cached != 0;
+  return true;
+}
+
+std::string encode_error(const std::string& message) {
+  std::string p;
+  put_str(p, message);
+  return encode_frame(FrameType::kError, p);
+}
+
+bool decode_error(const Frame& frame, std::string& out) {
+  if (frame.type != FrameType::kError) return false;
+  ByteReader r{frame.payload};
+  return r.str(out) && r.remaining() == 0;
+}
+
+std::string encode_shutdown() {
+  return encode_frame(FrameType::kShutdown, "");
+}
+
+}  // namespace falvolt::fleet

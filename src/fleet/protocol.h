@@ -1,0 +1,128 @@
+#pragma once
+// The fleet wire protocol: versioned, length-prefixed frames over a
+// stream socket (UNIX-domain today; nothing here is socket-specific).
+// The daemon owns the cost-ordered cell queue and only ever moves
+// METADATA — a claim names a cell (bench, key, fingerprint, cost
+// hint) and a result names the record the worker just published to
+// the shared store. Payloads never cross this socket; the store is
+// the data plane, the daemon is the control plane (the nix-daemon
+// split).
+//
+// Frame grammar (all integers little-endian, `str` = u32 length +
+// bytes, encoded with common/bytes.h):
+//
+//   frame     := u32 length ; u8 type ; payload      (length counts
+//                                                     type + payload)
+//   HELLO     (1) w->d := u32 version ; str worker_name
+//   WELCOME   (2) d->w := u32 version ; i32 worker_id
+//   CLAIM_REQ (3) w->d := (empty)
+//   CLAIM     (4) d->w := str bench ; str key ; str fingerprint ;
+//                         f64 cost
+//   RESULT    (5) w->d := str bench ; str key ; str fingerprint ;
+//                         u32 cached ; f64 seconds
+//   ERROR     (6) any  := str message
+//   SHUTDOWN  (7) d->w := (empty)
+//
+// Version compatibility: HELLO carries the worker's protocol version
+// and the daemon REJECTS any mismatch with an ERROR frame before
+// closing — there is no negotiation at version 1. When the protocol
+// grows, the daemon may answer old HELLOs with the highest mutually
+// supported version in WELCOME; until then equal-or-nothing keeps a
+// stale binary from silently corrupting a fleet.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace falvolt::fleet {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's body (type + payload). Benches, keys and
+/// fingerprints are all short strings; anything bigger is a damaged or
+/// hostile length word and the connection is dropped, never allocated
+/// for.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,
+  kWelcome = 2,
+  kClaimRequest = 3,
+  kClaim = 4,
+  kResult = 5,
+  kError = 6,
+  kShutdown = 7,
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// One wire-ready frame: length prefix + type byte + payload.
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// Reassembles frames from arbitrarily-chunked stream bytes. feed()
+/// appends raw socket reads; next() yields one complete frame at a
+/// time. A length word above kMaxFrameBytes or a zero-length frame
+/// (no type byte) marks the stream damaged: next() throws
+/// std::runtime_error and the caller drops the connection.
+class FrameBuffer {
+ public:
+  void feed(const char* data, std::size_t n) { buf_.append(data, n); }
+  std::optional<Frame> next();
+
+ private:
+  std::string buf_;
+};
+
+// -------------------------------------------------- typed payloads
+// Encoders return the full frame (prefix included); decoders parse a
+// Frame's payload and return false on any truncation or trailing
+// garbage — a malformed frame is a protocol error, never UB.
+
+struct HelloFrame {
+  std::uint32_t version = kProtocolVersion;
+  std::string worker;  ///< display name, e.g. "worker-2" (logs only)
+};
+
+struct WelcomeFrame {
+  std::uint32_t version = kProtocolVersion;
+  std::int32_t worker_id = 0;
+};
+
+struct ClaimFrame {
+  std::string bench;
+  std::string key;
+  std::string fingerprint;
+  double cost = 0.0;
+};
+
+struct ResultFrame {
+  std::string bench;
+  std::string key;
+  std::string fingerprint;
+  bool cached = false;  ///< replayed an already-published record
+  double seconds = 0.0;
+};
+
+std::string encode_hello(const HelloFrame& f);
+bool decode_hello(const Frame& frame, HelloFrame& out);
+
+std::string encode_welcome(const WelcomeFrame& f);
+bool decode_welcome(const Frame& frame, WelcomeFrame& out);
+
+std::string encode_claim_request();
+
+std::string encode_claim(const ClaimFrame& f);
+bool decode_claim(const Frame& frame, ClaimFrame& out);
+
+std::string encode_result(const ResultFrame& f);
+bool decode_result(const Frame& frame, ResultFrame& out);
+
+std::string encode_error(const std::string& message);
+bool decode_error(const Frame& frame, std::string& out);
+
+std::string encode_shutdown();
+
+}  // namespace falvolt::fleet

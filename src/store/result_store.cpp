@@ -1,6 +1,11 @@
 #include "store/result_store.h"
 
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <stdexcept>
 
@@ -30,6 +35,50 @@ bool store_exists(const std::string& root) {
   if (root.empty()) return false;
   return fs::is_directory(fs::path(root) / "objects", ec) ||
          fs::is_directory(fs::path(root) / "segments", ec);
+}
+
+InProgressGuard::InProgressGuard(const std::string& root) {
+  const std::string dir = (fs::path(root) / "tmp").string();
+  if (!io::env().mkdirs(dir)) return;  // advisory: never fail the sweep
+  std::string path =
+      (fs::path(dir) / ("inprogress." + std::to_string(::getpid()))).string();
+  if (io::env().write_file(path, std::to_string(::getpid()) + "\n")) {
+    path_ = std::move(path);
+  }
+}
+
+InProgressGuard::~InProgressGuard() {
+  if (!path_.empty()) io::env().unlink_file(path_);
+}
+
+std::vector<int> live_inprogress_pids(const std::string& root) {
+  std::vector<int> out;
+  std::error_code ec;
+  const fs::path dir = fs::path(root) / "tmp";
+  constexpr const char* kPrefix = "inprogress.";
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.rfind(kPrefix, 0) != 0) continue;
+    const std::string digits = name.substr(std::strlen(kPrefix));
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const int pid = std::atoi(digits.c_str());
+    if (pid <= 0 || pid == ::getpid()) continue;
+    // Signal 0 probes existence without delivering anything; EPERM
+    // still means "exists" (someone else's process).
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM) {
+      out.push_back(pid);
+    } else {
+      // Crash residue from a SIGKILLed fleet — reap it so one dead run
+      // never wedges every future merge.
+      io::env().unlink_file(it->path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 LocalDirStore::LocalDirStore(std::string root, bool create)

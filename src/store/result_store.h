@@ -36,6 +36,31 @@ namespace falvolt::store {
 /// as an error instead of silently materializing an empty store.
 bool store_exists(const std::string& root);
 
+/// RAII "a sweep is still publishing into this store" marker:
+/// construction drops <root>/tmp/inprogress.<pid>, destruction removes
+/// it. The sweep engine (and the fleet daemon) hold one for as long as
+/// owned cells remain uncomputed, so `sweep_merge` can refuse to emit a
+/// partial table from a store a live fleet is mid-publish into. Purely
+/// advisory and best-effort: an unwritable marker never fails the
+/// sweep, and a SIGKILLed run leaves only a dead-pid marker that
+/// live_inprogress_pids() garbage-collects.
+class InProgressGuard {
+ public:
+  explicit InProgressGuard(const std::string& root);
+  ~InProgressGuard();
+  InProgressGuard(const InProgressGuard&) = delete;
+  InProgressGuard& operator=(const InProgressGuard&) = delete;
+
+ private:
+  std::string path_;
+};
+
+/// Pids of LIVE processes (other than the caller) holding an in-progress
+/// marker under `root` — i.e. fleets still publishing into this store.
+/// Markers whose pid no longer exists are unlinked as a side effect
+/// (crash residue), so a SIGKILLed fleet never wedges future merges.
+std::vector<int> live_inprogress_pids(const std::string& root);
+
 class LocalDirStore : public StoreApi {
  public:
   /// Opens the store rooted at `root`. With create=true (the default)

@@ -80,7 +80,12 @@ class StoreApi {
 class LayeredStore : public StoreApi {
  public:
   /// `layers` must be non-empty; layers[0] is the write target.
-  explicit LayeredStore(std::vector<std::unique_ptr<StoreApi>> layers);
+  /// `substituter_start` is the index of the first layer that belongs
+  /// to a substituter rather than the local root (hits from there feed
+  /// the store.substituter.hit counter); open_store computes it from
+  /// how many layers the root's scheme contributes.
+  explicit LayeredStore(std::vector<std::unique_ptr<StoreApi>> layers,
+                        std::size_t substituter_start = 2);
 
   std::string describe() const override;
   bool writable() const override;
@@ -102,12 +107,13 @@ class LayeredStore : public StoreApi {
 
  private:
   std::vector<std::unique_ptr<StoreApi>> layers_;
+  std::size_t substituter_start_;
   // Chain telemetry (obs/metrics.h), resolved once at construction so
   // the read path pays only relaxed adds: which layer POSITION served
   // each hit ("store.chain.layer<i>.hit" — open_store puts the local
-  // loose objects at 0, local segments at 1, substituter pairs behind),
-  // whole-chain misses, and the substituter-served subset. Registry
-  // entries are immortal, so these pointers never dangle.
+  // root's layers first, substituter layers behind), whole-chain
+  // misses, and the substituter-served subset. Registry entries are
+  // immortal, so these pointers never dangle.
   std::vector<obs::Counter*> layer_hit_;
   obs::Counter* chain_miss_ = nullptr;
   obs::Counter* substituter_hit_ = nullptr;
@@ -125,14 +131,47 @@ struct MergeStats {
 /// addressing both sides agree, so skip-if-present is harmless.
 MergeStats merge_records(StoreApi& dst, const StoreApi& src);
 
-/// Open the store rooted at `dir` as the standard local chain — loose
-/// objects (writable, front) over the root's indexed segments — with a
-/// read-only chain per substituter directory behind it. Creating `dir`
-/// is the default (it is a sweep's destination); substituter roots are
-/// never created and must already hold a store (throws
-/// std::invalid_argument otherwise — a typo'd substituter must not
-/// silently read as "everything misses"). With create=false, `dir`
-/// itself is opened read-only without materializing anything.
+/// A parsed store spec. Everywhere a store is named on a command line
+/// (`--store`, `--substituters`, sweep_merge's `--into`/`--from`) the
+/// same URI-style grammar applies:
+///
+///   local:<dir>    the standard local chain: writable loose objects
+///                  over the directory's indexed segments
+///   segment:<dir>  ONLY the directory's segment files, read-only —
+///                  a fully-compacted archive served as-is
+///   <dir>          bare path (no scheme), same as local:<dir>
+///
+/// A future remote backend is one new scheme (e.g. https:) here plus
+/// one StoreApi class — no consumer changes.
+struct StoreSpec {
+  std::string scheme;  ///< "local", "segment", or "" for a bare path
+  std::string path;    ///< filesystem root the scheme applies to
+};
+
+/// Parse a store spec. A leading `[A-Za-z][A-Za-z0-9+.-]*:` is a
+/// scheme (so absolute and relative paths can never be mistaken for
+/// one); anything else is a bare path. Throws std::invalid_argument
+/// naming the supported forms on an unknown scheme or an empty path —
+/// CLI drivers print the message and exit 1.
+StoreSpec parse_store_spec(const std::string& spec);
+
+/// Spec-aware existence probe: does `spec` already hold a store of its
+/// scheme's shape? (`segment:` needs a segments/ directory; `local:` /
+/// bare accept loose objects or segments-only roots.) Read-side callers
+/// check this before opening so a typo'd path is an error, not a
+/// silently-materialized empty store.
+bool store_spec_exists(const std::string& spec);
+
+/// Open the store named by spec `dir` with a read-only chain per
+/// substituter spec layered behind it. For `local:`/bare specs the
+/// root's loose objects (writable, front) sit over its indexed
+/// segments and creating the directories is the default (it is a
+/// sweep's destination); with create=false nothing is materialized and
+/// the root opens read-only. `segment:` roots contribute only their
+/// (read-only) segment layer. Substituter roots are never created and
+/// must already hold a store (throws std::invalid_argument otherwise —
+/// a typo'd substituter must not silently read as "everything
+/// misses").
 std::unique_ptr<LayeredStore> open_store(
     const std::string& dir,
     const std::vector<std::string>& substituters = {}, bool create = true);
